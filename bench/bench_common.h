@@ -1,0 +1,158 @@
+// Shared infrastructure for the per-figure benchmark binaries.
+//
+// Every bench prints the same rows/series as the corresponding paper
+// table or figure. Defaults are laptop-sized; environment variables scale
+// the runs up:
+//   HOPE_BENCH_KEYS   keys per dataset   (default 200000)
+//   HOPE_BENCH_FULL=1 paper-sized dictionary sweeps (2^16/2^18 entries)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "datasets/datasets.h"
+#include "hope/hope.h"
+#include "workload/workload.h"
+
+namespace hope::bench {
+
+inline size_t NumKeys() {
+  if (const char* env = std::getenv("HOPE_BENCH_KEYS"))
+    return static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  return 200000;
+}
+
+inline bool FullScale() {
+  const char* env = std::getenv("HOPE_BENCH_FULL");
+  return env && env[0] == '1';
+}
+
+inline const std::vector<DatasetId>& AllDatasets() {
+  static const std::vector<DatasetId> kAll{DatasetId::kEmail, DatasetId::kWiki,
+                                           DatasetId::kUrl};
+  return kAll;
+}
+
+/// The six schemes in the paper's presentation order.
+inline const std::vector<Scheme>& AllSchemes() {
+  static const std::vector<Scheme> kAll{
+      Scheme::kSingleChar, Scheme::kDoubleChar, Scheme::kAlm,
+      Scheme::kThreeGrams, Scheme::kFourGrams,  Scheme::kAlmImproved};
+  return kAll;
+}
+
+/// The seven search-tree configurations of §7 (uncompressed baseline plus
+/// six HOPE configurations).
+struct TreeConfig {
+  const char* name;
+  bool compressed;
+  Scheme scheme;
+  size_t dict_limit;
+};
+
+inline const std::vector<TreeConfig>& SearchTreeConfigs() {
+  // 64K dictionaries in the paper; scaled to 16K by default (the Hu-Tucker
+  // build is quadratic) and restored under HOPE_BENCH_FULL=1.
+  static const size_t big = FullScale() ? (size_t{1} << 16) : (size_t{1} << 14);
+  static const std::vector<TreeConfig> kConfigs{
+      {"Uncompressed", false, Scheme::kSingleChar, 0},
+      {"Single-Char", true, Scheme::kSingleChar, 256},
+      {"Double-Char", true, Scheme::kDoubleChar, 0},
+      {"3-Grams", true, Scheme::kThreeGrams, big},
+      {"4-Grams", true, Scheme::kFourGrams, big},
+      {"ALM-Improved (4K)", true, Scheme::kAlmImproved, size_t{1} << 12},
+      {"ALM-Improved (big)", true, Scheme::kAlmImproved, big},
+  };
+  return kConfigs;
+}
+
+/// Total bytes of a key set.
+inline size_t TotalBytes(const std::vector<std::string>& keys) {
+  size_t n = 0;
+  for (const auto& k : keys) n += k.size();
+  return n;
+}
+
+/// Compression rate over a key set: original bytes / compressed bytes
+/// (byte-padded), as in §6.1.
+inline double MeasureCpr(const Hope& hope,
+                         const std::vector<std::string>& keys) {
+  size_t original = 0, compressed = 0;
+  for (const auto& k : keys) {
+    size_t bits = 0;
+    hope.Encode(k, &bits);
+    original += k.size();
+    compressed += (bits + 7) / 8;
+  }
+  return compressed == 0 ? 1.0
+                         : static_cast<double>(original) /
+                               static_cast<double>(compressed);
+}
+
+/// Encode latency in ns per source character.
+inline double MeasureEncodeNsPerChar(const Hope& hope,
+                                     const std::vector<std::string>& keys) {
+  Timer t;
+  size_t chars = 0;
+  size_t sink = 0;
+  for (const auto& k : keys) {
+    size_t bits = 0;
+    std::string e = hope.Encode(k, &bits);
+    sink += e.size() + bits;
+    chars += k.size();
+  }
+  double ns = t.Seconds() * 1e9;
+  // Defeat dead-code elimination of the encode loop.
+  if (sink == size_t(-1)) std::fprintf(stderr, "sink\n");
+  return chars == 0 ? 0 : ns / static_cast<double>(chars);
+}
+
+/// A search-tree configuration instantiated on a dataset: the HOPE
+/// encoder (null for the uncompressed baseline) and the key material the
+/// tree benchmarks need.
+struct BuiltConfig {
+  TreeConfig config;
+  std::unique_ptr<Hope> hope;          // null when uncompressed
+  std::vector<std::string> tree_keys;  // encoded (or raw) keys, load order
+  double hope_build_seconds = 0;
+  size_t dict_memory = 0;
+
+  std::string MapKey(const std::string& key) const {
+    return hope ? hope->Encode(key) : key;
+  }
+};
+
+/// Builds the encoder from a 1% sample (§7.2's protocol) and encodes the
+/// whole key set once.
+inline BuiltConfig PrepareConfig(const TreeConfig& config,
+                                 const std::vector<std::string>& keys) {
+  BuiltConfig built;
+  built.config = config;
+  if (config.compressed) {
+    BuildStats stats;
+    Timer t;
+    built.hope =
+        Hope::Build(config.scheme, SampleKeys(keys, 0.01), config.dict_limit,
+                    &stats);
+    built.hope_build_seconds = t.Seconds();
+    built.dict_memory = stats.dict_memory_bytes;
+    built.tree_keys.reserve(keys.size());
+    for (const auto& k : keys) built.tree_keys.push_back(built.hope->Encode(k));
+  } else {
+    built.tree_keys = keys;
+  }
+  return built;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("  (keys per dataset: %zu%s; see EXPERIMENTS.md for the paper-vs-\n"
+              "   measured comparison)\n",
+              NumKeys(), FullScale() ? ", FULL scale" : "");
+  std::printf("================================================================\n");
+}
+
+}  // namespace hope::bench

@@ -1,0 +1,78 @@
+// Figure 16 (Appendix D): YCSB range-query and insert latencies for ART,
+// HOT, B+tree and Prefix B+tree. Range queries are YCSB E (start key +
+// scan length, uniform 1..100); inserts load half the dataset, then time
+// inserting the other half (keys encoded on the way in).
+#include "art/art.h"
+#include "bench/bench_common.h"
+#include "btree/btree.h"
+#include "hot/hot.h"
+#include "prefix_btree/prefix_btree.h"
+
+namespace hope::bench {
+namespace {
+
+template <typename Tree>
+void RunTree(const char* tree_name, const std::vector<std::string>& keys,
+             const std::vector<uint32_t>& queries,
+             const std::vector<uint32_t>& scan_lens,
+             const std::vector<BuiltConfig>& configs) {
+  std::printf("\n  --- %s ---\n", tree_name);
+  std::printf("  %-18s %10s %11s\n", "Config", "Range(us)", "Insert(us)");
+  for (const BuiltConfig& built : configs) {
+    // Range queries on the fully loaded tree.
+    Tree tree;
+    for (size_t i = 0; i < built.tree_keys.size(); i++)
+      tree.Insert(built.tree_keys[i], i);
+    std::vector<uint64_t> sink;
+    sink.reserve(128);
+    Timer t;
+    for (size_t i = 0; i < queries.size(); i++) {
+      sink.clear();
+      tree.Scan(built.MapKey(keys[queries[i]]), scan_lens[i], &sink);
+    }
+    double range_us =
+        t.Seconds() * 1e6 / static_cast<double>(queries.size());
+
+    // Inserts: load the first half, time the second half.
+    Tree tree2;
+    size_t half = keys.size() / 2;
+    for (size_t i = 0; i < half; i++)
+      tree2.Insert(built.tree_keys[i], i);
+    Timer it;
+    for (size_t i = half; i < keys.size(); i++)
+      tree2.Insert(built.MapKey(keys[i]), i);
+    double insert_us =
+        it.Seconds() * 1e6 / static_cast<double>(keys.size() - half);
+
+    std::printf("  %-18s %10.3f %11.3f\n", built.config.name, range_us,
+                insert_us);
+  }
+}
+
+void Run() {
+  PrintHeader(
+      "Figure 16: YCSB range queries and inserts on ART / HOT / B+tree / "
+      "Prefix B+tree");
+  const size_t num_queries = std::min<size_t>(NumKeys() / 4, 50000);
+  for (DatasetId id : AllDatasets()) {
+    auto keys = GenerateDataset(id, NumKeys(), 42);
+    auto queries = GenerateZipfQueries(keys.size(), num_queries, 7);
+    auto scan_lens = GenerateScanLengths(num_queries, 100, 8);
+    std::printf("\n[%s]\n", DatasetName(id));
+    std::vector<BuiltConfig> configs;
+    for (const TreeConfig& config : SearchTreeConfigs())
+      configs.push_back(PrepareConfig(config, keys));
+    RunTree<Art>("ART", keys, queries, scan_lens, configs);
+    RunTree<Hot>("HOT", keys, queries, scan_lens, configs);
+    RunTree<BTree>("B+tree", keys, queries, scan_lens, configs);
+    RunTree<PrefixBTree>("Prefix B+tree", keys, queries, scan_lens, configs);
+  }
+}
+
+}  // namespace
+}  // namespace hope::bench
+
+int main() {
+  hope::bench::Run();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 9: dictionary build-time breakdown (symbol select / code assign
+// / dictionary build) on a 1% sample of Email keys, for fixed-size
+// dictionaries and for 4K / 64K-entry variable dictionaries (16K when not
+// running at full scale).
+#include "bench/bench_common.h"
+
+namespace hope::bench {
+namespace {
+
+void Report(Scheme scheme, size_t limit, const char* size_label,
+            const std::vector<std::string>& sample) {
+  BuildStats stats;
+  auto hope = Hope::Build(scheme, sample, limit, &stats);
+  std::printf("  %-13s %-9s %9.3f %9.3f %9.3f | total %7.3f s\n",
+              SchemeName(scheme), size_label, stats.symbol_select_seconds,
+              stats.code_assign_seconds, stats.dict_build_seconds,
+              stats.TotalSeconds());
+}
+
+void Run() {
+  PrintHeader("Figure 9: dictionary build time breakdown (Email, 1% sample)");
+  auto keys = GenerateEmails(NumKeys(), 42);
+  auto sample = SampleKeys(keys, 0.01);
+
+  std::printf("  %-13s %-9s %9s %9s %9s\n", "Scheme", "DictSize",
+              "Select(s)", "Assign(s)", "Build(s)");
+  Report(Scheme::kSingleChar, 256, "fixed", sample);
+  Report(Scheme::kDoubleChar, 0, "fixed", sample);
+  size_t big = FullScale() ? (size_t{1} << 16) : (size_t{1} << 14);
+  const char* big_label = FullScale() ? "64K" : "16K";
+  for (Scheme scheme : {Scheme::kThreeGrams, Scheme::kFourGrams, Scheme::kAlm,
+                        Scheme::kAlmImproved}) {
+    Report(scheme, size_t{1} << 12, "4K", sample);
+    Report(scheme, big, big_label, sample);
+  }
+}
+
+}  // namespace
+}  // namespace hope::bench
+
+int main() {
+  hope::bench::Run();
+  return 0;
+}

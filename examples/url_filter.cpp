@@ -1,0 +1,77 @@
+// URL range filter: SuRF + HOPE as an LSM-style filter (§5). A SuRF
+// built over HOPE-encoded URLs answers point and range membership with a
+// tiny memory footprint and a *lower* false-positive rate than the
+// uncompressed filter at the same suffix budget (Fig. 11), because every
+// bit of a compressed key carries more information.
+//
+//   $ ./url_filter [num_keys]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "datasets/datasets.h"
+#include "hope/hope.h"
+#include "surf/surf.h"
+
+int main(int argc, char** argv) {
+  size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
+  std::printf("generating %zu URLs...\n", n);
+  auto all = hope::GenerateUrls(n, 42);
+  size_t half = all.size() / 2;
+  std::vector<std::string> stored(all.begin(), all.begin() + half);
+  std::vector<std::string> absent(all.begin() + half, all.end());
+  size_t raw_bytes = 0;
+  for (const auto& k : stored) raw_bytes += k.size();
+
+  auto hope = hope::Hope::Build(hope::Scheme::kFourGrams,
+                                hope::SampleKeys(stored, 0.02), 1 << 14);
+
+  auto build = [&](bool compress) {
+    std::vector<std::string> keys;
+    keys.reserve(stored.size());
+    for (const auto& k : stored)
+      keys.push_back(compress ? hope->Encode(k) : k);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return hope::Surf(keys, hope::SurfSuffix::kReal8);
+  };
+  hope::Surf plain = build(false);
+  hope::Surf compressed = build(true);
+
+  std::printf("raw keys: %.2f MB\n", raw_bytes / 1048576.0);
+  std::printf("filter memory:  plain %.2f MB   compressed %.2f MB "
+              "(+ %zu KB dictionary)\n",
+              plain.MemoryBytes() / 1048576.0,
+              compressed.MemoryBytes() / 1048576.0,
+              hope->dict().MemoryBytes() / 1024);
+  std::printf("avg trie depth: plain %.1f   compressed %.1f\n",
+              plain.AverageLeafDepth(), compressed.AverageLeafDepth());
+
+  // No false negatives, ever.
+  size_t false_neg = 0;
+  for (const auto& k : stored) {
+    false_neg += !plain.MayContain(k);
+    false_neg += !compressed.MayContain(hope->Encode(k));
+  }
+  std::printf("false negatives: %zu (must be 0)\n", false_neg);
+
+  // False-positive rate on URLs that are not stored.
+  size_t fp_plain = 0, fp_comp = 0;
+  for (const auto& k : absent) {
+    fp_plain += plain.MayContain(k);
+    fp_comp += compressed.MayContain(hope->Encode(k));
+  }
+  std::printf("false positive rate: plain %.2f%%   compressed %.2f%%\n",
+              100.0 * fp_plain / static_cast<double>(absent.size()),
+              100.0 * fp_comp / static_cast<double>(absent.size()));
+
+  // Range membership: does any stored URL live under this path prefix?
+  std::string prefix = stored[stored.size() / 2].substr(0, 30);
+  auto [lo, hi] = hope->EncodePair(prefix, prefix + "\xff");
+  std::printf("range probe [%s*]: %s\n", prefix.c_str(),
+              compressed.MayContainRange(lo, hi) ? "maybe present"
+                                                 : "definitely absent");
+  return 0;
+}

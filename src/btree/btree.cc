@@ -1,0 +1,395 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hope {
+
+namespace {
+
+/// First index in [0, count) with *keys[i] > key (upper bound).
+template <typename KeyArray>
+int UpperBound(const KeyArray& keys, int count, std::string_view key) {
+  int lo = 0, hi = count;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (std::string_view(*keys[mid]) <= key)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+/// First index in [0, count) with *keys[i] >= key (lower bound).
+template <typename KeyArray>
+int LowerBound(const KeyArray& keys, int count, std::string_view key) {
+  int lo = 0, hi = count;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (std::string_view(*keys[mid]) < key)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+BTree::~BTree() {
+  if (root_) FreeRec(root_);
+}
+
+void BTree::FreeRec(Node* node) {
+  if (!node->leaf) {
+    auto* inner = static_cast<InnerNode*>(node);
+    for (int i = 0; i <= inner->count; i++) FreeRec(inner->children[i]);
+    delete inner;
+  } else {
+    delete static_cast<LeafNode*>(node);
+  }
+}
+
+const std::string* BTree::Intern(std::string_view key) {
+  arena_.emplace_back(key);
+  key_bytes_ += key.size();
+  return &arena_.back();
+}
+
+void BTree::Insert(std::string_view key, uint64_t value) {
+  if (!root_) {
+    auto* leaf = new LeafNode();
+    leaf->leaf = true;
+    leaf->keys[0] = Intern(key);
+    leaf->values[0] = value;
+    leaf->count = 1;
+    root_ = leaf;
+    node_bytes_ += sizeof(LeafNode);
+    size_ = 1;
+    return;
+  }
+  SplitResult split = InsertRec(root_, key, value);
+  if (split.right) {
+    auto* new_root = new InnerNode();
+    new_root->leaf = false;
+    new_root->keys[0] = split.separator;
+    new_root->children[0] = root_;
+    new_root->children[1] = split.right;
+    new_root->count = 1;
+    root_ = new_root;
+    node_bytes_ += sizeof(InnerNode);
+  }
+}
+
+BTree::SplitResult BTree::InsertRec(Node* node, std::string_view key,
+                                    uint64_t value) {
+  if (node->leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    int pos = LowerBound(leaf->keys, leaf->count, key);
+    if (pos < leaf->count && *leaf->keys[pos] == key) {
+      leaf->values[pos] = value;  // overwrite
+      return {};
+    }
+    if (leaf->count < kSlots) {
+      for (int i = leaf->count; i > pos; i--) {
+        leaf->keys[i] = leaf->keys[i - 1];
+        leaf->values[i] = leaf->values[i - 1];
+      }
+      leaf->keys[pos] = Intern(key);
+      leaf->values[pos] = value;
+      leaf->count++;
+      size_++;
+      return {};
+    }
+    // Split the leaf, then insert into the proper half.
+    auto* right = new LeafNode();
+    right->leaf = true;
+    node_bytes_ += sizeof(LeafNode);
+    int half = kSlots / 2;
+    right->count = static_cast<uint16_t>(kSlots - half);
+    for (int i = 0; i < right->count; i++) {
+      right->keys[i] = leaf->keys[half + i];
+      right->values[i] = leaf->values[half + i];
+    }
+    leaf->count = static_cast<uint16_t>(half);
+    right->next = leaf->next;
+    leaf->next = right;
+    if (pos <= half)
+      InsertRec(leaf, key, value);
+    else
+      InsertRec(right, key, value);
+    return {right, right->keys[0]};
+  }
+
+  auto* inner = static_cast<InnerNode*>(node);
+  int idx = UpperBound(inner->keys, inner->count, key);
+  SplitResult child_split = InsertRec(inner->children[idx], key, value);
+  if (!child_split.right) return {};
+
+  if (inner->count < kSlots) {
+    for (int i = inner->count; i > idx; i--) {
+      inner->keys[i] = inner->keys[i - 1];
+      inner->children[i + 1] = inner->children[i];
+    }
+    inner->keys[idx] = child_split.separator;
+    inner->children[idx + 1] = child_split.right;
+    inner->count++;
+    return {};
+  }
+  // Split the inner node: middle key moves up.
+  auto* right = new InnerNode();
+  right->leaf = false;
+  node_bytes_ += sizeof(InnerNode);
+  int mid = kSlots / 2;
+  const std::string* up_key = inner->keys[mid];
+  right->count = static_cast<uint16_t>(kSlots - mid - 1);
+  for (int i = 0; i < right->count; i++) {
+    right->keys[i] = inner->keys[mid + 1 + i];
+    right->children[i] = inner->children[mid + 1 + i];
+  }
+  right->children[right->count] = inner->children[kSlots];
+  inner->count = static_cast<uint16_t>(mid);
+  // Insert the pending separator into the proper half.
+  InnerNode* target = idx <= mid ? inner : right;
+  int tpos = idx <= mid ? idx : idx - mid - 1;
+  for (int i = target->count; i > tpos; i--) {
+    target->keys[i] = target->keys[i - 1];
+    target->children[i + 1] = target->children[i];
+  }
+  target->keys[tpos] = child_split.separator;
+  target->children[tpos + 1] = child_split.right;
+  target->count++;
+  return {right, up_key};
+}
+
+bool BTree::Erase(std::string_view key) {
+  if (!root_) return false;
+  if (!EraseRec(root_, key)) return false;
+  size_--;
+  // Shrink the root: an empty leaf root disappears, an inner root with a
+  // single child is replaced by that child.
+  if (root_->leaf) {
+    if (root_->count == 0) {
+      delete static_cast<LeafNode*>(root_);
+      node_bytes_ -= sizeof(LeafNode);
+      root_ = nullptr;
+    }
+  } else if (root_->count == 0) {
+    Node* child = static_cast<InnerNode*>(root_)->children[0];
+    delete static_cast<InnerNode*>(root_);
+    node_bytes_ -= sizeof(InnerNode);
+    root_ = child;
+  }
+  return true;
+}
+
+bool BTree::EraseRec(Node* node, std::string_view key) {
+  if (node->leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    int pos = LowerBound(leaf->keys, leaf->count, key);
+    if (pos >= leaf->count || *leaf->keys[pos] != key) return false;
+    for (int i = pos; i + 1 < leaf->count; i++) {
+      leaf->keys[i] = leaf->keys[i + 1];
+      leaf->values[i] = leaf->values[i + 1];
+    }
+    leaf->count--;
+    return true;
+  }
+  auto* inner = static_cast<InnerNode*>(node);
+  int idx = UpperBound(inner->keys, inner->count, key);
+  if (!EraseRec(inner->children[idx], key)) return false;
+  if (inner->children[idx]->count < kMinFill) RebalanceChild(inner, idx);
+  return true;
+}
+
+void BTree::RebalanceChild(InnerNode* parent, int idx) {
+  Node* child = parent->children[idx];
+  Node* left = idx > 0 ? parent->children[idx - 1] : nullptr;
+  Node* right = idx < parent->count ? parent->children[idx + 1] : nullptr;
+
+  if (child->leaf) {
+    auto* c = static_cast<LeafNode*>(child);
+    if (left && left->count > kMinFill) {
+      // Borrow the left sibling's last entry.
+      auto* l = static_cast<LeafNode*>(left);
+      for (int i = c->count; i > 0; i--) {
+        c->keys[i] = c->keys[i - 1];
+        c->values[i] = c->values[i - 1];
+      }
+      c->keys[0] = l->keys[l->count - 1];
+      c->values[0] = l->values[l->count - 1];
+      c->count++;
+      l->count--;
+      parent->keys[idx - 1] = c->keys[0];
+      return;
+    }
+    if (right && right->count > kMinFill) {
+      // Borrow the right sibling's first entry.
+      auto* r = static_cast<LeafNode*>(right);
+      c->keys[c->count] = r->keys[0];
+      c->values[c->count] = r->values[0];
+      c->count++;
+      for (int i = 0; i + 1 < r->count; i++) {
+        r->keys[i] = r->keys[i + 1];
+        r->values[i] = r->values[i + 1];
+      }
+      r->count--;
+      parent->keys[idx] = r->keys[0];
+      return;
+    }
+    // Merge with a sibling (always fits: < kMinFill + <= kMinFill slots).
+    auto* dst = left ? static_cast<LeafNode*>(left) : c;
+    auto* src = left ? c : static_cast<LeafNode*>(right);
+    int sep = left ? idx - 1 : idx;
+    for (int i = 0; i < src->count; i++) {
+      dst->keys[dst->count + i] = src->keys[i];
+      dst->values[dst->count + i] = src->values[i];
+    }
+    dst->count = static_cast<uint16_t>(dst->count + src->count);
+    dst->next = src->next;
+    delete src;
+    node_bytes_ -= sizeof(LeafNode);
+    for (int i = sep; i + 1 < parent->count; i++) {
+      parent->keys[i] = parent->keys[i + 1];
+      parent->children[i + 1] = parent->children[i + 2];
+    }
+    parent->count--;
+    return;
+  }
+
+  auto* c = static_cast<InnerNode*>(child);
+  if (left && left->count > kMinFill) {
+    // Rotate through the parent: parent separator moves down, the left
+    // sibling's last key moves up.
+    auto* l = static_cast<InnerNode*>(left);
+    for (int i = c->count; i > 0; i--) c->keys[i] = c->keys[i - 1];
+    for (int i = c->count + 1; i > 0; i--)
+      c->children[i] = c->children[i - 1];
+    c->keys[0] = parent->keys[idx - 1];
+    c->children[0] = l->children[l->count];
+    c->count++;
+    parent->keys[idx - 1] = l->keys[l->count - 1];
+    l->count--;
+    return;
+  }
+  if (right && right->count > kMinFill) {
+    auto* r = static_cast<InnerNode*>(right);
+    c->keys[c->count] = parent->keys[idx];
+    c->children[c->count + 1] = r->children[0];
+    c->count++;
+    parent->keys[idx] = r->keys[0];
+    for (int i = 0; i + 1 < r->count; i++) r->keys[i] = r->keys[i + 1];
+    for (int i = 0; i < r->count; i++) r->children[i] = r->children[i + 1];
+    r->count--;
+    return;
+  }
+  // Merge inner nodes around the parent separator.
+  auto* dst = left ? static_cast<InnerNode*>(left) : c;
+  auto* src = left ? c : static_cast<InnerNode*>(right);
+  int sep = left ? idx - 1 : idx;
+  dst->keys[dst->count] = parent->keys[sep];
+  for (int i = 0; i < src->count; i++)
+    dst->keys[dst->count + 1 + i] = src->keys[i];
+  for (int i = 0; i <= src->count; i++)
+    dst->children[dst->count + 1 + i] = src->children[i];
+  dst->count = static_cast<uint16_t>(dst->count + 1 + src->count);
+  delete src;
+  node_bytes_ -= sizeof(InnerNode);
+  for (int i = sep; i + 1 < parent->count; i++) {
+    parent->keys[i] = parent->keys[i + 1];
+    parent->children[i + 1] = parent->children[i + 2];
+  }
+  parent->count--;
+}
+
+const BTree::LeafNode* BTree::FindLeaf(std::string_view key) const {
+  if (!root_) return nullptr;
+  const Node* node = root_;
+  while (!node->leaf) {
+    const auto* inner = static_cast<const InnerNode*>(node);
+    node = inner->children[UpperBound(inner->keys, inner->count, key)];
+  }
+  return static_cast<const LeafNode*>(node);
+}
+
+bool BTree::Lookup(std::string_view key, uint64_t* value) const {
+  const LeafNode* leaf = FindLeaf(key);
+  if (!leaf) return false;
+  int pos = LowerBound(leaf->keys, leaf->count, key);
+  if (pos < leaf->count && *leaf->keys[pos] == key) {
+    if (value) *value = leaf->values[pos];
+    return true;
+  }
+  return false;
+}
+
+size_t BTree::Scan(std::string_view start, size_t count,
+                   std::vector<uint64_t>* out) const {
+  const LeafNode* leaf = FindLeaf(start);
+  if (!leaf) return 0;
+  size_t produced = 0;
+  int pos = LowerBound(leaf->keys, leaf->count, start);
+  while (leaf && produced < count) {
+    for (; pos < leaf->count && produced < count; pos++) {
+      if (out) out->push_back(leaf->values[pos]);
+      produced++;
+    }
+    leaf = leaf->next;
+    pos = 0;
+  }
+  return produced;
+}
+
+size_t BTree::MemoryBytes() const { return node_bytes_ + key_bytes_; }
+
+int BTree::Height() const {
+  int h = 0;
+  const Node* node = root_;
+  while (node) {
+    h++;
+    if (node->leaf) break;
+    node = static_cast<const InnerNode*>(node)->children[0];
+  }
+  return h;
+}
+
+std::string BTree::CheckRec(const Node* node, const std::string** lo,
+                            const std::string** hi, int depth,
+                            int expect_depth) const {
+  if (node->leaf) {
+    if (depth != expect_depth) return "leaves at different depths";
+    const auto* leaf = static_cast<const LeafNode*>(node);
+    if (leaf->count == 0) return "empty leaf";
+    for (int i = 0; i + 1 < leaf->count; i++)
+      if (!(*leaf->keys[i] < *leaf->keys[i + 1]))
+        return "leaf keys out of order";
+    if (*lo && !(**lo <= *leaf->keys[0])) return "leaf below lower bound";
+    if (*hi && !(*leaf->keys[leaf->count - 1] < **hi))
+      return "leaf above upper bound";
+    return "";
+  }
+  const auto* inner = static_cast<const InnerNode*>(node);
+  if (inner->count == 0) return "empty inner node";
+  for (int i = 0; i + 1 < inner->count; i++)
+    if (!(*inner->keys[i] < *inner->keys[i + 1]))
+      return "inner keys out of order";
+  for (int i = 0; i <= inner->count; i++) {
+    const std::string* clo = i == 0 ? *lo : inner->keys[i - 1];
+    const std::string* chi = i == inner->count ? *hi : inner->keys[i];
+    std::string err =
+        CheckRec(inner->children[i], &clo, &chi, depth + 1, expect_depth);
+    if (!err.empty()) return err;
+  }
+  return "";
+}
+
+std::string BTree::CheckInvariants() const {
+  if (!root_) return "";
+  int depth = Height();
+  const std::string* lo = nullptr;
+  const std::string* hi = nullptr;
+  return CheckRec(root_, &lo, &hi, 1, depth);
+}
+
+}  // namespace hope

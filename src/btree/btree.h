@@ -1,0 +1,99 @@
+// In-memory B+tree with out-of-node string keys (the paper's TLX/STX
+// configuration, §5): 16-slot nodes storing 8-byte key references and
+// 8-byte value/child pointers, leaf chaining for range scans. Keys are
+// owned by an internal arena with stable addresses; MemoryBytes() counts
+// nodes plus key bytes, since the index stores the keys (Fig. 7: B+trees
+// store full keys and benefit most from key compression).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hope {
+
+class BTree {
+ public:
+  static constexpr int kSlots = 16;
+
+  BTree() = default;
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts a key/value pair; overwrites the value if the key exists.
+  void Insert(std::string_view key, uint64_t value);
+
+  /// Point lookup.
+  bool Lookup(std::string_view key, uint64_t* value) const;
+
+  /// Removes a key with classic borrow/merge rebalancing (nodes stay at
+  /// least half full, the tree shrinks when the root empties). Returns
+  /// false if the key was absent. Note: the interned key bytes stay in
+  /// the append-only arena; a delete-heavy long-lived index would pair
+  /// this with arena compaction.
+  bool Erase(std::string_view key);
+
+  /// Scans up to `count` entries starting at the first key >= start.
+  /// Returns the number of entries produced.
+  size_t Scan(std::string_view start, size_t count,
+              std::vector<uint64_t>* out) const;
+
+  size_t size() const { return size_; }
+
+  /// Nodes + stored key bytes.
+  size_t MemoryBytes() const;
+
+  /// Tree height (levels), for diagnostics.
+  int Height() const;
+
+  /// Validates B+tree invariants (ordering, fill, leaf chain); returns an
+  /// error description or "" if consistent. Test hook.
+  std::string CheckInvariants() const;
+
+ private:
+  struct Node {
+    bool leaf;
+    uint16_t count = 0;
+  };
+
+  struct InnerNode : Node {
+    // children[i] holds keys < keys[i]; children[count] holds the rest.
+    const std::string* keys[kSlots];
+    Node* children[kSlots + 1];
+  };
+
+  struct LeafNode : Node {
+    const std::string* keys[kSlots];
+    uint64_t values[kSlots];
+    LeafNode* next = nullptr;
+  };
+
+  struct SplitResult {
+    Node* right = nullptr;           // nullptr if no split happened
+    const std::string* separator = nullptr;  // smallest key in `right`
+  };
+
+  static constexpr int kMinFill = kSlots / 2;
+
+  const std::string* Intern(std::string_view key);
+  SplitResult InsertRec(Node* node, std::string_view key, uint64_t value);
+  bool EraseRec(Node* node, std::string_view key);
+  void RebalanceChild(InnerNode* parent, int idx);
+  const LeafNode* FindLeaf(std::string_view key) const;
+  void FreeRec(Node* node);
+  std::string CheckRec(const Node* node, const std::string** lo,
+                       const std::string** hi, int depth,
+                       int expect_depth) const;
+
+  Node* root_ = nullptr;
+  std::deque<std::string> arena_;  // stable key storage
+  size_t size_ = 0;
+  size_t key_bytes_ = 0;
+  size_t node_bytes_ = 0;
+};
+
+}  // namespace hope

@@ -1,0 +1,51 @@
+#include "common/bits.h"
+
+#include <algorithm>
+
+namespace hope {
+
+int CompareBitStrings(std::string_view a, size_t a_bits, std::string_view b,
+                      size_t b_bits) {
+  size_t a_bytes = (a_bits + 7) / 8;
+  size_t b_bytes = (b_bits + 7) / 8;
+  size_t common_full = std::min(a_bits, b_bits) / 8;
+  int cmp = std::memcmp(a.data(), b.data(), common_full);
+  if (cmp != 0) return cmp;
+  // Compare the remaining bits one at a time.
+  size_t min_bits = std::min(a_bits, b_bits);
+  for (size_t i = common_full * 8; i < min_bits; i++) {
+    int ab = (static_cast<uint8_t>(a[i / 8]) >> (7 - (i % 8))) & 1;
+    int bb = (static_cast<uint8_t>(b[i / 8]) >> (7 - (i % 8))) & 1;
+    if (ab != bb) return ab - bb;
+  }
+  (void)a_bytes;
+  (void)b_bytes;
+  if (a_bits == b_bits) return 0;
+  return a_bits < b_bits ? -1 : 1;
+}
+
+size_t AppendCode(std::string* buf, size_t bit_offset, Code code) {
+  size_t end_bits = bit_offset + code.len;
+  size_t need_bytes = (end_bits + 7) / 8;
+  if (buf->size() < need_bytes) buf->resize(need_bytes, '\0');
+  uint64_t bits = code.bits;  // left-aligned
+  size_t pos = bit_offset;
+  int remaining = code.len;
+  while (remaining > 0) {
+    size_t byte = pos / 8;
+    int bit_in_byte = static_cast<int>(pos % 8);
+    int room = 8 - bit_in_byte;
+    int take = std::min(room, remaining);
+    // Top `take` bits of `bits`.
+    uint8_t chunk = static_cast<uint8_t>(bits >> (64 - take));
+    (*buf)[byte] = static_cast<char>(
+        static_cast<uint8_t>((*buf)[byte]) |
+        static_cast<uint8_t>(chunk << (room - take)));
+    bits <<= take;
+    remaining -= take;
+    pos += take;
+  }
+  return end_bits;
+}
+
+}  // namespace hope

@@ -1,0 +1,63 @@
+// Bit-level utilities shared across HOPE and the search-tree substrates.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace hope {
+
+/// Counts set bits in a 64-bit word.
+inline int PopCount64(uint64_t x) { return __builtin_popcountll(x); }
+
+/// Index (0 = MSB) of the highest set bit. Undefined for x == 0.
+inline int HighestBit64(uint64_t x) { return 63 - __builtin_clzll(x); }
+
+/// ceil(log2(n)) for n >= 1.
+inline int CeilLog2(uint64_t n) {
+  if (n <= 1) return 0;
+  return HighestBit64(n - 1) + 1;
+}
+
+/// Reads bit `pos` (0 = MSB of word[0]) from a word array.
+inline bool GetBit(const uint64_t* words, size_t pos) {
+  return (words[pos >> 6] >> (63 - (pos & 63))) & 1;
+}
+
+/// Sets bit `pos` (0 = MSB of word[0]) in a word array.
+inline void SetBit(uint64_t* words, size_t pos) {
+  words[pos >> 6] |= uint64_t{1} << (63 - (pos & 63));
+}
+
+/// A code is a bit string of length <= 64, left-aligned in `bits`
+/// (bit 63 of `bits` is the first bit of the code). Invariant: all bits
+/// beyond `len` are zero — BitWriter relies on it for branch-free ORs.
+struct Code {
+  uint64_t bits = 0;
+  uint8_t len = 0;  // in bits
+
+  bool operator==(const Code&) const = default;
+};
+
+/// Returns the i-th bit (0-based from the start) of a left-aligned code.
+inline bool CodeBit(const Code& c, int i) { return (c.bits >> (63 - i)) & 1; }
+
+/// Renders a code as a "0101" string (for tests and debugging).
+inline std::string CodeToString(const Code& c) {
+  std::string s;
+  s.reserve(c.len);
+  for (int i = 0; i < c.len; i++) s.push_back(CodeBit(c, i) ? '1' : '0');
+  return s;
+}
+
+/// Compares two byte strings as *bit* strings of the given bit lengths.
+/// Returns <0, 0, >0. A proper bit-prefix compares less than its extension.
+int CompareBitStrings(std::string_view a, size_t a_bits, std::string_view b,
+                      size_t b_bits);
+
+/// Appends a left-aligned code to a byte buffer at the given bit offset,
+/// growing the buffer as needed. Returns the new bit offset.
+size_t AppendCode(std::string* buf, size_t bit_offset, Code code);
+
+}  // namespace hope

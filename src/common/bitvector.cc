@@ -1,0 +1,142 @@
+#include "common/bitvector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hope {
+
+void BitVector::Finalize() {
+  words_.shrink_to_fit();  // drop push-back growth slack
+  size_t num_words = words_.size();
+  size_t num_blocks = (num_words + kWordsPerBlock - 1) / kWordsPerBlock + 1;
+  rank_samples_.assign(num_blocks, 0);
+  size_t ones = 0;
+  for (size_t w = 0; w < num_words; w++) {
+    if (w % kWordsPerBlock == 0) rank_samples_[w / kWordsPerBlock] = ones;
+    ones += PopCount64(words_[w]);
+  }
+  rank_samples_[(num_words + kWordsPerBlock - 1) / kWordsPerBlock] = ones;
+  // Handle the case where num_words is a multiple of the block size: the
+  // final sample slot must hold the total.
+  rank_samples_.back() = ones;
+  num_ones_ = ones;
+
+  // Sample the word index containing every kSelectSampleRate-th one.
+  select_samples_.clear();
+  size_t seen = 0;
+  for (size_t w = 0; w < num_words; w++) {
+    int pc = PopCount64(words_[w]);
+    size_t next_target = (seen / kSelectSampleRate) * kSelectSampleRate;
+    if (seen % kSelectSampleRate != 0) next_target += kSelectSampleRate;
+    while (next_target < seen + pc) {
+      select_samples_.push_back(w);
+      next_target += kSelectSampleRate;
+    }
+    seen += pc;
+  }
+}
+
+size_t BitVector::Rank1(size_t pos) const {
+  assert(pos <= num_bits_);
+  size_t word = pos >> 6;
+  size_t block = word / kWordsPerBlock;
+  size_t ones = rank_samples_[block];
+  for (size_t w = block * kWordsPerBlock; w < word; w++)
+    ones += PopCount64(words_[w]);
+  size_t bit_in_word = pos & 63;
+  if (bit_in_word != 0)
+    ones += PopCount64(words_[word] >> (64 - bit_in_word));
+  return ones;
+}
+
+size_t BitVector::Select1(size_t i) const {
+  assert(i < num_ones_);
+  // Start from the sampled word if available.
+  size_t w = 0;
+  size_t sample_idx = i / kSelectSampleRate;
+  size_t seen = 0;
+  if (sample_idx < select_samples_.size()) {
+    w = select_samples_[sample_idx];
+    // Recompute ones before word w via rank samples.
+    size_t block = w / kWordsPerBlock;
+    seen = rank_samples_[block];
+    for (size_t x = block * kWordsPerBlock; x < w; x++)
+      seen += PopCount64(words_[x]);
+  }
+  for (; w < words_.size(); w++) {
+    int pc = PopCount64(words_[w]);
+    if (seen + pc > i) {
+      // The (i - seen)-th one within this word (0-based), MSB-first.
+      uint64_t word = words_[w];
+      size_t need = i - seen;
+      for (int b = 0; b < 64; b++) {
+        if ((word >> (63 - b)) & 1) {
+          if (need == 0) return w * 64 + b;
+          need--;
+        }
+      }
+    }
+    seen += pc;
+  }
+  assert(false && "Select1 out of range");
+  return num_bits_;
+}
+
+size_t BitVector::Select0(size_t i) const {
+  // Zeros are not sampled; binary search on Rank0 over blocks, then scan.
+  size_t lo = 0, hi = words_.size();
+  // Rank0 before word w = w*64 - rank1(w*64).
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    size_t zeros_before = mid * 64 - Rank1(std::min(mid * 64, num_bits_));
+    if (zeros_before <= i)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  size_t w = lo == 0 ? 0 : lo - 1;
+  size_t seen = w * 64 - Rank1(std::min(w * 64, num_bits_));
+  uint64_t word = w < words_.size() ? words_[w] : 0;
+  for (int b = 0; b < 64; b++) {
+    size_t pos = w * 64 + b;
+    if (pos >= num_bits_) break;
+    if (!((word >> (63 - b)) & 1)) {
+      if (seen == i) return pos;
+      seen++;
+    }
+  }
+  assert(false && "Select0 out of range");
+  return num_bits_;
+}
+
+size_t BitVector::NextOne(size_t pos) const {
+  if (pos >= num_bits_) return num_bits_;
+  size_t w = pos >> 6;
+  uint64_t word = words_[w] & (~uint64_t{0} >> (pos & 63));
+  while (true) {
+    if (word != 0) {
+      size_t res = w * 64 + __builtin_clzll(word);
+      return res < num_bits_ ? res : num_bits_;
+    }
+    w++;
+    if (w >= words_.size()) return num_bits_;
+    word = words_[w];
+  }
+}
+
+size_t BitVector::PrevOne(size_t pos) const {
+  if (num_bits_ == 0) return num_bits_;
+  if (pos >= num_bits_) pos = num_bits_ - 1;
+  size_t w = pos >> 6;
+  int bit = static_cast<int>(pos & 63);
+  uint64_t mask = bit == 63 ? ~uint64_t{0} : ~(~uint64_t{0} >> (bit + 1));
+  uint64_t word = words_[w] & mask;
+  while (true) {
+    if (word != 0) return w * 64 + (63 - __builtin_ctzll(word));
+    if (w == 0) return num_bits_;
+    w--;
+    word = words_[w];
+  }
+}
+
+}  // namespace hope

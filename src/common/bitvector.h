@@ -1,0 +1,83 @@
+// Succinct bit-vector with rank/select support.
+//
+// Used by SuRF's LOUDS-encoded tries and by HOPE's bitmap-trie dictionary.
+// Bits are MSB-first within each 64-bit word so that bit index order matches
+// lexicographic label order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace hope {
+
+/// An append-only bit-vector. Call Finalize() to build the rank/select
+/// index; rank/select queries are only valid after that.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Appends one bit.
+  void PushBack(bool bit) {
+    size_t word = num_bits_ >> 6;
+    if (word >= words_.size()) words_.push_back(0);
+    if (bit) hope::SetBit(words_.data(), num_bits_);
+    num_bits_++;
+  }
+
+  /// Appends `n` zero bits, then sets the bit at (old_size + pos).
+  void AppendZeros(size_t n) {
+    num_bits_ += n;
+    words_.resize((num_bits_ + 63) / 64, 0);
+  }
+
+  /// Sets bit `pos` (must be < size). Only valid before Finalize().
+  void Set(size_t pos) { hope::SetBit(words_.data(), pos); }
+
+  bool Get(size_t pos) const { return hope::GetBit(words_.data(), pos); }
+
+  size_t size() const { return num_bits_; }
+
+  /// Builds the rank/select acceleration structures.
+  void Finalize();
+
+  /// Number of 1-bits in positions [0, pos). pos may equal size().
+  size_t Rank1(size_t pos) const;
+
+  /// Number of 0-bits in positions [0, pos).
+  size_t Rank0(size_t pos) const { return pos - Rank1(pos); }
+
+  /// Position of the i-th 1-bit (0-based). i must be < Rank1(size()).
+  size_t Select1(size_t i) const;
+
+  /// Position of the i-th 0-bit (0-based).
+  size_t Select0(size_t i) const;
+
+  /// Index of the next set bit at position >= pos, or size() if none.
+  size_t NextOne(size_t pos) const;
+
+  /// Index of the previous set bit at position <= pos, or size() if none.
+  size_t PrevOne(size_t pos) const;
+
+  /// Total ones.
+  size_t num_ones() const { return num_ones_; }
+
+  /// Heap memory in bytes (payload + rank/select index).
+  size_t MemoryBytes() const {
+    return words_.capacity() * 8 + rank_samples_.capacity() * 8 +
+           select_samples_.capacity() * 8;
+  }
+
+ private:
+  static constexpr size_t kWordsPerBlock = 8;  // 512-bit rank blocks
+  static constexpr size_t kSelectSampleRate = 512;
+
+  std::vector<uint64_t> words_;
+  std::vector<uint64_t> rank_samples_;    // cumulative ones per block
+  std::vector<uint64_t> select_samples_;  // position of every 512th one
+  size_t num_bits_ = 0;
+  size_t num_ones_ = 0;
+};
+
+}  // namespace hope

@@ -1,0 +1,73 @@
+// String helpers for the string-axis model (§3.1 of the paper).
+//
+// Interval boundaries are finite byte strings; an interval [b, e) contains
+// every string s with b <= s < e. The common prefix of an interval is
+// lcp(b, pred(e)) where pred(e) is the largest string < e, conceptually
+// e with its last byte decremented followed by infinitely many 0xFF bytes.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hope {
+
+/// Longest common prefix length of two byte strings.
+inline size_t LcpLen(std::string_view a, std::string_view b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) i++;
+  return i;
+}
+
+/// The common prefix shared by *all* strings in the interval [b, e),
+/// where e == "" means +infinity (the interval is unbounded above).
+///
+/// pred(e) is e with its last byte decremented then padded with 0xFF, so
+/// lcp(b, pred(e)) may be longer than lcp(b, e). Example: [azz, b) ->
+/// pred = a\xff\xff... -> common prefix "a".
+inline std::string IntervalCommonPrefix(std::string_view b,
+                                        std::string_view e) {
+  if (e.empty()) {
+    // [b, +inf): no common prefix unless b covers a single top byte and
+    // there is nothing above — callers split such intervals; return lcp
+    // with 0xFF-padding of b's first byte region only if b is all 0xFF.
+    std::string all_ff(b.size() + 1, '\xff');
+    return std::string(b.substr(0, LcpLen(b, all_ff)));
+  }
+  // Build pred(e), the largest string < e. If e ends in '\0' that is
+  // simply e minus its final byte (nothing fits between "x" and "x\0");
+  // otherwise decrement the last byte and pad with 0xFF.
+  std::string pred(e);
+  if (pred.back() == '\0') {
+    pred.pop_back();
+    if (pred.empty()) return std::string();  // [b, "\0"): no non-empty members
+  } else {
+    pred.back() =
+        static_cast<char>(static_cast<unsigned char>(pred.back()) - 1);
+    pred.append(b.size() + 2, '\xff');
+  }
+  return std::string(b.substr(0, LcpLen(b, pred)));
+}
+
+/// The immediate successor of s in lexicographic order among byte strings:
+/// s + '\0'.
+inline std::string Successor(std::string_view s) {
+  std::string r(s);
+  r.push_back('\0');
+  return r;
+}
+
+/// The smallest string strictly greater than every string with prefix s —
+/// i.e. s with its last byte incremented (carrying into shorter strings).
+/// Returns "" if s is all 0xFF (no such string: +infinity).
+inline std::string PrefixUpperBound(std::string_view s) {
+  std::string r(s);
+  while (!r.empty() &&
+         static_cast<unsigned char>(r.back()) == 0xFF)
+    r.pop_back();
+  if (r.empty()) return r;
+  r.back() = static_cast<char>(static_cast<unsigned char>(r.back()) + 1);
+  return r;
+}
+
+}  // namespace hope

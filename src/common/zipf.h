@@ -1,0 +1,78 @@
+// Zipfian sampling utilities.
+//
+// Used by the dataset generators (domain/word popularity skew) and by the
+// YCSB workload driver (query key popularity, YCSB's scrambled Zipfian).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace hope {
+
+/// Samples ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^theta via
+/// a precomputed CDF and binary search. Exact (not approximate), suitable
+/// for n up to a few million.
+class ZipfDistribution {
+ public:
+  explicit ZipfDistribution(size_t n, double theta = 0.99) : cdf_(n) {
+    double sum = 0;
+    for (size_t k = 0; k < n; k++) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+      cdf_[k] = sum;
+    }
+    for (size_t k = 0; k < n; k++) cdf_[k] /= sum;
+  }
+
+  template <typename Rng>
+  size_t operator()(Rng& rng) const {
+    double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// YCSB-style scrambled Zipfian: Zipf-ranked popularity spread over the
+/// item space via a multiplicative hash, so popular items are not
+/// clustered at the low indices.
+class ScrambledZipf {
+ public:
+  ScrambledZipf(size_t n, double theta = 0.99) : n_(n), zipf_(n, theta) {}
+
+  template <typename Rng>
+  size_t operator()(Rng& rng) const {
+    uint64_t rank = zipf_(rng);
+    return Scramble(rank) % n_;
+  }
+
+  static uint64_t Scramble(uint64_t x) {
+    // Murmur3-style 64-bit mix; the golden-ratio offset keeps rank 0 from
+    // fixing to item 0.
+    x += 0x9E3779B97F4A7C15ull;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ull;
+    x ^= x >> 33;
+    return x;
+  }
+
+ private:
+  size_t n_;
+  ZipfDistribution zipf_;
+};
+
+}  // namespace hope

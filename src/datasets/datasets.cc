@@ -1,0 +1,237 @@
+#include "datasets/datasets.h"
+
+#include <algorithm>
+#include <array>
+#include <random>
+#include <unordered_set>
+
+#include "common/zipf.h"
+
+namespace hope {
+
+namespace {
+
+// Name fragments used to synthesize usernames, hosts, and title words.
+constexpr std::array<const char*, 40> kFirstNames = {
+    "james", "mary", "john",  "patricia", "robert", "jennifer", "michael",
+    "linda", "david", "susan", "william", "jessica", "richard", "sarah",
+    "joseph", "karen", "thomas", "nancy", "charles", "lisa", "chris",
+    "betty", "daniel", "helen", "matthew", "sandra", "anthony", "donna",
+    "mark", "carol", "donald", "ruth", "steven", "sharon", "paul",
+    "michelle", "andrew", "laura", "joshua", "emily"};
+
+constexpr std::array<const char*, 40> kLastNames = {
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores"};
+
+// Email providers ordered by popularity (the Zipf head mirrors real
+// provider skew: a handful of webmail hosts dominate).
+constexpr std::array<const char*, 24> kEmailHosts = {
+    "com.gmail",     "com.yahoo",    "com.hotmail",  "com.outlook",
+    "com.aol",       "com.icloud",   "com.msn",      "com.live",
+    "net.comcast",   "net.verizon",  "com.mail",     "com.gmx",
+    "de.web",        "com.protonmail", "org.riseup", "edu.cmu.cs",
+    "edu.mit",       "com.qq",       "cn.163",       "com.naver",
+    "co.uk.btinternet", "fr.orange", "de.t-online",  "com.zoho"};
+
+constexpr std::array<const char*, 16> kTlds = {
+    "com", "org", "net", "edu", "io", "co", "gov", "info",
+    "biz", "us",  "uk",  "de",  "fr", "jp", "cn",  "ru"};
+
+constexpr std::array<const char*, 24> kUrlPathWords = {
+    "index",   "article", "news",   "products", "category", "wiki",
+    "user",    "profile", "images", "static",   "blog",     "archive",
+    "search",  "tags",    "2006",   "2007",     "forum",    "thread",
+    "comment", "media",   "assets", "download", "help",     "about"};
+
+// Syllables for synthetic vocabulary words (wiki titles, host names).
+constexpr std::array<const char*, 28> kSyllables = {
+    "an", "ber", "con", "den", "el",  "fer", "gra", "han", "in", "jor",
+    "kel", "lan", "mor", "nor", "ol", "pra", "qui", "ran", "sto", "tan",
+    "ul",  "ver", "wil", "xan", "yor", "zen", "chi", "tha"};
+
+std::string MakeWord(std::mt19937_64& rng, int min_syll, int max_syll) {
+  std::uniform_int_distribution<int> nsyll(min_syll, max_syll);
+  std::uniform_int_distribution<size_t> pick(0, kSyllables.size() - 1);
+  std::string w;
+  int n = nsyll(rng);
+  for (int i = 0; i < n; i++) w += kSyllables[pick(rng)];
+  return w;
+}
+
+/// Builds a Zipf-ranked vocabulary of unique words.
+std::vector<std::string> MakeVocabulary(std::mt19937_64& rng, size_t n,
+                                        int min_syll, int max_syll) {
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> vocab;
+  vocab.reserve(n);
+  while (vocab.size() < n) {
+    std::string w = MakeWord(rng, min_syll, max_syll);
+    if (seen.insert(w).second) vocab.push_back(std::move(w));
+  }
+  return vocab;
+}
+
+template <typename MakeKey>
+std::vector<std::string> GenerateUnique(size_t n, MakeKey make_key) {
+  std::unordered_set<std::string> seen;
+  seen.reserve(n * 2);
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  while (keys.size() < n) {
+    std::string key = make_key();
+    if (key.empty()) continue;
+    if (seen.insert(key).second) keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+}  // namespace
+
+const char* DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kEmail: return "email";
+    case DatasetId::kWiki: return "wiki";
+    case DatasetId::kUrl: return "url";
+  }
+  return "?";
+}
+
+std::vector<std::string> GenerateEmails(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  ZipfDistribution host_zipf(kEmailHosts.size() + 200, 1.0);
+  // Long-tail company domains beyond the named providers.
+  std::vector<std::string> tail_hosts;
+  {
+    std::mt19937_64 host_rng(seed ^ 0x9E3779B97F4A7C15ull);
+    for (int i = 0; i < 200; i++) {
+      std::string host = "com.";
+      host += MakeWord(host_rng, 2, 3);
+      tail_hosts.push_back(std::move(host));
+    }
+  }
+  std::uniform_int_distribution<size_t> first(0, kFirstNames.size() - 1);
+  std::uniform_int_distribution<size_t> last(0, kLastNames.size() - 1);
+  std::uniform_int_distribution<int> style(0, 4);
+  std::uniform_int_distribution<int> digits(0, 9999);
+
+  return GenerateUnique(n, [&]() {
+    size_t h = host_zipf(rng);
+    const std::string host = h < kEmailHosts.size()
+                                 ? std::string(kEmailHosts[h])
+                                 : tail_hosts[h - kEmailHosts.size()];
+    std::string user;
+    const char* fn = kFirstNames[first(rng)];
+    const char* ln = kLastNames[last(rng)];
+    switch (style(rng)) {
+      case 0: user = std::string(fn) + "." + ln; break;
+      case 1: user = std::string(fn) + "_" + ln; break;
+      case 2: user = std::string(1, fn[0]) + ln; break;
+      case 3: user = std::string(fn) + std::to_string(digits(rng)); break;
+      default:
+        user = std::string(fn) + "." + ln + std::to_string(digits(rng) % 100);
+        break;
+    }
+    return host + "@" + user;
+  });
+}
+
+std::vector<std::string> GenerateWikiTitles(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::mt19937_64 vocab_rng(seed ^ 0xABCDEF1234567890ull);
+  std::vector<std::string> vocab = MakeVocabulary(vocab_rng, 20000, 1, 3);
+  ZipfDistribution word_zipf(vocab.size(), 0.9);
+  std::uniform_int_distribution<int> nwords(1, 4);
+  std::uniform_int_distribution<int> year(1500, 2019);
+  std::uniform_int_distribution<int> flavor(0, 9);
+
+  return GenerateUnique(n, [&]() {
+    int k = nwords(rng);
+    std::string title;
+    for (int i = 0; i < k; i++) {
+      std::string w = vocab[word_zipf(rng)];
+      if (i == 0 || flavor(rng) < 3) w[0] = static_cast<char>(w[0] - 32);
+      if (i > 0) title += "_";
+      title += w;
+    }
+    // Mimic common title suffixes: years, disambiguations, lists.
+    int f = flavor(rng);
+    if (f == 0) title += "_(" + std::to_string(year(rng)) + ")";
+    else if (f == 1) title += "_(" + vocab[word_zipf(rng)] + ")";
+    else if (f == 2) title = "List_of_" + title;
+    return title;
+  });
+}
+
+std::vector<std::string> GenerateUrls(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::mt19937_64 vocab_rng(seed ^ 0x1234567890ABCDEFull);
+  // Hot hosts get many URLs (crawls are host-clustered), so URLs share
+  // long prefixes like the uk-2007 corpus.
+  const size_t kNumHosts = 4000;
+  std::vector<std::string> hosts;
+  hosts.reserve(kNumHosts);
+  std::uniform_int_distribution<size_t> tld(0, kTlds.size() - 1);
+  std::uniform_int_distribution<int> www(0, 3);
+  for (size_t i = 0; i < kNumHosts; i++) {
+    std::string host = "http://";
+    if (www(vocab_rng) != 0) host += "www.";
+    host += MakeWord(vocab_rng, 2, 4);
+    host += ".";
+    host += kTlds[tld(vocab_rng)];
+    hosts.push_back(std::move(host));
+  }
+  ZipfDistribution host_zipf(kNumHosts, 1.0);
+  std::vector<std::string> vocab = MakeVocabulary(vocab_rng, 4000, 2, 4);
+  ZipfDistribution word_zipf(vocab.size(), 0.8);
+  std::uniform_int_distribution<size_t> path_word(0, kUrlPathWords.size() - 1);
+  std::uniform_int_distribution<int> depth(1, 6);
+  std::uniform_int_distribution<int> id(0, 999999);
+  std::uniform_int_distribution<int> flavor(0, 9);
+
+  return GenerateUnique(n, [&]() {
+    std::string url = hosts[host_zipf(rng)];
+    int d = depth(rng);
+    for (int i = 0; i < d; i++) {
+      url += "/";
+      if (flavor(rng) < 4) url += kUrlPathWords[path_word(rng)];
+      else url += vocab[word_zipf(rng)];
+    }
+    int f = flavor(rng);
+    if (f < 3) {
+      url += "/page-" + std::to_string(id(rng)) + ".html";
+    } else if (f < 5) {
+      url += "/item?id=" + std::to_string(id(rng)) +
+             "&ref=" + vocab[word_zipf(rng)];
+    } else {
+      url += "/" + vocab[word_zipf(rng)] + "-" +
+             std::to_string(id(rng) % 10000) + "/index.html";
+    }
+    return url;
+  });
+}
+
+std::vector<std::string> GenerateDataset(DatasetId id, size_t n,
+                                         uint64_t seed) {
+  switch (id) {
+    case DatasetId::kEmail: return GenerateEmails(n, seed);
+    case DatasetId::kWiki: return GenerateWikiTitles(n, seed);
+    case DatasetId::kUrl: return GenerateUrls(n, seed);
+  }
+  return {};
+}
+
+std::vector<std::string> SampleKeys(const std::vector<std::string>& keys,
+                                    double fraction) {
+  size_t n = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(keys.size()) * fraction));
+  n = std::min(n, keys.size());
+  return std::vector<std::string>(keys.begin(),
+                                  keys.begin() + static_cast<long>(n));
+}
+
+}  // namespace hope

@@ -1,0 +1,206 @@
+// Bitmap-trie dictionary for the 3-Grams / 4-Grams schemes (§4.2, Fig. 6).
+//
+// An n-level trie stored as per-level node arrays. Each node holds a
+// 256-bit bitmap of its branches plus the rank (index) of its first child
+// in the next level, so following a branch costs one popcount. Boundaries
+// shorter than n bytes terminate at an internal node (the paper borrows a
+// bit from the counter for the terminator ∅; we store an explicit entry
+// id). A lookup finds the last boundary <= src by walking the trie and
+// falling back to the largest smaller branch when the walk diverges.
+#include <cassert>
+#include <stdexcept>
+
+#include "hope/dictionary.h"
+
+namespace hope {
+
+namespace {
+
+struct TrieNode {
+  uint64_t bm[4] = {0, 0, 0, 0};
+  uint32_t child_base = 0;  ///< index of first child in the next level
+  int32_t term_entry = -1;  ///< entry id when the path itself is a boundary
+  uint32_t entry_base = 0;  ///< last level: entry id of the first set bit
+
+  void SetBit(unsigned b) { bm[b >> 6] |= uint64_t{1} << (63 - (b & 63)); }
+  bool GetBit(unsigned b) const {
+    return (bm[b >> 6] >> (63 - (b & 63))) & 1;
+  }
+  /// Number of set bits strictly below position b.
+  unsigned RankBelow(unsigned b) const {
+    unsigned word = b >> 6, bit = b & 63;
+    unsigned r = 0;
+    for (unsigned w = 0; w < word; w++) r += __builtin_popcountll(bm[w]);
+    if (bit != 0) r += __builtin_popcountll(bm[word] >> (64 - bit));
+    return r;
+  }
+  /// Largest set bit strictly below position b, or -1.
+  int PrevSetBit(unsigned b) const {
+    if (b == 0) return -1;
+    unsigned pos = b - 1;
+    int word = static_cast<int>(pos >> 6);
+    uint64_t w = bm[word] & (~uint64_t{0} << (63 - (pos & 63)));
+    while (true) {
+      if (w != 0) return word * 64 + (63 - __builtin_ctzll(w));
+      if (word == 0) return -1;
+      word--;
+      w = bm[word];
+    }
+  }
+  /// Largest set bit, or -1 if the bitmap is empty.
+  int MaxSetBit() const { return PrevSetBit(256); }
+  bool HasBranches() const { return (bm[0] | bm[1] | bm[2] | bm[3]) != 0; }
+};
+
+class BitmapTrieDict : public Dictionary {
+ public:
+  BitmapTrieDict(const std::vector<DictEntry>& entries, int n) : n_(n) {
+    levels_.resize(n);
+    payload_.reserve(entries.size());
+    for (const auto& e : entries) {
+      if (e.left_bound.size() > static_cast<size_t>(n))
+        throw std::invalid_argument("BitmapTrieDict: boundary too long");
+      payload_.push_back(PackEntry(e));
+    }
+    Build(entries, 0, entries.size(), 0);
+    num_entries_ = entries.size();
+  }
+
+  LookupResult Lookup(std::string_view src) const override {
+    // Candidate for the predecessor: either a terminator entry on the
+    // descent path or a smaller sibling branch to resolve by max-descent.
+    int32_t cand_entry = -1;
+    int cand_level = -1;
+    uint32_t cand_node = 0;
+    int cand_byte = -1;
+
+    uint32_t node = 0;
+    int d = 0;
+    while (true) {
+      const TrieNode& nd = levels_[d][node];
+      if (nd.term_entry >= 0) {
+        cand_entry = nd.term_entry;
+        cand_level = -1;  // resolved candidate
+      }
+      if (static_cast<size_t>(d) >= src.size()) break;
+      unsigned b = static_cast<uint8_t>(src[d]);
+      if (d == n_ - 1) {
+        // Bits at the last level are entries themselves.
+        if (nd.GetBit(b)) return Result(nd.entry_base + nd.RankBelow(b));
+        int pb = nd.PrevSetBit(b);
+        if (pb >= 0) return Result(nd.entry_base + nd.RankBelow(pb));
+        break;
+      }
+      int pb = nd.PrevSetBit(b);
+      if (pb >= 0) {
+        cand_level = d;
+        cand_node = node;
+        cand_byte = pb;
+        cand_entry = -1;
+      }
+      if (!nd.GetBit(b)) break;
+      node = nd.child_base + nd.RankBelow(b);
+      d++;
+    }
+
+    if (cand_level < 0) {
+      assert(cand_entry >= 0 && "complete dictionary: root has a boundary");
+      return Result(cand_entry);
+    }
+    // Resolve: the largest boundary in the subtree under
+    // (cand_node, cand_byte).
+    const TrieNode* nd = &levels_[cand_level][cand_node];
+    uint32_t child = nd->child_base + nd->RankBelow(cand_byte);
+    int e = cand_level + 1;
+    while (true) {
+      const TrieNode& cur = levels_[e][child];
+      if (e == n_ - 1) {
+        int mb = cur.MaxSetBit();
+        if (mb >= 0) return Result(cur.entry_base + cur.RankBelow(mb));
+        assert(cur.term_entry >= 0);
+        return Result(cur.term_entry);
+      }
+      int mb = cur.MaxSetBit();
+      if (mb < 0) {
+        assert(cur.term_entry >= 0);
+        return Result(cur.term_entry);
+      }
+      child = cur.child_base + cur.RankBelow(static_cast<unsigned>(mb));
+      e++;
+    }
+  }
+
+  size_t NumEntries() const override { return num_entries_; }
+
+  size_t MemoryBytes() const override {
+    size_t bytes = payload_.capacity() * sizeof(PackedCode);
+    for (const auto& level : levels_)
+      bytes += level.capacity() * sizeof(TrieNode);
+    return bytes;
+  }
+
+  size_t MaxLookahead() const override { return static_cast<size_t>(n_); }
+
+  const char* Name() const override {
+    return n_ == 3 ? "bitmap-trie-3" : "bitmap-trie-4";
+  }
+
+ private:
+  LookupResult Result(int64_t entry) const {
+    return UnpackEntry(payload_[entry]);
+  }
+
+  /// Builds the node for entries[lo, hi) at depth d (all sharing the first
+  /// d bytes) and recursively builds its children. Returns the node index
+  /// within its level. Children of one node are contiguous because the
+  /// recursion finishes a node's children before its parent's siblings.
+  uint32_t Build(const std::vector<DictEntry>& entries, size_t lo, size_t hi,
+                 int d) {
+    uint32_t idx = static_cast<uint32_t>(levels_[d].size());
+    levels_[d].push_back(TrieNode());
+    if (lo < hi && entries[lo].left_bound.size() == static_cast<size_t>(d)) {
+      levels_[d][idx].term_entry = static_cast<int32_t>(lo);
+      lo++;
+    }
+    if (d == n_ - 1) {
+      levels_[d][idx].entry_base = static_cast<uint32_t>(lo);
+      for (size_t i = lo; i < hi; i++) {
+        assert(entries[i].left_bound.size() == static_cast<size_t>(n_));
+        levels_[d][idx].SetBit(
+            static_cast<uint8_t>(entries[i].left_bound[d]));
+      }
+      return idx;
+    }
+    if (lo < hi) {
+      // Group by byte at position d and recurse in order.
+      uint32_t child_base = static_cast<uint32_t>(levels_[d + 1].size());
+      levels_[d][idx].child_base = child_base;
+      size_t i = lo;
+      while (i < hi) {
+        uint8_t b = static_cast<uint8_t>(entries[i].left_bound[d]);
+        size_t j = i;
+        while (j < hi &&
+               static_cast<uint8_t>(entries[j].left_bound[d]) == b)
+          j++;
+        levels_[d][idx].SetBit(b);
+        Build(entries, i, j, d + 1);
+        i = j;
+      }
+    }
+    return idx;
+  }
+
+  int n_;
+  std::vector<std::vector<TrieNode>> levels_;
+  std::vector<PackedCode> payload_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Dictionary> MakeBitmapTrieDict(
+    const std::vector<DictEntry>& entries, int n) {
+  return std::make_unique<BitmapTrieDict>(entries, n);
+}
+
+}  // namespace hope

@@ -1,0 +1,75 @@
+#include "hope/code_assigner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hope/hu_tucker.h"
+
+namespace hope {
+
+std::vector<Code> AssignFixedLengthCodes(size_t n) {
+  std::vector<Code> codes(n);
+  int len = std::max(1, CeilLog2(n));
+  for (size_t i = 0; i < n; i++) {
+    codes[i].len = static_cast<uint8_t>(len);
+    codes[i].bits = static_cast<uint64_t>(i) << (64 - len);
+  }
+  return codes;
+}
+
+std::vector<Code> AssignHuTuckerCodes(const std::vector<double>& weights) {
+  return HuTuckerCodes(weights);
+}
+
+std::vector<Code> AssignRangeCodes(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  std::vector<Code> codes(n);
+  if (n == 0) return codes;
+  if (n == 1) {
+    codes[0] = Code{0, 1};
+    return codes;
+  }
+  // Scale to integer frequencies with a floor, as in the Hu-Tucker path.
+  double total = 0;
+  for (double w : weights) total += w;
+  if (total <= 0) total = 1;
+  const uint64_t kScale = uint64_t{1} << 20;
+  std::vector<uint64_t> freq(n);
+  uint64_t T = 0;
+  for (size_t i = 0; i < n; i++) {
+    freq[i] = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::llround(weights[i] / total * static_cast<double>(kScale))));
+    T += freq[i];
+  }
+  // Shannon-Fano-Elias over the cumulative distribution: code i is the
+  // smallest l_i-bit grid point at or above cum_i, with 2^-l_i <= p_i/2
+  // so the grid cell fits inside [cum_i, cum_i + p_i). Cells inside
+  // disjoint intervals are never nested, hence the code is prefix-free
+  // and monotone.
+  unsigned __int128 cum = 0;
+  for (size_t i = 0; i < n; i++) {
+    uint64_t need = (2 * T + freq[i] - 1) / freq[i];  // ceil(2T / P_i)
+    int l = CeilLog2(need);
+    if (l > 62) throw std::runtime_error("range code exceeds 62 bits");
+    unsigned __int128 pow = static_cast<unsigned __int128>(1) << l;
+    uint64_t v = static_cast<uint64_t>((cum * pow + T - 1) / T);  // ceil
+    codes[i].len = static_cast<uint8_t>(l);
+    codes[i].bits = static_cast<uint64_t>(v) << (64 - l);
+    cum += freq[i];
+  }
+  return codes;
+}
+
+double ExpectedCodeLength(const std::vector<double>& weights,
+                          const std::vector<Code>& codes) {
+  double total = 0, bits = 0;
+  for (size_t i = 0; i < weights.size(); i++) {
+    total += weights[i];
+    bits += weights[i] * codes[i].len;
+  }
+  return total <= 0 ? 0 : bits / total;
+}
+
+}  // namespace hope

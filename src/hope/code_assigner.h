@@ -1,0 +1,34 @@
+// Code assignment (§4.2): fixed-length monotone codes or optimal
+// order-preserving prefix codes (Hu-Tucker).
+#pragma once
+
+#include <vector>
+
+#include "common/bits.h"
+
+namespace hope {
+
+/// Assigns monotonically increasing fixed-length codes 0..n-1, each of
+/// ceil(log2(n)) bits (at least 1 bit).
+std::vector<Code> AssignFixedLengthCodes(size_t n);
+
+/// Assigns optimal order-preserving prefix codes for the given weights
+/// (delegates to the Hu-Tucker / Garsia-Wachs implementation).
+std::vector<Code> AssignHuTuckerCodes(const std::vector<double>& weights);
+
+/// Range-Encoding alternative the paper mentions in §4.2 (Martin, 1979 —
+/// the integer form of arithmetic coding): code i is the shortest bit
+/// prefix of the cumulative-probability interval [cum_i, cum_i + p_i)
+/// that lies fully inside it (Shannon-Fano-Elias style, len_i =
+/// ceil(log2(1/p_i)) + 1). Order-preserving and prefix-free by
+/// construction but, as the paper notes, needs more bits than Hu-Tucker
+/// to pin codes onto range boundaries. Implemented for the ablation
+/// bench.
+std::vector<Code> AssignRangeCodes(const std::vector<double>& weights);
+
+/// Expected code length sum(w_i * len_i) / sum(w_i); used by tests and
+/// the assigner ablation.
+double ExpectedCodeLength(const std::vector<double>& weights,
+                          const std::vector<Code>& codes);
+
+}  // namespace hope

@@ -1,0 +1,56 @@
+#include "hope/decoder.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hope {
+
+Decoder::Decoder(const std::vector<DictEntry>& entries) {
+  nodes_.push_back(TrieNode());
+  symbols_.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); i++) {
+    const DictEntry& e = entries[i];
+    symbols_.push_back(e.left_bound.empty()
+                           ? std::string(1, '\0')
+                           : e.left_bound.substr(0, e.symbol_len));
+    int32_t node = 0;
+    for (int b = 0; b < e.code.len; b++) {
+      int bit = CodeBit(e.code, b);
+      if (nodes_[node].child[bit] < 0) {
+        nodes_[node].child[bit] = static_cast<int32_t>(nodes_.size());
+        nodes_.push_back(TrieNode());
+      }
+      node = nodes_[node].child[bit];
+    }
+    if (nodes_[node].entry >= 0)
+      throw std::invalid_argument("Decoder: duplicate code");
+    nodes_[node].entry = static_cast<int32_t>(i);
+  }
+}
+
+std::string Decoder::Decode(std::string_view bytes, size_t bit_len) const {
+  std::string out;
+  out.reserve(bit_len / 4);
+  int32_t node = 0;
+  for (size_t i = 0; i < bit_len; i++) {
+    int bit = (static_cast<uint8_t>(bytes[i / 8]) >> (7 - (i % 8))) & 1;
+    node = nodes_[node].child[bit];
+    if (node < 0)
+      throw std::invalid_argument("Decoder: invalid code sequence");
+    if (nodes_[node].entry >= 0) {
+      out += symbols_[nodes_[node].entry];
+      node = 0;
+    }
+  }
+  if (node != 0)
+    throw std::invalid_argument("Decoder: trailing partial code");
+  return out;
+}
+
+size_t Decoder::MemoryBytes() const {
+  size_t bytes = nodes_.capacity() * sizeof(TrieNode);
+  for (const auto& s : symbols_) bytes += s.capacity();
+  return bytes;
+}
+
+}  // namespace hope

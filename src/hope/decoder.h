@@ -1,0 +1,41 @@
+// Optional decoder (§4.1: "Building a decoder is optional because our
+// target workload for search trees does not require reconstructing the
+// original keys"). We implement it anyway: the tests use it to prove that
+// every scheme is lossless, and covering-index users can reconstruct keys.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hope/interval.h"
+
+namespace hope {
+
+/// Walks a binary trie over the (prefix-free) code set, emitting each
+/// matched entry's symbol.
+class Decoder {
+ public:
+  /// Builds from finalized dictionary entries. Symbols are reconstructed
+  /// from the boundaries (symbol == left_bound prefix of symbol_len bytes;
+  /// the head entry with left_bound "" has symbol "\0").
+  explicit Decoder(const std::vector<DictEntry>& entries);
+
+  /// Decodes exactly `bit_len` bits of the encoded byte string back into
+  /// the original key. `bit_len` must be the exact value reported by the
+  /// encoder; the zero padding is not self-delimiting.
+  std::string Decode(std::string_view bytes, size_t bit_len) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct TrieNode {
+    int32_t child[2] = {-1, -1};
+    int32_t entry = -1;
+  };
+
+  std::vector<TrieNode> nodes_;
+  std::vector<std::string> symbols_;
+};
+
+}  // namespace hope

@@ -1,0 +1,55 @@
+// Dictionary data structures (§4.2): map an interval (via its left
+// boundary) to a code. A lookup is a "greater than or equal to" query:
+// find the entry whose interval contains the source string, i.e. the last
+// boundary <= src. Completeness guarantees every lookup succeeds and
+// consumes at least one byte.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "hope/interval.h"
+
+namespace hope {
+
+/// Abstract dictionary. Implementations: array (Single-/Double-Char),
+/// bitmap-trie (3-/4-Grams), ART-based (ALM, ALM-Improved), and a
+/// binary-search baseline used for ablation.
+class Dictionary {
+ public:
+  virtual ~Dictionary() = default;
+
+  /// Finds the entry whose interval contains `src` (non-empty) and returns
+  /// its code and the number of bytes consumed (the symbol length).
+  virtual LookupResult Lookup(std::string_view src) const = 0;
+
+  virtual size_t NumEntries() const = 0;
+
+  /// Approximate heap size of the structure in bytes.
+  virtual size_t MemoryBytes() const = 0;
+
+  /// How many leading bytes of `src` a lookup may inspect; used by batch
+  /// encoding to find a safe aligned prefix. Unbounded (ALM) returns
+  /// SIZE_MAX, which disables batching.
+  virtual size_t MaxLookahead() const = 0;
+
+  virtual const char* Name() const = 0;
+};
+
+/// Factory functions. `entries` must be sorted by left bound, with the
+/// first bound == "" (complete dictionary).
+std::unique_ptr<Dictionary> MakeBinarySearchDict(
+    std::vector<DictEntry> entries);
+/// `chars` is 1 (Single-Char, 256 entries) or 2 (Double-Char, 256*257).
+std::unique_ptr<Dictionary> MakeArrayDict(const std::vector<DictEntry>& entries,
+                                          int chars);
+/// `n` is the gram length (3 or 4); boundaries must be at most n bytes.
+std::unique_ptr<Dictionary> MakeBitmapTrieDict(
+    const std::vector<DictEntry>& entries, int n);
+/// Arbitrary-length boundaries (ALM family).
+std::unique_ptr<Dictionary> MakeArtDict(const std::vector<DictEntry>& entries);
+
+}  // namespace hope

@@ -1,0 +1,44 @@
+// Double-Char selector (§3.3): fixed-length double-character intervals
+// [c0c1, c0c1+1), plus one terminator interval [c0∅, c0'\0') per first
+// byte that covers the lone one-byte string "c0" (the paper's ∅
+// terminator that fills the gaps between [a\xff, b) and [b\0, b\1)).
+#include "hope/symbol_selector.h"
+
+namespace hope {
+
+namespace {
+
+class DoubleCharSelector : public SymbolSelector {
+ public:
+  std::vector<IntervalSpec> Select(const std::vector<std::string>& samples,
+                                   size_t dict_limit) override {
+    (void)samples;
+    (void)dict_limit;  // fixed 256*257-entry dictionary
+    std::vector<IntervalSpec> intervals;
+    intervals.reserve(256 * 257);
+    for (int c0 = 0; c0 < 256; c0++) {
+      // Terminator entry: covers exactly the string "c0".
+      IntervalSpec term;
+      term.left_bound =
+          c0 == 0 ? std::string() : std::string(1, static_cast<char>(c0));
+      term.symbol = std::string(1, static_cast<char>(c0));
+      intervals.push_back(std::move(term));
+      for (int c1 = 0; c1 < 256; c1++) {
+        IntervalSpec spec;
+        spec.left_bound.push_back(static_cast<char>(c0));
+        spec.left_bound.push_back(static_cast<char>(c1));
+        spec.symbol = spec.left_bound;
+        intervals.push_back(std::move(spec));
+      }
+    }
+    return intervals;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SymbolSelector> MakeDoubleCharSelector() {
+  return std::make_unique<DoubleCharSelector>();
+}
+
+}  // namespace hope

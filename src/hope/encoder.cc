@@ -1,0 +1,145 @@
+#include "hope/encoder.h"
+
+#include <cassert>
+
+#include "common/str_utils.h"
+
+namespace hope {
+
+void BitWriter::InitFromPrefix(const std::string& bytes, size_t bits) {
+  Clear();
+  size_t full_bytes = bits / 8;
+  buf_.assign(bytes, 0, full_bytes);
+  total_bits_ = full_bytes * 8;
+  size_t rem = bits - total_bits_;
+  if (rem > 0) {
+    uint8_t last = static_cast<uint8_t>(bytes[full_bytes]);
+    // Keep the top `rem` bits of the partial byte in the accumulator.
+    acc_ = (static_cast<uint64_t>(last) << 56) &
+           ~(~uint64_t{0} >> rem);
+    acc_bits_ = static_cast<int>(rem);
+    total_bits_ += rem;
+  }
+}
+
+void BitWriter::Append(Code code) {
+  uint64_t bits = code.bits;
+  int len = code.len;
+  total_bits_ += len;
+  int room = 64 - acc_bits_;
+  if (len < room) {
+    if (len > 0) acc_ |= bits >> acc_bits_;
+    acc_bits_ += len;
+    return;
+  }
+  // Fill the accumulator and flush a full word.
+  acc_ |= acc_bits_ > 0 ? bits >> acc_bits_ : bits;
+  FlushAcc();
+  int taken = room;
+  acc_ = taken < 64 ? bits << taken : 0;
+  acc_bits_ = len - taken;
+}
+
+void BitWriter::FlushAcc() {
+  char word[8];
+  for (int i = 0; i < 8; i++)
+    word[i] = static_cast<char>((acc_ >> (56 - 8 * i)) & 0xFF);
+  buf_.append(word, 8);
+  acc_ = 0;
+  acc_bits_ = 0;
+}
+
+std::string BitWriter::TakeBytes() {
+  std::string out = buf_;
+  int bytes = (acc_bits_ + 7) / 8;
+  for (int i = 0; i < bytes; i++)
+    out.push_back(static_cast<char>((acc_ >> (56 - 8 * i)) & 0xFF));
+  return out;
+}
+
+std::string Encoder::EncodeWithTrace(std::string_view key, size_t resume_src,
+                                     BitWriter* writer,
+                                     std::vector<TracePoint>* trace) const {
+  std::string_view src = key.substr(resume_src);
+  size_t pos = resume_src;
+  while (!src.empty()) {
+    if (trace)
+      trace->push_back({static_cast<uint32_t>(pos),
+                        static_cast<uint32_t>(writer->total_bits())});
+    LookupResult r = dict_->Lookup(src);
+    assert(r.consumed > 0 && r.consumed <= src.size());
+    writer->Append(r.code);
+    src.remove_prefix(r.consumed);
+    pos += r.consumed;
+  }
+  if (trace)
+    trace->push_back({static_cast<uint32_t>(pos),
+                      static_cast<uint32_t>(writer->total_bits())});
+  return writer->TakeBytes();
+}
+
+std::string Encoder::Encode(std::string_view key, size_t* bit_len) const {
+  BitWriter writer;
+  std::string out = EncodeWithTrace(key, 0, &writer, nullptr);
+  if (bit_len) *bit_len = writer.total_bits();
+  return out;
+}
+
+std::vector<std::string> Encoder::EncodeBatch(
+    const std::vector<std::string>& keys, size_t* total_bits) const {
+  std::vector<std::string> out;
+  out.reserve(keys.size());
+  size_t bits_sum = 0;
+  const size_t lookahead = dict_->MaxLookahead();
+  if (lookahead == std::numeric_limits<size_t>::max()) {
+    // Unbounded lookahead (ALM family): arbitrary-length symbols prevent
+    // determining an aligned shared prefix a priori (Appendix B).
+    for (const auto& key : keys) {
+      size_t bits = 0;
+      out.push_back(Encode(key, &bits));
+      bits_sum += bits;
+    }
+    if (total_bits) *total_bits = bits_sum;
+    return out;
+  }
+
+  std::vector<TracePoint> trace, next_trace;
+  BitWriter writer;
+  for (size_t i = 0; i < keys.size(); i++) {
+    const std::string& key = keys[i];
+    writer.Clear();
+    next_trace.clear();
+    size_t resume = 0;
+    if (i > 0) {
+      size_t l = LcpLen(keys[i - 1], key);
+      // Reuse lookups [0, j): every reused lookup must have inspected
+      // only bytes inside the common prefix, i.e.
+      // trace[j-1].src_pos + lookahead <= l. trace.back() is a sentinel
+      // at (key_len, total_bits), so j == trace.size()-1 reuses the whole
+      // previous key.
+      size_t j = 0;
+      while (j + 1 < trace.size() &&
+             trace[j].src_pos + lookahead <= l)
+        j++;
+      if (j > 0) {
+        writer.InitFromPrefix(out[i - 1], trace[j].bit_pos);
+        next_trace.assign(trace.begin(), trace.begin() + static_cast<long>(j));
+        resume = trace[j].src_pos;
+      }
+    }
+    out.push_back(EncodeWithTrace(key, resume, &writer, &next_trace));
+    bits_sum += writer.total_bits();
+    std::swap(trace, next_trace);
+  }
+  if (total_bits) *total_bits = bits_sum;
+  return out;
+}
+
+std::pair<std::string, std::string> Encoder::EncodePair(
+    std::string_view a, std::string_view b) const {
+  std::vector<std::string> keys{std::string(a), std::string(b)};
+  auto enc = EncodeBatch(keys);
+  return {std::move(enc[0]), std::move(enc[1])};
+}
+
+}  // namespace hope

@@ -1,0 +1,87 @@
+// The Encoder (§4.2): repeatedly looks the remaining source string up in
+// the dictionary, concatenates the returned codes into 64-bit buffers,
+// and emits the zero-padded byte string. Includes the batch-encoding
+// optimization for sorted key runs (Appendix B): the shared prefix of
+// consecutive keys is encoded once when the dictionary's lookahead allows
+// proving the lookups are identical.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "hope/dictionary.h"
+
+namespace hope {
+
+/// Append-only bit writer backed by a 64-bit accumulator.
+class BitWriter {
+ public:
+  void Clear() {
+    buf_.clear();
+    acc_ = 0;
+    acc_bits_ = 0;
+    total_bits_ = 0;
+  }
+
+  /// Seeds the writer with the first `bits` bits of an existing encoding.
+  void InitFromPrefix(const std::string& bytes, size_t bits);
+
+  void Append(Code code);
+
+  /// Zero-pads to a byte boundary and returns the bytes; the writer keeps
+  /// its state so the caller can read total_bits().
+  std::string TakeBytes();
+
+  size_t total_bits() const { return total_bits_; }
+
+ private:
+  std::string buf_;
+  uint64_t acc_ = 0;   // left-aligned pending bits
+  int acc_bits_ = 0;   // number of pending bits (< 64)
+  size_t total_bits_ = 0;
+
+  void FlushAcc();
+};
+
+/// Stateless encoder over a dictionary.
+class Encoder {
+ public:
+  explicit Encoder(std::unique_ptr<Dictionary> dict)
+      : dict_(std::move(dict)) {}
+
+  /// Encodes one key. The result is the code bit string zero-padded to a
+  /// byte boundary; `bit_len` (optional) receives the exact bit length.
+  std::string Encode(std::string_view key, size_t* bit_len = nullptr) const;
+
+  /// Encodes a sorted run of keys, skipping re-encoding of shared
+  /// prefixes where the dictionary's bounded lookahead proves the lookups
+  /// identical (Appendix B). Falls back to per-key encoding for
+  /// unbounded-lookahead dictionaries (ALM family).
+  std::vector<std::string> EncodeBatch(const std::vector<std::string>& keys,
+                                       size_t* total_bits = nullptr) const;
+
+  /// Pair encoding for closed-range queries (batch of two).
+  std::pair<std::string, std::string> EncodePair(std::string_view a,
+                                                 std::string_view b) const;
+
+  const Dictionary& dict() const { return *dict_; }
+
+ private:
+  /// One lookup step boundary: the source position where a lookup started
+  /// and the bit position of the output before its code was appended.
+  struct TracePoint {
+    uint32_t src_pos;
+    uint32_t bit_pos;
+  };
+
+  std::string EncodeWithTrace(std::string_view key, size_t resume_src,
+                              BitWriter* writer,
+                              std::vector<TracePoint>* trace) const;
+
+  std::unique_ptr<Dictionary> dict_;
+};
+
+}  // namespace hope

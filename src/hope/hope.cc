@@ -1,0 +1,244 @@
+#include "hope/hope.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "hope/code_assigner.h"
+#include "hope/symbol_selector.h"
+
+namespace hope {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::unique_ptr<SymbolSelector> MakeSelector(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSingleChar: return MakeSingleCharSelector();
+    case Scheme::kDoubleChar: return MakeDoubleCharSelector();
+    case Scheme::kThreeGrams: return MakeNGramSelector(3);
+    case Scheme::kFourGrams: return MakeNGramSelector(4);
+    case Scheme::kAlm: return MakeAlmSelector();
+    case Scheme::kAlmImproved: return MakeAlmImprovedSelector();
+  }
+  throw std::invalid_argument("unknown scheme");
+}
+
+DictImpl DefaultImpl(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSingleChar:
+    case Scheme::kDoubleChar: return DictImpl::kArray;
+    case Scheme::kThreeGrams:
+    case Scheme::kFourGrams: return DictImpl::kBitmapTrie;
+    case Scheme::kAlm:
+    case Scheme::kAlmImproved: return DictImpl::kArt;
+  }
+  return DictImpl::kBinarySearch;
+}
+
+bool UsesHuTucker(Scheme scheme) { return scheme != Scheme::kAlm; }
+
+}  // namespace
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSingleChar: return "Single-Char";
+    case Scheme::kDoubleChar: return "Double-Char";
+    case Scheme::kAlm: return "ALM";
+    case Scheme::kThreeGrams: return "3-Grams";
+    case Scheme::kFourGrams: return "4-Grams";
+    case Scheme::kAlmImproved: return "ALM-Improved";
+  }
+  return "?";
+}
+
+std::vector<DictEntry> BuildDictEntries(
+    Scheme scheme, const std::vector<std::string>& samples,
+    size_t dict_size_limit, BuildStats* stats) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto selector = MakeSelector(scheme);
+  std::vector<IntervalSpec> intervals =
+      selector->Select(samples, dict_size_limit);
+  // The test-encode pass that derives interval access probabilities is
+  // part of symbol selection (§4.2).
+  if (UsesHuTucker(scheme)) TestEncodeWeights(samples, &intervals);
+  double select_s = SecondsSince(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  std::vector<Code> codes;
+  if (UsesHuTucker(scheme)) {
+    std::vector<double> weights;
+    weights.reserve(intervals.size());
+    for (const auto& spec : intervals) weights.push_back(spec.weight);
+    codes = AssignHuTuckerCodes(weights);
+  } else {
+    codes = AssignFixedLengthCodes(intervals.size());
+  }
+  double assign_s = SecondsSince(t0);
+
+  std::vector<DictEntry> entries;
+  entries.reserve(intervals.size());
+  for (size_t i = 0; i < intervals.size(); i++) {
+    entries.push_back({std::move(intervals[i].left_bound),
+                       static_cast<uint32_t>(intervals[i].symbol.size()),
+                       codes[i]});
+  }
+  if (stats) {
+    stats->symbol_select_seconds = select_s;
+    stats->code_assign_seconds = assign_s;
+    stats->num_entries = entries.size();
+  }
+  return entries;
+}
+
+std::unique_ptr<Hope> Hope::FromEntries(Scheme scheme,
+                                        std::vector<DictEntry> entries,
+                                        DictImpl impl, BuildStats* stats) {
+  auto decoder = std::make_unique<Decoder>(entries);
+  auto t0 = std::chrono::steady_clock::now();
+  if (impl == DictImpl::kDefault) impl = DefaultImpl(scheme);
+  std::unique_ptr<Dictionary> dict;
+  switch (impl) {
+    case DictImpl::kArray:
+      dict = MakeArrayDict(entries,
+                           scheme == Scheme::kSingleChar ? 1 : 2);
+      break;
+    case DictImpl::kBitmapTrie:
+      dict = MakeBitmapTrieDict(entries,
+                                scheme == Scheme::kThreeGrams ? 3 : 4);
+      break;
+    case DictImpl::kArt:
+      dict = MakeArtDict(entries);
+      break;
+    case DictImpl::kBinarySearch:
+    case DictImpl::kDefault:
+      dict = MakeBinarySearchDict(entries);
+      break;
+  }
+  if (stats) {
+    stats->dict_build_seconds = SecondsSince(t0);
+    stats->dict_memory_bytes = dict->MemoryBytes();
+  }
+  auto encoder = std::make_unique<Encoder>(std::move(dict));
+  return std::unique_ptr<Hope>(new Hope(scheme, std::move(encoder),
+                                        std::move(decoder),
+                                        std::move(entries)));
+}
+
+std::unique_ptr<Hope> Hope::Build(Scheme scheme,
+                                  const std::vector<std::string>& samples,
+                                  size_t dict_size_limit, BuildStats* stats,
+                                  DictImpl impl) {
+  std::vector<DictEntry> entries =
+      BuildDictEntries(scheme, samples, dict_size_limit, stats);
+  return FromEntries(scheme, std::move(entries), impl, stats);
+}
+
+namespace {
+
+constexpr char kMagic[] = "HOPEDICT1";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; i++)
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; i++)
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+bool GetU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  *v = 0;
+  for (int i = 0; i < 4; i++)
+    *v |= static_cast<uint32_t>(static_cast<uint8_t>((*in)[i])) << (8 * i);
+  in->remove_prefix(4);
+  return true;
+}
+
+bool GetU64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  *v = 0;
+  for (int i = 0; i < 8; i++)
+    *v |= static_cast<uint64_t>(static_cast<uint8_t>((*in)[i])) << (8 * i);
+  in->remove_prefix(8);
+  return true;
+}
+
+}  // namespace
+
+std::string Hope::Serialize() const {
+  std::string out(kMagic, kMagicLen);
+  out.push_back(static_cast<char>(scheme_));
+  PutU32(&out, static_cast<uint32_t>(entries_.size()));
+  for (const DictEntry& e : entries_) {
+    PutU32(&out, static_cast<uint32_t>(e.left_bound.size()));
+    out += e.left_bound;
+    PutU32(&out, e.symbol_len);
+    PutU64(&out, e.code.bits);
+    out.push_back(static_cast<char>(e.code.len));
+  }
+  return out;
+}
+
+std::unique_ptr<Hope> Hope::Deserialize(std::string_view bytes) {
+  if (bytes.size() < kMagicLen + 5 ||
+      bytes.substr(0, kMagicLen) != std::string_view(kMagic, kMagicLen))
+    return nullptr;
+  bytes.remove_prefix(kMagicLen);
+  auto scheme = static_cast<Scheme>(bytes[0]);
+  if (static_cast<uint8_t>(scheme) > static_cast<uint8_t>(Scheme::kAlmImproved))
+    return nullptr;
+  bytes.remove_prefix(1);
+  uint32_t count = 0;
+  if (!GetU32(&bytes, &count)) return nullptr;
+  std::vector<DictEntry> entries;
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    uint32_t blen = 0, symlen = 0;
+    uint64_t code_bits = 0;
+    if (!GetU32(&bytes, &blen) || bytes.size() < blen) return nullptr;
+    DictEntry e;
+    e.left_bound.assign(bytes.data(), blen);
+    bytes.remove_prefix(blen);
+    if (!GetU32(&bytes, &symlen)) return nullptr;
+    e.symbol_len = symlen;
+    if (!GetU64(&bytes, &code_bits) || bytes.empty()) return nullptr;
+    e.code.bits = code_bits;
+    e.code.len = static_cast<uint8_t>(bytes[0]);
+    bytes.remove_prefix(1);
+    if (i > 0 && !(entries.back().left_bound < e.left_bound)) return nullptr;
+    entries.push_back(std::move(e));
+  }
+  if (!bytes.empty()) return nullptr;
+  if (entries.empty() || !entries[0].left_bound.empty()) return nullptr;
+  try {
+    return FromEntries(scheme, std::move(entries), DictImpl::kDefault,
+                       nullptr);
+  } catch (const std::exception&) {
+    // Structurally invalid for the scheme's dictionary (e.g. wrong entry
+    // count for an array dictionary).
+    return nullptr;
+  }
+}
+
+double Hope::CompressionRate(const std::vector<std::string>& keys) const {
+  size_t original = 0, compressed_bits = 0;
+  for (const auto& key : keys) {
+    size_t bits = 0;
+    Encode(key, &bits);
+    original += key.size();
+    compressed_bits += (bits + 7) / 8 * 8;
+  }
+  if (compressed_bits == 0) return 1.0;
+  return static_cast<double>(original) /
+         (static_cast<double>(compressed_bits) / 8.0);
+}
+
+}  // namespace hope

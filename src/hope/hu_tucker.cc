@@ -1,0 +1,174 @@
+#include "hope/hu_tucker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hope {
+
+namespace {
+
+// A work-list item during the Garsia-Wachs combination phase.
+struct WorkItem {
+  double weight;
+  int32_t node;  // index into the merge-tree node array
+};
+
+struct MergeNode {
+  int32_t left = -1;   // -1 for leaves
+  int32_t right = -1;
+};
+
+// Runs one Garsia-Wachs combination phase with the given weight floor and
+// returns the depth of each leaf (leaf i corresponds to weights[i]).
+std::vector<int> GarsiaWachsDepthsFloored(const std::vector<double>& weights,
+                                          double floor_w) {
+  const size_t n = weights.size();
+  std::vector<int> depths(n, 0);
+  if (n <= 1) {
+    if (n == 1) depths[0] = 1;  // single symbol still needs one bit
+    return depths;
+  }
+
+  // The merge tree: first n entries are leaves.
+  std::vector<MergeNode> nodes(n);
+  nodes.reserve(2 * n);
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<WorkItem> list;
+  list.reserve(n + 2);
+  list.push_back({kInf, -1});  // left sentinel
+  for (size_t i = 0; i < n; i++)
+    list.push_back({std::max(weights[i], floor_w), static_cast<int32_t>(i)});
+  list.push_back({kInf, -1});  // right sentinel
+
+  // Repeatedly find the leftmost i (1-based into list) such that
+  // list[i-1].weight <= list[i+1].weight, merge (i-1, i), and move the
+  // merged node left past all smaller weights. Scanning resumes near the
+  // insertion point: positions to its left were already verified to have
+  // no local minimum and are unchanged.
+  size_t scan = 1;
+  for (size_t merges = 0; merges < n - 1; merges++) {
+    // Find leftmost local-minimum pair.
+    size_t i = std::max<size_t>(scan, 1);
+    while (!(list[i - 1].weight <= list[i + 1].weight)) i++;
+    // Merge list[i-1] and list[i].
+    double w = list[i - 1].weight + list[i].weight;
+    int32_t id = static_cast<int32_t>(nodes.size());
+    nodes.push_back({list[i - 1].node, list[i].node});
+    // Remove both items.
+    list.erase(list.begin() + static_cast<long>(i - 1),
+               list.begin() + static_cast<long>(i + 1));
+    // Move left: insert after the rightmost element with weight >= w.
+    size_t j = i - 1;  // insertion candidate position (item now at j is the
+                       // one that followed the pair)
+    while (list[j - 1].weight < w) j--;
+    list.insert(list.begin() + static_cast<long>(j), {w, id});
+    scan = j > 1 ? j - 1 : 1;
+  }
+
+  assert(list.size() == 3);  // two sentinels + root
+  int32_t root = list[1].node;
+
+  // Compute leaf depths by iterative DFS over the merge tree.
+  std::vector<std::pair<int32_t, int>> stack;
+  stack.emplace_back(root, 0);
+  while (!stack.empty()) {
+    auto [id, d] = stack.back();
+    stack.pop_back();
+    const MergeNode& nd = nodes[id];
+    if (nd.left == -1 && nd.right == -1) {
+      depths[id] = d;
+      continue;
+    }
+    stack.emplace_back(nd.left, d + 1);
+    stack.emplace_back(nd.right, d + 1);
+  }
+  return depths;
+}
+
+// Floors tiny weights so the optimal tree stays shallow enough for
+// fixed-width code storage (the paper stores 32-bit codes in its
+// dictionaries). A floor of total/2^20 bounds the depth near
+// log_phi(2^20) ~ 29; the loop raises the floor in the (theoretical)
+// case the bound is still exceeded. Only entries with probability below
+// ~1e-6 are affected, which costs no measurable compression.
+std::vector<int> GarsiaWachsDepths(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  if (total <= 0) total = 1;
+  double floor_w = total / std::pow(2.0, 20);
+  while (true) {
+    std::vector<int> depths = GarsiaWachsDepthsFloored(weights, floor_w);
+    int max_depth = 0;
+    for (int d : depths) max_depth = std::max(max_depth, d);
+    if (max_depth <= 32) return depths;
+    floor_w *= 16;
+  }
+}
+
+}  // namespace
+
+std::vector<int> HuTuckerDepths(const std::vector<double>& weights) {
+  return GarsiaWachsDepths(weights);
+}
+
+std::vector<Code> HuTuckerCodes(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  std::vector<Code> codes(n);
+  if (n == 0) return codes;
+  if (n == 1) {
+    codes[0] = Code{0, 1};  // "0"
+    return codes;
+  }
+  std::vector<int> depths = GarsiaWachsDepths(weights);
+
+  // Phase 3: rebuild an alphabetic tree from the (valid) depth sequence
+  // using the classic stack construction, then read codes off the tree.
+  // Canonical direct assignment: maintain a left-aligned code value;
+  // for each next leaf, increment at the previous depth then adjust to the
+  // new depth. The Garsia-Wachs depth sequence always admits this.
+  uint64_t code = 0;  // left-aligned in 64 bits
+  int prev_len = depths[0];
+  if (prev_len > 64) throw std::runtime_error("Hu-Tucker code exceeds 64 bits");
+  codes[0] = Code{0, static_cast<uint8_t>(prev_len)};
+  for (size_t i = 1; i < n; i++) {
+    int len = depths[i];
+    if (len > 64) throw std::runtime_error("Hu-Tucker code exceeds 64 bits");
+    // Increment the previous code at its own length.
+    uint64_t inc = uint64_t{1} << (64 - prev_len);
+    code += inc;  // cannot overflow: last code at each length is all-ones
+                  // only for the final leaf
+    // Truncate or extend (with zeros) to the new length.
+    if (len < 64)
+      code &= ~(~uint64_t{0} >> len);
+    codes[i] = Code{code, static_cast<uint8_t>(len)};
+    prev_len = len;
+  }
+  return codes;
+}
+
+double OptimalAlphabeticCostBruteForce(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  if (n == 0) return 0;
+  if (n == 1) return weights[0];
+  // cost[i][j]: optimal total weighted depth for leaves i..j.
+  // cost(i,j) = min_k cost(i,k) + cost(k+1,j) + sum(i..j), cost(i,i) = 0.
+  std::vector<double> prefix(n + 1, 0);
+  for (size_t i = 0; i < n; i++) prefix[i + 1] = prefix[i] + weights[i];
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0));
+  for (size_t len = 2; len <= n; len++) {
+    for (size_t i = 0; i + len <= n; i++) {
+      size_t j = i + len - 1;
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t k = i; k < j; k++)
+        best = std::min(best, cost[i][k] + cost[k + 1][j]);
+      cost[i][j] = best + (prefix[j + 1] - prefix[i]);
+    }
+  }
+  return cost[0][n - 1];
+}
+
+}  // namespace hope

@@ -1,0 +1,64 @@
+// Core data model for the string-axis compression model (§3.1).
+//
+// A dictionary encoding scheme is a list of connected, disjoint intervals
+// [b_i, b_{i+1}) covering the whole string axis. Each interval carries a
+// non-empty symbol s_i (the common prefix of every string in the interval)
+// and, after code assignment, an order-preserving prefix code c_i.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace hope {
+
+/// An interval produced by a symbol selector, before code assignment.
+/// Intervals are kept sorted by `left_bound`; interval i spans
+/// [left_bound_i, left_bound_{i+1}), the last one extends to +infinity.
+struct IntervalSpec {
+  std::string left_bound;  ///< inclusive lower boundary
+  std::string symbol;      ///< non-empty common prefix of the interval
+  double weight = 0;       ///< access frequency (filled by test encode)
+};
+
+/// A finalized dictionary entry: boundary, symbol length, and code.
+struct DictEntry {
+  std::string left_bound;
+  uint32_t symbol_len = 0;  ///< bytes consumed when this entry is hit
+  Code code;
+};
+
+/// Result of a dictionary lookup: the code to emit and the number of
+/// source bytes consumed.
+struct LookupResult {
+  Code code;
+  uint32_t consumed = 0;
+};
+
+/// Dictionaries store entries packed to 8 bytes, like the paper's 32-bit
+/// code + 8-bit length layout (§4.2). Hu-Tucker weights are floored so
+/// codes never exceed 32 bits (see hu_tucker.cc).
+struct PackedCode {
+  uint32_t bits = 0;  ///< left-aligned in 32 bits
+  uint8_t len = 0;
+  uint8_t symbol_len = 0;
+};
+
+inline PackedCode PackEntry(const DictEntry& e) {
+  if (e.code.len > 32 || e.symbol_len > 255)
+    throw std::invalid_argument("dictionary entry exceeds packed layout");
+  PackedCode p;
+  p.bits = static_cast<uint32_t>(e.code.bits >> 32);
+  p.len = e.code.len;
+  p.symbol_len = static_cast<uint8_t>(e.symbol_len);
+  return p;
+}
+
+inline LookupResult UnpackEntry(PackedCode p) {
+  return {Code{static_cast<uint64_t>(p.bits) << 32, p.len}, p.symbol_len};
+}
+
+}  // namespace hope

@@ -1,0 +1,77 @@
+// 3-Grams / 4-Grams selector (§3.3): VIVC schemes whose interval
+// boundaries are n-character strings. The selector picks the top
+// dict_limit/2 most frequent n-grams from the samples and fills every gap
+// between adjacent selected grams with gap intervals.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/str_utils.h"
+#include "hope/symbol_selector.h"
+
+namespace hope {
+
+namespace {
+
+class NGramSelector : public SymbolSelector {
+ public:
+  explicit NGramSelector(int n) : n_(n) {}
+
+  std::vector<IntervalSpec> Select(const std::vector<std::string>& samples,
+                                   size_t dict_limit) override {
+    // Count every n-byte substring occurrence.
+    std::unordered_map<std::string, uint64_t> counts;
+    counts.reserve(1 << 16);
+    for (const std::string& key : samples) {
+      if (key.size() < static_cast<size_t>(n_)) continue;
+      for (size_t i = 0; i + n_ <= key.size(); i++)
+        counts[key.substr(i, n_)]++;
+    }
+
+    // Top dict_limit/2 by frequency (gaps take roughly the other half).
+    size_t target = std::max<size_t>(1, dict_limit / 2);
+    std::vector<std::pair<uint64_t, std::string>> ranked;
+    ranked.reserve(counts.size());
+    for (auto& [gram, cnt] : counts) ranked.emplace_back(cnt, gram);
+    if (ranked.size() > target) {
+      std::nth_element(ranked.begin(), ranked.begin() + target, ranked.end(),
+                       std::greater<>());
+      ranked.resize(target);
+    }
+    std::vector<std::string> grams;
+    grams.reserve(ranked.size());
+    for (auto& [cnt, gram] : ranked) grams.push_back(std::move(gram));
+    std::sort(grams.begin(), grams.end());
+
+    // Build intervals: a [g, PrefixUpperBound(g)) interval per selected
+    // gram, and gap intervals between them. Same-length grams guarantee
+    // PrefixUpperBound(g) <= next gram.
+    std::vector<IntervalSpec> intervals;
+    intervals.reserve(grams.size() * 2 + 260);
+    std::string cur;  // "" = -infinity
+    bool covered_to_inf = false;
+    for (const std::string& g : grams) {
+      AddGapIntervals(cur, g, &intervals);
+      intervals.push_back({g, g, 0});
+      cur = PrefixUpperBound(g);
+      if (cur.empty()) {  // g was all-0xFF: covered to +infinity
+        covered_to_inf = true;
+        break;
+      }
+    }
+    if (!covered_to_inf) AddGapIntervals(cur, std::string(), &intervals);
+    return intervals;
+  }
+
+ private:
+  int n_;
+};
+
+}  // namespace
+
+std::unique_ptr<SymbolSelector> MakeNGramSelector(int n) {
+  return std::make_unique<NGramSelector>(n);
+}
+
+}  // namespace hope

@@ -1,0 +1,37 @@
+// Single-Char selector (§3.3): 256 fixed-length intervals [c, c+1), one
+// per byte value. This is the interval layout of classic Hu-Tucker /
+// Huffman character coding.
+#include "hope/symbol_selector.h"
+
+namespace hope {
+
+namespace {
+
+class SingleCharSelector : public SymbolSelector {
+ public:
+  std::vector<IntervalSpec> Select(const std::vector<std::string>& samples,
+                                   size_t dict_limit) override {
+    (void)samples;
+    (void)dict_limit;  // fixed 256-entry dictionary
+    std::vector<IntervalSpec> intervals;
+    intervals.reserve(256);
+    for (int c = 0; c < 256; c++) {
+      IntervalSpec spec;
+      // The first interval starts at -infinity ("") so the dictionary is
+      // complete; its symbol "\0" still prefixes every non-empty member.
+      spec.left_bound =
+          c == 0 ? std::string() : std::string(1, static_cast<char>(c));
+      spec.symbol = std::string(1, static_cast<char>(c));
+      intervals.push_back(std::move(spec));
+    }
+    return intervals;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SymbolSelector> MakeSingleCharSelector() {
+  return std::make_unique<SingleCharSelector>();
+}
+
+}  // namespace hope

@@ -1,0 +1,304 @@
+#include "hot/hot.h"
+
+#include <algorithm>
+#include <cassert>
+#include <new>
+
+namespace hope {
+
+Hot::Node* Hot::AllocNode(uint32_t offset, uint16_t count) {
+  Node* n = static_cast<Node*>(::operator new(NodeBytes(count)));
+  n->offset = offset;
+  n->count = count;
+  memory_ += NodeBytes(count) + sizeof(void*);  // + allocator header
+  return n;
+}
+
+void Hot::FreeNode(Node* n) {
+  memory_ -= NodeBytes(n->count) + sizeof(void*);
+  ::operator delete(n);
+}
+
+Hot::Node* Hot::WithEdge(Node* n, Edge e) {
+  Node* bigger = AllocNode(n->offset, static_cast<uint16_t>(n->count + 1));
+  uint16_t pos = 0;
+  while (pos < n->count && n->edges[pos].byte < e.byte) pos++;
+  assert(pos == n->count || n->edges[pos].byte != e.byte);
+  std::copy(n->edges, n->edges + pos, bigger->edges);
+  bigger->edges[pos] = e;
+  std::copy(n->edges + pos, n->edges + n->count, bigger->edges + pos + 1);
+  FreeNode(n);
+  return bigger;
+}
+
+const Hot::Edge* Hot::FindEdge(const Node* n, int byte) {
+  // Binary search over the sorted edge array.
+  uint16_t lo = 0, hi = n->count;
+  while (lo < hi) {
+    uint16_t mid = static_cast<uint16_t>((lo + hi) / 2);
+    if (n->edges[mid].byte < byte)
+      lo = static_cast<uint16_t>(mid + 1);
+    else
+      hi = mid;
+  }
+  return lo < n->count && n->edges[lo].byte == byte ? &n->edges[lo] : nullptr;
+}
+
+Hot::~Hot() {
+  if (root_) FreeChild(root_);
+}
+
+void Hot::FreeChild(Child c) {
+  if (IsLeaf(c)) {
+    delete AsLeaf(c);
+    return;
+  }
+  Node* n = AsNode(c);
+  for (uint16_t i = 0; i < n->count; i++) FreeChild(n->edges[i].child);
+  FreeNode(n);
+}
+
+const Hot::Leaf* Hot::DescendBestEffort(std::string_view key) const {
+  Child c = root_;
+  while (!IsLeaf(c)) {
+    const Node* n = AsNode(c);
+    const Edge* exact = FindEdge(n, ByteAt(key, n->offset));
+    c = exact ? exact->child : n->edges[0].child;
+  }
+  return AsLeaf(c);
+}
+
+const Hot::Leaf* Hot::MinLeaf(Child c) const {
+  while (!IsLeaf(c)) c = AsNode(c)->edges[0].child;
+  return AsLeaf(c);
+}
+
+void Hot::Insert(std::string_view key, uint64_t value) {
+  if (!root_) {
+    tuples_.emplace_back(key);
+    root_ = TagLeaf(new Leaf{&tuples_.back(), value});
+    memory_ += sizeof(Leaf);
+    size_ = 1;
+    return;
+  }
+  // Phase 1: find a candidate leaf and the first discriminating offset.
+  const Leaf* cand = DescendBestEffort(key);
+  const std::string& ckey = *cand->key;
+  size_t o = 0;
+  while (ByteAt(key, o) == ByteAt(ckey, o)) {
+    if (o >= key.size() && o >= ckey.size()) {  // equal keys
+      const_cast<Leaf*>(cand)->value = value;
+      return;
+    }
+    o++;
+  }
+  int new_byte = ByteAt(key, o);
+  int old_byte = ByteAt(ckey, o);
+
+  // Phase 2: re-descend to the slot where offset o belongs. Every node on
+  // the path with offset < o has an exact child for the key's byte
+  // (because the subtree agrees with `ckey` below its offset and the key
+  // agrees with `ckey` before o).
+  Child* slot = &root_;
+  while (!IsLeaf(*slot)) {
+    Node* n = AsNode(*slot);
+    if (n->offset >= o) break;
+    Edge* e = const_cast<Edge*>(FindEdge(n, ByteAt(key, n->offset)));
+    assert(e && "exact child must exist below the first diff offset");
+    slot = &e->child;
+  }
+
+  tuples_.emplace_back(key);
+  Leaf* leaf = new Leaf{&tuples_.back(), value};
+  memory_ += sizeof(Leaf);
+  size_++;
+
+  if (!IsLeaf(*slot) && AsNode(*slot)->offset == o) {
+    // The discriminating position already exists: add a sibling edge.
+    *slot = WithEdge(AsNode(*slot),
+                     Edge{static_cast<int16_t>(new_byte), TagLeaf(leaf)});
+    return;
+  }
+  // Split: a new node discriminating at offset o, with the old subtree
+  // and the new leaf as its two children.
+  Node* n = AllocNode(static_cast<uint32_t>(o), 2);
+  Edge old_edge{static_cast<int16_t>(old_byte), *slot};
+  Edge new_edge{static_cast<int16_t>(new_byte), TagLeaf(leaf)};
+  if (old_edge.byte < new_edge.byte) {
+    n->edges[0] = old_edge;
+    n->edges[1] = new_edge;
+  } else {
+    n->edges[0] = new_edge;
+    n->edges[1] = old_edge;
+  }
+  *slot = n;
+}
+
+Hot::Node* Hot::WithoutEdge(Node* n, int byte) {
+  Node* smaller = AllocNode(n->offset, static_cast<uint16_t>(n->count - 1));
+  uint16_t pos = 0;
+  while (n->edges[pos].byte != byte) pos++;
+  std::copy(n->edges, n->edges + pos, smaller->edges);
+  std::copy(n->edges + pos + 1, n->edges + n->count, smaller->edges + pos);
+  FreeNode(n);
+  return smaller;
+}
+
+bool Hot::EraseRec(Child* slot, std::string_view key) {
+  Child c = *slot;
+  if (IsLeaf(c)) {
+    Leaf* leaf = AsLeaf(c);
+    if (*leaf->key != key) return false;
+    delete leaf;
+    memory_ -= sizeof(Leaf);
+    size_--;
+    *slot = nullptr;  // the caller unlinks the edge
+    return true;
+  }
+  Node* n = AsNode(c);
+  int b = ByteAt(key, n->offset);
+  Edge* e = const_cast<Edge*>(FindEdge(n, b));
+  if (!e) return false;
+  if (!EraseRec(&e->child, key)) return false;
+  if (e->child == nullptr) {
+    Node* smaller = WithoutEdge(n, b);
+    if (smaller->count == 1) {
+      // Single remaining edge: the child subtree replaces this node
+      // (offsets along the path stay strictly increasing).
+      *slot = smaller->edges[0].child;
+      FreeNode(smaller);
+    } else {
+      *slot = smaller;
+    }
+  }
+  return true;
+}
+
+bool Hot::Erase(std::string_view key) {
+  if (!root_) return false;
+  return EraseRec(&root_, key);
+}
+
+bool Hot::Lookup(std::string_view key, uint64_t* value) const {
+  if (!root_) return false;
+  Child c = root_;
+  while (!IsLeaf(c)) {
+    const Node* n = AsNode(c);
+    const Edge* exact = FindEdge(n, ByteAt(key, n->offset));
+    if (!exact) return false;
+    c = exact->child;
+  }
+  const Leaf* leaf = AsLeaf(c);
+  if (*leaf->key != key) return false;  // full-key verification
+  if (value) *value = leaf->value;
+  return true;
+}
+
+size_t Hot::EmitAll(Child c, size_t count, size_t produced,
+                    std::vector<uint64_t>* out) const {
+  if (produced >= count) return produced;
+  if (IsLeaf(c)) {
+    if (out) out->push_back(AsLeaf(c)->value);
+    return produced + 1;
+  }
+  const Node* n = AsNode(c);
+  for (uint16_t i = 0; i < n->count; i++) {
+    produced = EmitAll(n->edges[i].child, count, produced, out);
+    if (produced >= count) break;
+  }
+  return produced;
+}
+
+size_t Hot::EmitGE(Child c, std::string_view start, size_t count,
+                   size_t produced, std::vector<uint64_t>* out) const {
+  if (produced >= count) return produced;
+  if (IsLeaf(c)) {
+    const Leaf* leaf = AsLeaf(c);
+    if (std::string_view(*leaf->key) >= start) {
+      if (out) out->push_back(leaf->value);
+      produced++;
+    }
+    return produced;
+  }
+  const Node* n = AsNode(c);
+  // All keys in this subtree share their bytes below n->offset (Patricia
+  // invariant), so one representative decides the comparison up to there.
+  const std::string& rep = *MinLeaf(c)->key;
+  for (size_t i = 0; i < n->offset; i++) {
+    int sb = ByteAt(start, i);
+    int rb = ByteAt(rep, i);
+    if (sb < rb) return EmitAll(c, count, produced, out);
+    if (sb > rb) return produced;  // whole subtree < start
+  }
+  int sb = ByteAt(start, n->offset);
+  for (uint16_t i = 0; i < n->count; i++) {
+    const Edge& e = n->edges[i];
+    if (e.byte < sb) continue;
+    if (e.byte == sb)
+      produced = EmitGE(e.child, start, count, produced, out);
+    else
+      produced = EmitAll(e.child, count, produced, out);
+    if (produced >= count) break;
+  }
+  return produced;
+}
+
+size_t Hot::Scan(std::string_view start, size_t count,
+                 std::vector<uint64_t>* out) const {
+  if (!root_) return 0;
+  return EmitGE(root_, start, count, 0, out);
+}
+
+void Hot::DepthStats(Child c, size_t depth, size_t* total,
+                     size_t* leaves) const {
+  if (IsLeaf(c)) {
+    *total += depth;
+    *leaves += 1;
+    return;
+  }
+  const Node* n = AsNode(c);
+  for (uint16_t i = 0; i < n->count; i++)
+    DepthStats(n->edges[i].child, depth + 1, total, leaves);
+}
+
+double Hot::AverageLeafDepth() const {
+  if (!root_) return 0;
+  size_t total = 0, leaves = 0;
+  DepthStats(root_, 0, &total, &leaves);
+  return leaves == 0 ? 0 : static_cast<double>(total) /
+                               static_cast<double>(leaves);
+}
+
+std::string Hot::CheckRec(Child c, uint32_t min_offset) const {
+  if (IsLeaf(c)) return "";
+  const Node* n = AsNode(c);
+  if (n->count < 2) return "node with fewer than two children";
+  for (uint16_t i = 0; i + 1 < n->count; i++)
+    if (!(n->edges[i].byte < n->edges[i + 1].byte))
+      return "children out of order";
+  if (min_offset > 0 && n->offset < min_offset)
+    return "offsets not increasing along path";
+  // Subtree agreement: every child subtree's min leaf must agree with the
+  // node's min leaf on all bytes below n->offset, and carry the edge byte
+  // at n->offset.
+  const std::string& rep = *MinLeaf(c)->key;
+  for (uint16_t i = 0; i < n->count; i++) {
+    const Edge& e = n->edges[i];
+    const std::string& ck = *MinLeaf(e.child)->key;
+    for (size_t j = 0; j < n->offset; j++)
+      if (ByteAt(ck, j) != ByteAt(rep, j))
+        return "subtree bytes disagree below discriminating offset";
+    if (ByteAt(ck, n->offset) != e.byte)
+      return "edge byte does not match subtree keys";
+    std::string err = CheckRec(e.child, n->offset + 1);
+    if (!err.empty()) return err;
+  }
+  return "";
+}
+
+std::string Hot::CheckInvariants() const {
+  if (!root_) return "";
+  return CheckRec(root_, 0);
+}
+
+}  // namespace hope

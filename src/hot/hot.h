@@ -1,0 +1,131 @@
+// Simplified Height-Optimized Trie (after Binna et al., SIGMOD'18).
+//
+// The original HOT is a SIMD-heavy engineering artifact; what the paper's
+// evaluation depends on is its *behavior*: HOT stores only discriminative
+// partial keys (the minimum information needed to route to a candidate
+// tuple, verified against the full key afterwards), giving it very low
+// height and small memory — and therefore the *least* benefit from key
+// compression (Fig. 7). This reimplementation captures exactly that: a
+// byte-level discriminative Patricia trie. Each node stores one
+// discriminating byte offset and a sorted, exact-fit edge array (fanout
+// up to 257: 256 byte values plus end-of-key); non-discriminative bytes
+// are skipped entirely, never stored. Leaves hold a pointer to the
+// externally-owned tuple key plus the value; lookups verify against the
+// tuple like HOT's final full-key check. See DESIGN.md §3 for the
+// substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hope {
+
+class Hot {
+ public:
+  Hot() = default;
+  ~Hot();
+
+  Hot(const Hot&) = delete;
+  Hot& operator=(const Hot&) = delete;
+
+  /// Inserts a key/value pair; overwrites the value if the key exists.
+  void Insert(std::string_view key, uint64_t value);
+
+  bool Lookup(std::string_view key, uint64_t* value) const;
+
+  /// Removes a key. Returns false if absent. A node left with a single
+  /// edge is replaced by its remaining child (the Patricia invariant is
+  /// restored automatically).
+  bool Erase(std::string_view key);
+
+  /// Scans up to `count` entries starting at the first key >= start.
+  size_t Scan(std::string_view start, size_t count,
+              std::vector<uint64_t>* out) const;
+
+  size_t size() const { return size_; }
+
+  /// Index memory: nodes + leaves; tuple key bytes excluded (HOT stores
+  /// only partial keys).
+  size_t MemoryBytes() const { return memory_; }
+
+  /// Average number of node levels above a leaf.
+  double AverageLeafDepth() const;
+
+  /// Validates Patricia invariants: strictly increasing offsets along
+  /// every path, sorted children, and subtree byte agreement below each
+  /// node's offset. Returns "" when consistent.
+  std::string CheckInvariants() const;
+
+ private:
+  struct Leaf {
+    const std::string* key;
+    uint64_t value;
+  };
+
+  using Child = void*;  // tagged: bit 0 set = Leaf
+
+  struct Edge {
+    int16_t byte;  ///< -1 for end-of-key, else 0..255
+    Child child;
+  };
+
+  /// Exact-fit node: header plus a trailing sorted edge array, sized to
+  /// the edge count (no vector headers or capacity slack; this is what a
+  /// compact linearized trie node layout occupies).
+  struct Node {
+    uint32_t offset;  ///< discriminating byte position
+    uint16_t count;
+    Edge edges[];  // NOLINT: flexible array (GNU extension)
+  };
+
+  static bool IsLeaf(Child c) {
+    return (reinterpret_cast<uintptr_t>(c) & 1) != 0;
+  }
+  static Leaf* AsLeaf(Child c) {
+    return reinterpret_cast<Leaf*>(reinterpret_cast<uintptr_t>(c) &
+                                   ~uintptr_t{1});
+  }
+  static Node* AsNode(Child c) { return reinterpret_cast<Node*>(c); }
+  static Child TagLeaf(Leaf* l) {
+    return reinterpret_cast<Child>(reinterpret_cast<uintptr_t>(l) | 1);
+  }
+
+  /// Byte at `off` with end-of-key semantics: -1 when off >= key length
+  /// (a prefix sorts before its extensions).
+  static int ByteAt(std::string_view key, size_t off) {
+    return off < key.size() ? static_cast<uint8_t>(key[off]) : -1;
+  }
+
+  static size_t NodeBytes(uint16_t count) {
+    return sizeof(Node) + count * sizeof(Edge);
+  }
+  Node* AllocNode(uint32_t offset, uint16_t count);
+  void FreeNode(Node* n);
+  /// Returns a new node with `e` inserted in sorted position; frees `n`.
+  Node* WithEdge(Node* n, Edge e);
+  /// Returns a new node without the edge for `byte`; frees `n`.
+  Node* WithoutEdge(Node* n, int byte);
+  bool EraseRec(Child* slot, std::string_view key);
+
+  static const Edge* FindEdge(const Node* n, int byte);
+
+  const Leaf* DescendBestEffort(std::string_view key) const;
+  const Leaf* MinLeaf(Child c) const;
+  size_t EmitAll(Child c, size_t count, size_t produced,
+                 std::vector<uint64_t>* out) const;
+  size_t EmitGE(Child c, std::string_view start, size_t count,
+                size_t produced, std::vector<uint64_t>* out) const;
+  void FreeChild(Child c);
+  void DepthStats(Child c, size_t depth, size_t* total, size_t* leaves) const;
+  std::string CheckRec(Child c, uint32_t min_offset) const;
+
+  Child root_ = nullptr;
+  std::deque<std::string> tuples_;
+  size_t size_ = 0;
+  size_t memory_ = 0;
+};
+
+}  // namespace hope

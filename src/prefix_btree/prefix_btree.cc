@@ -1,0 +1,487 @@
+#include "prefix_btree/prefix_btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/str_utils.h"
+
+namespace hope {
+
+std::string ShortestSeparator(std::string_view a, std::string_view b) {
+  assert(a < b);
+  size_t lcp = LcpLen(a, b);
+  // b differs from a first at position lcp (or a is a prefix of b); the
+  // shortest string above a but not above b is b's prefix of length
+  // lcp + 1.
+  assert(lcp < b.size());
+  return std::string(b.substr(0, lcp + 1));
+}
+
+PrefixBTree::~PrefixBTree() {
+  if (root_) FreeRec(root_);
+}
+
+void PrefixBTree::FreeRec(Node* node) {
+  if (!node->leaf) {
+    auto* inner = static_cast<InnerNode*>(node);
+    for (Node* child : inner->children) FreeRec(child);
+    delete inner;
+  } else {
+    delete static_cast<LeafNode*>(node);
+  }
+}
+
+void PrefixBTree::LeafNode::InsertAt(size_t pos, std::string_view suffix,
+                                     uint64_t value) {
+  blob.insert(offsets[pos], suffix.data(), suffix.size());
+  offsets.insert(offsets.begin() + static_cast<long>(pos), offsets[pos]);
+  for (size_t i = pos + 1; i < offsets.size(); i++)
+    offsets[i] += static_cast<uint32_t>(suffix.size());
+  values.insert(values.begin() + static_cast<long>(pos), value);
+  // Keep the node page-tight: a real slotted-page layout has no growth
+  // slack, and nodes are at most kSlots entries so the copies are cheap.
+  blob.shrink_to_fit();
+  offsets.shrink_to_fit();
+  values.shrink_to_fit();
+}
+
+size_t PrefixBTree::LeafLowerBound(const LeafNode* leaf, std::string_view key,
+                                   bool* exact) {
+  if (exact) *exact = false;
+  const std::string& p = leaf->prefix;
+  // Compare the key against the node prefix first.
+  int c = std::string_view(key.substr(0, p.size())).compare(p);
+  if (c < 0) return 0;               // key below every node key
+  if (c > 0) return leaf->count();   // key above every node key
+  std::string_view rest = key.substr(p.size());
+  size_t lo = 0, hi = leaf->count();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (leaf->Suffix(mid) < rest)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  if (exact && lo < leaf->count() && leaf->Suffix(lo) == rest)
+    *exact = true;
+  return lo;
+}
+
+bool PrefixBTree::LeafInsertKey(LeafNode* leaf, std::string_view key,
+                                uint64_t value) {
+  // Shrink the stored prefix if the new key does not share it.
+  if (key.substr(0, leaf->prefix.size()) != leaf->prefix) {
+    size_t keep = LcpLen(leaf->prefix, key);
+    std::string tail = leaf->prefix.substr(keep);
+    // Rebuild the blob with the prefix tail prepended to every suffix.
+    std::string new_blob;
+    new_blob.reserve(leaf->blob.size() +
+                     tail.size() * (leaf->count() + 1));
+    std::vector<uint32_t> new_offsets;
+    new_offsets.reserve(leaf->offsets.size());
+    for (size_t i = 0; i < leaf->count(); i++) {
+      new_offsets.push_back(static_cast<uint32_t>(new_blob.size()));
+      new_blob += tail;
+      new_blob += leaf->Suffix(i);
+    }
+    new_offsets.push_back(static_cast<uint32_t>(new_blob.size()));
+    leaf->blob = std::move(new_blob);
+    leaf->offsets = std::move(new_offsets);
+    leaf->prefix.resize(keep);
+  }
+  bool exact = false;
+  size_t pos = LeafLowerBound(leaf, key, &exact);
+  if (exact) {
+    leaf->values[pos] = value;
+    return false;
+  }
+  leaf->InsertAt(pos, key.substr(leaf->prefix.size()), value);
+  return true;
+}
+
+void PrefixBTree::InsertIntoLeaf(LeafNode* leaf, std::string_view key,
+                                 uint64_t value) {
+  if (LeafInsertKey(leaf, key, value)) size_++;
+  // Prefixes are re-derived (possibly lengthened) on splits.
+}
+
+void PrefixBTree::LeafRemoveAt(LeafNode* leaf, size_t pos) {
+  uint32_t len = leaf->offsets[pos + 1] - leaf->offsets[pos];
+  leaf->blob.erase(leaf->offsets[pos], len);
+  leaf->offsets.erase(leaf->offsets.begin() + static_cast<long>(pos));
+  for (size_t i = pos; i < leaf->offsets.size(); i++) leaf->offsets[i] -= len;
+  leaf->values.erase(leaf->values.begin() + static_cast<long>(pos));
+}
+
+void PrefixBTree::RebuildLeaf(LeafNode* leaf,
+                              const std::vector<std::string>& keys,
+                              const std::vector<uint64_t>& values) {
+  size_t p = keys.size() == 1 ? keys[0].size()
+                              : LcpLen(keys.front(), keys.back());
+  leaf->prefix.assign(keys.front().data(), p);
+  leaf->blob.clear();
+  leaf->offsets.clear();
+  leaf->values = values;
+  for (const auto& k : keys) {
+    leaf->offsets.push_back(static_cast<uint32_t>(leaf->blob.size()));
+    leaf->blob.append(k, p, std::string::npos);
+  }
+  leaf->offsets.push_back(static_cast<uint32_t>(leaf->blob.size()));
+  leaf->blob.shrink_to_fit();
+  leaf->offsets.shrink_to_fit();
+  leaf->values.shrink_to_fit();
+  leaf->prefix.shrink_to_fit();
+}
+
+void PrefixBTree::Insert(std::string_view key, uint64_t value) {
+  if (!root_) {
+    auto* leaf = new LeafNode();
+    leaf->leaf = true;
+    leaf->prefix = std::string(key);
+    leaf->offsets = {0, 0};
+    leaf->values.push_back(value);
+    root_ = leaf;
+    size_ = 1;
+    return;
+  }
+  SplitResult split = InsertRec(root_, key, value);
+  if (split.right) {
+    auto* new_root = new InnerNode();
+    new_root->leaf = false;
+    new_root->separators.push_back(std::move(split.separator));
+    new_root->children.push_back(root_);
+    new_root->children.push_back(split.right);
+    root_ = new_root;
+  }
+}
+
+PrefixBTree::SplitResult PrefixBTree::InsertRec(Node* node,
+                                                std::string_view key,
+                                                uint64_t value) {
+  if (node->leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    InsertIntoLeaf(leaf, key, value);
+    if (leaf->count() <= kSlots) return {};
+    // Split: materialize full keys, divide, re-derive both prefixes.
+    size_t n = leaf->count();
+    size_t half = n / 2;
+    std::vector<std::string> keys(n);
+    for (size_t i = 0; i < n; i++) keys[i] = leaf->FullKey(i);
+
+    auto fill = [](LeafNode* target, const std::string* first,
+                   const std::string* last, const uint64_t* vals) {
+      // Prefix = lcp of first and last key (keys sorted).
+      size_t p = LcpLen(*first, *last);
+      target->prefix.assign(first->data(), p);
+      target->blob.clear();
+      target->offsets.clear();
+      target->values.clear();
+      for (const std::string* k = first; k <= last; ++k) {
+        target->offsets.push_back(static_cast<uint32_t>(target->blob.size()));
+        target->blob.append(*k, p, std::string::npos);
+        target->values.push_back(vals[k - first]);
+      }
+      target->offsets.push_back(static_cast<uint32_t>(target->blob.size()));
+      target->blob.shrink_to_fit();
+      target->offsets.shrink_to_fit();
+      target->values.shrink_to_fit();
+      target->prefix.shrink_to_fit();
+    };
+
+    auto* right = new LeafNode();
+    right->leaf = true;
+    std::vector<uint64_t> vals = leaf->values;
+    fill(right, &keys[half], &keys[n - 1], &vals[half]);
+    fill(leaf, &keys[0], &keys[half - 1], &vals[0]);
+    right->next = leaf->next;
+    leaf->next = right;
+    return {right, ShortestSeparator(keys[half - 1], keys[half])};
+  }
+
+  auto* inner = static_cast<InnerNode*>(node);
+  size_t idx = static_cast<size_t>(
+      std::upper_bound(inner->separators.begin(), inner->separators.end(),
+                       key,
+                       [](std::string_view k, const std::string& sep) {
+                         return k < std::string_view(sep);
+                       }) -
+      inner->separators.begin());
+  SplitResult child_split = InsertRec(inner->children[idx], key, value);
+  if (!child_split.right) return {};
+  inner->separators.insert(
+      inner->separators.begin() + static_cast<long>(idx),
+      std::move(child_split.separator));
+  inner->children.insert(inner->children.begin() + static_cast<long>(idx + 1),
+                         child_split.right);
+  if (inner->separators.size() <= kSlots) return {};
+  // Split the inner node: middle separator moves up.
+  size_t mid = inner->separators.size() / 2;
+  auto* right = new InnerNode();
+  right->leaf = false;
+  std::string up = std::move(inner->separators[mid]);
+  right->separators.assign(
+      std::make_move_iterator(inner->separators.begin() +
+                              static_cast<long>(mid + 1)),
+      std::make_move_iterator(inner->separators.end()));
+  right->children.assign(inner->children.begin() + static_cast<long>(mid + 1),
+                         inner->children.end());
+  inner->separators.resize(mid);
+  inner->children.resize(mid + 1);
+  return {right, std::move(up)};
+}
+
+bool PrefixBTree::Erase(std::string_view key) {
+  if (!root_) return false;
+  if (!EraseRec(root_, key)) return false;
+  size_--;
+  if (root_->leaf) {
+    auto* leaf = static_cast<LeafNode*>(root_);
+    if (leaf->count() == 0) {
+      delete leaf;
+      root_ = nullptr;
+    }
+  } else {
+    auto* inner = static_cast<InnerNode*>(root_);
+    if (inner->separators.empty()) {
+      root_ = inner->children[0];
+      delete inner;
+    }
+  }
+  return true;
+}
+
+bool PrefixBTree::EraseRec(Node* node, std::string_view key) {
+  if (node->leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    bool exact = false;
+    size_t pos = LeafLowerBound(leaf, key, &exact);
+    if (!exact) return false;
+    LeafRemoveAt(leaf, pos);
+    return true;
+  }
+  auto* inner = static_cast<InnerNode*>(node);
+  size_t idx = static_cast<size_t>(
+      std::upper_bound(inner->separators.begin(), inner->separators.end(),
+                       key,
+                       [](std::string_view k, const std::string& sep) {
+                         return k < std::string_view(sep);
+                       }) -
+      inner->separators.begin());
+  if (!EraseRec(inner->children[idx], key)) return false;
+  Node* child = inner->children[idx];
+  size_t child_count = child->leaf
+                           ? static_cast<LeafNode*>(child)->count()
+                           : static_cast<InnerNode*>(child)->separators.size();
+  if (child_count < kMinFill) RebalanceChild(inner, idx);
+  return true;
+}
+
+void PrefixBTree::RebalanceChild(InnerNode* parent, size_t idx) {
+  Node* child = parent->children[idx];
+  Node* left = idx > 0 ? parent->children[idx - 1] : nullptr;
+  Node* right =
+      idx + 1 < parent->children.size() ? parent->children[idx + 1] : nullptr;
+
+  if (child->leaf) {
+    auto* c = static_cast<LeafNode*>(child);
+    auto* l = static_cast<LeafNode*>(left);
+    auto* r = static_cast<LeafNode*>(right);
+    if (l && l->count() > kMinFill) {
+      // Borrow the left sibling's last key; the boundary separator is
+      // re-derived with suffix truncation.
+      std::string k = l->FullKey(l->count() - 1);
+      uint64_t v = l->values.back();
+      LeafRemoveAt(l, l->count() - 1);
+      LeafInsertKey(c, k, v);
+      parent->separators[idx - 1] =
+          ShortestSeparator(l->FullKey(l->count() - 1), k);
+      return;
+    }
+    if (r && r->count() > kMinFill) {
+      std::string k = r->FullKey(0);
+      uint64_t v = r->values.front();
+      LeafRemoveAt(r, 0);
+      LeafInsertKey(c, k, v);
+      parent->separators[idx] = ShortestSeparator(k, r->FullKey(0));
+      return;
+    }
+    // Merge with a sibling; the merged leaf is rebuilt so its prefix is
+    // re-derived.
+    LeafNode* dst = l ? l : c;
+    LeafNode* src = l ? c : r;
+    size_t sep = l ? idx - 1 : idx;
+    std::vector<std::string> keys;
+    std::vector<uint64_t> values;
+    keys.reserve(dst->count() + src->count());
+    for (size_t i = 0; i < dst->count(); i++) {
+      keys.push_back(dst->FullKey(i));
+      values.push_back(dst->values[i]);
+    }
+    for (size_t i = 0; i < src->count(); i++) {
+      keys.push_back(src->FullKey(i));
+      values.push_back(src->values[i]);
+    }
+    RebuildLeaf(dst, keys, values);
+    dst->next = src->next;
+    delete src;
+    parent->separators.erase(parent->separators.begin() +
+                             static_cast<long>(sep));
+    parent->children.erase(parent->children.begin() +
+                           static_cast<long>(sep + 1));
+    return;
+  }
+
+  auto* c = static_cast<InnerNode*>(child);
+  auto* l = static_cast<InnerNode*>(left);
+  auto* r = static_cast<InnerNode*>(right);
+  if (l && l->separators.size() > kMinFill) {
+    // Rotate through the parent.
+    c->separators.insert(c->separators.begin(),
+                         std::move(parent->separators[idx - 1]));
+    c->children.insert(c->children.begin(), l->children.back());
+    parent->separators[idx - 1] = std::move(l->separators.back());
+    l->separators.pop_back();
+    l->children.pop_back();
+    return;
+  }
+  if (r && r->separators.size() > kMinFill) {
+    c->separators.push_back(std::move(parent->separators[idx]));
+    c->children.push_back(r->children.front());
+    parent->separators[idx] = std::move(r->separators.front());
+    r->separators.erase(r->separators.begin());
+    r->children.erase(r->children.begin());
+    return;
+  }
+  // Merge inner nodes around the parent separator.
+  InnerNode* dst = l ? l : c;
+  InnerNode* src = l ? c : r;
+  size_t sep = l ? idx - 1 : idx;
+  dst->separators.push_back(std::move(parent->separators[sep]));
+  for (auto& s : src->separators) dst->separators.push_back(std::move(s));
+  for (Node* ch : src->children) dst->children.push_back(ch);
+  delete src;
+  parent->separators.erase(parent->separators.begin() +
+                           static_cast<long>(sep));
+  parent->children.erase(parent->children.begin() +
+                         static_cast<long>(sep + 1));
+}
+
+const PrefixBTree::LeafNode* PrefixBTree::FindLeaf(
+    std::string_view key) const {
+  if (!root_) return nullptr;
+  const Node* node = root_;
+  while (!node->leaf) {
+    const auto* inner = static_cast<const InnerNode*>(node);
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(inner->separators.begin(), inner->separators.end(),
+                         key,
+                         [](std::string_view k, const std::string& sep) {
+                           return k < std::string_view(sep);
+                         }) -
+        inner->separators.begin());
+    node = inner->children[idx];
+  }
+  return static_cast<const LeafNode*>(node);
+}
+
+bool PrefixBTree::Lookup(std::string_view key, uint64_t* value) const {
+  const LeafNode* leaf = FindLeaf(key);
+  if (!leaf) return false;
+  bool exact = false;
+  size_t pos = LeafLowerBound(leaf, key, &exact);
+  if (!exact) return false;
+  if (value) *value = leaf->values[pos];
+  return true;
+}
+
+size_t PrefixBTree::Scan(std::string_view start, size_t count,
+                         std::vector<uint64_t>* out) const {
+  const LeafNode* leaf = FindLeaf(start);
+  if (!leaf) return 0;
+  size_t produced = 0;
+  size_t pos = LeafLowerBound(leaf, start, nullptr);
+  while (leaf && produced < count) {
+    for (; pos < leaf->count() && produced < count; pos++) {
+      if (out) out->push_back(leaf->values[pos]);
+      produced++;
+    }
+    leaf = leaf->next;
+    pos = 0;
+  }
+  return produced;
+}
+
+size_t PrefixBTree::MemoryRec(const Node* node) const {
+  if (node->leaf) {
+    const auto* leaf = static_cast<const LeafNode*>(node);
+    return sizeof(LeafNode) + leaf->prefix.capacity() +
+           leaf->blob.capacity() +
+           leaf->offsets.capacity() * sizeof(uint32_t) +
+           leaf->values.capacity() * sizeof(uint64_t);
+  }
+  const auto* inner = static_cast<const InnerNode*>(node);
+  size_t bytes = sizeof(InnerNode);
+  bytes += inner->separators.capacity() * sizeof(std::string);
+  for (const auto& s : inner->separators)
+    if (s.capacity() > 15) bytes += s.capacity() + 1;  // beyond SSO
+  bytes += inner->children.capacity() * sizeof(Node*);
+  for (const Node* child : inner->children) bytes += MemoryRec(child);
+  return bytes;
+}
+
+size_t PrefixBTree::MemoryBytes() const {
+  return root_ ? MemoryRec(root_) : 0;
+}
+
+int PrefixBTree::Height() const {
+  int h = 0;
+  const Node* node = root_;
+  while (node) {
+    h++;
+    if (node->leaf) break;
+    node = static_cast<const InnerNode*>(node)->children[0];
+  }
+  return h;
+}
+
+std::string PrefixBTree::CheckRec(const Node* node, const std::string* lo,
+                                  const std::string* hi, int depth,
+                                  int expect_depth) const {
+  if (node->leaf) {
+    if (depth != expect_depth) return "leaves at different depths";
+    const auto* leaf = static_cast<const LeafNode*>(node);
+    if (leaf->count() == 0) return "empty leaf";
+    if (leaf->offsets.size() != leaf->values.size() + 1)
+      return "offset/value size mismatch";
+    for (size_t i = 0; i + 1 < leaf->count(); i++)
+      if (!(leaf->Suffix(i) < leaf->Suffix(i + 1)))
+        return "leaf keys out of order";
+    if (lo && !(*lo <= leaf->FullKey(0))) return "leaf below lower bound";
+    if (hi && !(leaf->FullKey(leaf->count() - 1) < *hi))
+      return "leaf above upper bound";
+    return "";
+  }
+  const auto* inner = static_cast<const InnerNode*>(node);
+  if (inner->separators.empty()) return "empty inner node";
+  if (inner->children.size() != inner->separators.size() + 1)
+    return "child/separator count mismatch";
+  for (size_t i = 0; i + 1 < inner->separators.size(); i++)
+    if (!(inner->separators[i] < inner->separators[i + 1]))
+      return "separators out of order";
+  for (size_t i = 0; i < inner->children.size(); i++) {
+    const std::string* clo = i == 0 ? lo : &inner->separators[i - 1];
+    const std::string* chi =
+        i == inner->separators.size() ? hi : &inner->separators[i];
+    std::string err =
+        CheckRec(inner->children[i], clo, chi, depth + 1, expect_depth);
+    if (!err.empty()) return err;
+  }
+  return "";
+}
+
+std::string PrefixBTree::CheckInvariants() const {
+  if (!root_) return "";
+  return CheckRec(root_, nullptr, nullptr, 1, Height());
+}
+
+}  // namespace hope

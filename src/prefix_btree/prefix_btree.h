@@ -1,0 +1,119 @@
+// Prefix B+tree (Bayer & Unterauer, §5): a B+tree whose leaf nodes apply
+// *prefix truncation* (the common prefix of a node's keys is stored once)
+// and whose leaf splits apply *suffix truncation* (the parent receives
+// the shortest separator s with max(left) < s <= min(right)).
+//
+// Leaf keys are stored page-style: one prefix string plus a concatenated
+// suffix blob with an offset array — no per-key string headers — so the
+// space accounting reflects what an actual prefix-truncated node layout
+// would occupy. MemoryBytes() counts node structures, prefixes, blobs and
+// offsets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hope {
+
+class PrefixBTree {
+ public:
+  static constexpr size_t kSlots = 16;
+
+  PrefixBTree() = default;
+  ~PrefixBTree();
+
+  PrefixBTree(const PrefixBTree&) = delete;
+  PrefixBTree& operator=(const PrefixBTree&) = delete;
+
+  /// Inserts a key/value pair; overwrites the value if the key exists.
+  void Insert(std::string_view key, uint64_t value);
+
+  bool Lookup(std::string_view key, uint64_t* value) const;
+
+  /// Removes a key with borrow/merge rebalancing; separators are
+  /// re-derived with suffix truncation when leaf boundaries move.
+  /// Returns false if the key was absent.
+  bool Erase(std::string_view key);
+
+  /// Scans up to `count` entries starting at the first key >= start.
+  size_t Scan(std::string_view start, size_t count,
+              std::vector<uint64_t>* out) const;
+
+  size_t size() const { return size_; }
+
+  size_t MemoryBytes() const;
+
+  int Height() const;
+
+  /// Validates ordering, prefix and separator invariants ("" when OK).
+  std::string CheckInvariants() const;
+
+ private:
+  struct Node {
+    bool leaf;
+  };
+
+  struct InnerNode : Node {
+    std::vector<std::string> separators;  // suffix-truncated
+    std::vector<Node*> children;          // separators.size() + 1
+  };
+
+  struct LeafNode : Node {
+    std::string prefix;             // common prefix, stored once
+    std::string blob;               // concatenated sorted suffixes
+    std::vector<uint32_t> offsets;  // values.size() + 1 boundaries
+    std::vector<uint64_t> values;
+    LeafNode* next = nullptr;
+
+    size_t count() const { return values.size(); }
+    std::string_view Suffix(size_t i) const {
+      return std::string_view(blob).substr(offsets[i],
+                                           offsets[i + 1] - offsets[i]);
+    }
+    std::string FullKey(size_t i) const {
+      return prefix + std::string(Suffix(i));
+    }
+    void InsertAt(size_t pos, std::string_view suffix, uint64_t value);
+  };
+
+  struct SplitResult {
+    Node* right = nullptr;
+    std::string separator;  // shortest separator, max(left) < sep <= min(right)
+  };
+
+  static constexpr size_t kMinFill = kSlots / 2;
+
+  SplitResult InsertRec(Node* node, std::string_view key, uint64_t value);
+  void InsertIntoLeaf(LeafNode* leaf, std::string_view key, uint64_t value);
+  /// Inserts without size bookkeeping; returns false on overwrite.
+  static bool LeafInsertKey(LeafNode* leaf, std::string_view key,
+                            uint64_t value);
+  static void LeafRemoveAt(LeafNode* leaf, size_t pos);
+  /// Rebuilds a leaf from materialized full keys (re-deriving the
+  /// prefix).
+  static void RebuildLeaf(LeafNode* leaf,
+                          const std::vector<std::string>& keys,
+                          const std::vector<uint64_t>& values);
+  bool EraseRec(Node* node, std::string_view key);
+  void RebalanceChild(InnerNode* parent, size_t idx);
+  const LeafNode* FindLeaf(std::string_view key) const;
+  /// First index i in the leaf with full_key(i) >= key.
+  static size_t LeafLowerBound(const LeafNode* leaf, std::string_view key,
+                               bool* exact);
+  void FreeRec(Node* node);
+  size_t MemoryRec(const Node* node) const;
+  std::string CheckRec(const Node* node, const std::string* lo,
+                       const std::string* hi, int depth,
+                       int expect_depth) const;
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Shortest separator s with a < s <= b (requires a < b). Exposed for
+/// direct unit testing.
+std::string ShortestSeparator(std::string_view a, std::string_view b);
+
+}  // namespace hope

@@ -1,0 +1,234 @@
+#include "surf/surf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace hope {
+
+namespace {
+
+/// A builder work item: a range of sorted keys sharing the first `depth`
+/// bytes, to be materialized as one trie node.
+struct BuildItem {
+  size_t lo, hi, depth;
+};
+
+}  // namespace
+
+Surf::Surf(const std::vector<std::string>& sorted_keys, SurfSuffix suffix)
+    : suffix_(suffix) {
+  const auto& keys = sorted_keys;
+  num_keys_ = keys.size();
+  if (keys.empty()) return;
+  assert(std::is_sorted(keys.begin(), keys.end()));
+
+  // BFS over key ranges; each item becomes one node whose labels are
+  // appended contiguously (LOUDS-Sparse level order).
+  std::deque<BuildItem> queue;
+  queue.push_back({0, keys.size(), 0});
+  while (!queue.empty()) {
+    BuildItem item = queue.front();
+    queue.pop_front();
+    size_t lo = item.lo, hi = item.hi, d = item.depth;
+    bool first_label = true;
+    auto append = [&](uint16_t label, bool child) {
+      labels_.push_back(label);
+      has_child_.PushBack(child);
+      louds_.PushBack(first_label);
+      first_label = false;
+    };
+    // A key that ends exactly at this node becomes the terminator label,
+    // which sorts before every real label.
+    if (keys[lo].size() == d) {
+      append(kTerminator, false);
+      total_leaf_depth_ += d;
+      if (suffix_ == SurfSuffix::kHash8)
+        suffixes_.push_back(HashSuffix(keys[lo]));
+      else if (suffix_ == SurfSuffix::kReal8)
+        suffixes_.push_back(0);  // no bytes follow the key
+      lo++;
+    }
+    size_t i = lo;
+    while (i < hi) {
+      uint8_t b = static_cast<uint8_t>(keys[i][d]);
+      size_t j = i;
+      while (j < hi && static_cast<uint8_t>(keys[j][d]) == b) j++;
+      if (j - i == 1) {
+        // Unique prefix: truncate here; the rest of the key is dropped
+        // (that is SuRF's whole point).
+        append(ToLabel(b), false);
+        total_leaf_depth_ += d + 1;
+        if (suffix_ == SurfSuffix::kHash8)
+          suffixes_.push_back(HashSuffix(keys[i]));
+        else if (suffix_ == SurfSuffix::kReal8)
+          suffixes_.push_back(RealSuffix(keys[i], d + 1));
+      } else {
+        append(ToLabel(b), true);
+        queue.push_back({i, j, d + 1});
+      }
+      i = j;
+    }
+  }
+  labels_.shrink_to_fit();
+  suffixes_.shrink_to_fit();
+  has_child_.Finalize();
+  louds_.Finalize();
+}
+
+void Surf::NodeRange(size_t node, size_t* begin, size_t* end) const {
+  *begin = louds_.Select1(node);
+  *end = node + 1 < louds_.num_ones() ? louds_.Select1(node + 1)
+                                      : labels_.size();
+}
+
+size_t Surf::ChildNode(size_t pos) const {
+  // Children are numbered in label order; the root is node 0 and is not
+  // pointed to by any label.
+  return has_child_.Rank1(pos + 1);
+}
+
+size_t Surf::LeafId(size_t pos) const { return has_child_.Rank0(pos); }
+
+uint8_t Surf::HashSuffix(std::string_view key) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return static_cast<uint8_t>(h ^ (h >> 32));
+}
+
+uint8_t Surf::RealSuffix(std::string_view key, size_t next) const {
+  return next < key.size() ? static_cast<uint8_t>(key[next]) : 0;
+}
+
+bool Surf::CheckLeafSuffix(size_t pos, std::string_view key,
+                           size_t depth) const {
+  switch (suffix_) {
+    case SurfSuffix::kNone:
+      return true;
+    case SurfSuffix::kHash8:
+      return suffixes_[LeafId(pos)] == HashSuffix(key);
+    case SurfSuffix::kReal8:
+      return suffixes_[LeafId(pos)] == RealSuffix(key, depth);
+  }
+  return true;
+}
+
+bool Surf::MayContain(std::string_view key) const {
+  if (num_keys_ == 0) return false;
+  size_t node = 0, depth = 0;
+  while (true) {
+    size_t begin, end;
+    NodeRange(node, &begin, &end);
+    if (depth == key.size()) {
+      // The key ends here: present iff this node has a terminator label.
+      return labels_[begin] == kTerminator &&
+             CheckLeafSuffix(begin, key, depth + 1);
+    }
+    uint16_t target = ToLabel(static_cast<uint8_t>(key[depth]));
+    const uint16_t* base = labels_.data();
+    const uint16_t* it =
+        std::lower_bound(base + begin, base + end, target);
+    size_t pos = static_cast<size_t>(it - base);
+    if (pos == end || *it != target) return false;
+    if (!has_child_.Get(pos)) {
+      // Unique-prefix leaf: everything after `depth` was truncated away,
+      // so this is a (suffix-checked) positive.
+      return CheckLeafSuffix(pos, key, depth + 1);
+    }
+    node = ChildNode(pos);
+    depth++;
+  }
+}
+
+void Surf::DescendMin(size_t pos, std::vector<uint32_t>* stack) const {
+  // `pos` is a label position already pushed by the caller.
+  while (has_child_.Get(pos)) {
+    size_t begin, end;
+    NodeRange(ChildNode(pos), &begin, &end);
+    pos = begin;  // terminator/minimum label first
+    stack->push_back(static_cast<uint32_t>(pos));
+  }
+}
+
+bool Surf::LowerBoundRec(size_t node, size_t depth, std::string_view start,
+                         std::vector<uint32_t>* stack) const {
+  size_t begin, end;
+  NodeRange(node, &begin, &end);
+  uint16_t target = depth < start.size()
+                        ? ToLabel(static_cast<uint8_t>(start[depth]))
+                        : kTerminator;
+  const uint16_t* base = labels_.data();
+  size_t pos = static_cast<size_t>(
+      std::lower_bound(base + begin, base + end, target) - base);
+  for (; pos < end; pos++) {
+    stack->push_back(static_cast<uint32_t>(pos));
+    if (labels_[pos] > target || depth >= start.size()) {
+      // Everything under this label exceeds the remaining start bytes.
+      DescendMin(pos, stack);
+      return true;
+    }
+    // labels_[pos] == target (and start has more bytes).
+    if (has_child_.Get(pos)) {
+      if (LowerBoundRec(ChildNode(pos), depth + 1, start, stack))
+        return true;
+      stack->pop_back();
+      continue;  // subtree exhausted: advance to the next label
+    }
+    // Exact-label leaf: only the suffix can order it against start.
+    if (suffix_ == SurfSuffix::kReal8) {
+      uint8_t stored = suffixes_[LeafId(pos)];
+      uint8_t want = depth + 1 < start.size()
+                         ? static_cast<uint8_t>(start[depth + 1])
+                         : 0;
+      if (stored >= want) return true;
+      stack->pop_back();
+      continue;
+    }
+    // Without real suffixes, conservatively treat it as >= start (filter
+    // semantics: no false negatives).
+    return true;
+  }
+  return false;
+}
+
+std::string Surf::ReconstructKey(const std::vector<uint32_t>& stack) const {
+  std::string key;
+  for (size_t i = 0; i < stack.size(); i++) {
+    uint16_t label = labels_[stack[i]];
+    if (label != kTerminator)
+      key.push_back(static_cast<char>(label - 1));
+  }
+  if (!stack.empty() && suffix_ == SurfSuffix::kReal8) {
+    size_t pos = stack.back();
+    if (!has_child_.Get(pos)) {
+      uint8_t s = suffixes_[LeafId(pos)];
+      if (s != 0) key.push_back(static_cast<char>(s));
+    }
+  }
+  return key;
+}
+
+bool Surf::MayContainRange(std::string_view start,
+                           std::string_view end) const {
+  if (num_keys_ == 0) return false;
+  std::vector<uint32_t> stack;
+  stack.reserve(16);
+  if (!LowerBoundRec(0, 0, start, &stack)) return false;
+  // The lower-bound candidate exists; the range is non-empty iff its key
+  // is <= end. The reconstructed key may be truncated: if it is a prefix
+  // of `end` the comparison is ambiguous and we answer positively.
+  std::string candidate = ReconstructKey(stack);
+  std::string_view c(candidate);
+  if (c.size() <= end.size() && end.substr(0, c.size()) == c) return true;
+  return c < end;
+}
+
+size_t Surf::MemoryBytes() const {
+  return labels_.capacity() * sizeof(uint16_t) + has_child_.MemoryBytes() +
+         louds_.MemoryBytes() + suffixes_.capacity();
+}
+
+}  // namespace hope

@@ -1,0 +1,36 @@
+#include "workload/workload.h"
+
+#include <random>
+
+namespace hope {
+
+std::vector<uint32_t> GenerateZipfQueries(size_t num_keys, size_t num_queries,
+                                          uint64_t seed, double theta) {
+  std::mt19937_64 rng(seed);
+  ScrambledZipf zipf(num_keys, theta);
+  std::vector<uint32_t> queries(num_queries);
+  for (auto& q : queries) q = static_cast<uint32_t>(zipf(rng));
+  return queries;
+}
+
+std::vector<uint32_t> GenerateScanLengths(size_t num_queries, uint32_t max_len,
+                                          uint64_t seed) {
+  std::mt19937_64 rng(seed ^ 0x5DEECE66Dull);
+  std::uniform_int_distribution<uint32_t> len(1, max_len);
+  std::vector<uint32_t> lens(num_queries);
+  for (auto& l : lens) l = len(rng);
+  return lens;
+}
+
+InsertSplit SplitForInserts(const std::vector<std::string>& keys,
+                            double load_fraction) {
+  InsertSplit split;
+  size_t cut = static_cast<size_t>(static_cast<double>(keys.size()) *
+                                   load_fraction);
+  cut = std::min(cut, keys.size());
+  split.load.assign(keys.begin(), keys.begin() + static_cast<long>(cut));
+  split.inserts.assign(keys.begin() + static_cast<long>(cut), keys.end());
+  return split;
+}
+
+}  // namespace hope

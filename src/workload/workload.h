@@ -1,0 +1,52 @@
+// YCSB-style workload generation (§7.1) and measurement helpers.
+//
+// The paper uses YCSB workloads C (point lookups) and E (range scans)
+// under a Zipf-distributed key popularity, with the YCSB keys replaced
+// one-to-one by dataset keys so the skew carries over. Queries here are
+// pre-generated index streams into the loaded key vector.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/zipf.h"
+
+namespace hope {
+
+/// Wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Pre-generated YCSB query stream: indices into the loaded key vector,
+/// drawn from a scrambled-Zipfian popularity distribution (workload C/E).
+std::vector<uint32_t> GenerateZipfQueries(size_t num_keys, size_t num_queries,
+                                          uint64_t seed, double theta = 0.99);
+
+/// YCSB-E scan lengths: uniform in [1, max_len] as in the YCSB spec.
+std::vector<uint32_t> GenerateScanLengths(size_t num_queries, uint32_t max_len,
+                                          uint64_t seed);
+
+/// Splits a loaded dataset into bulk-load keys and insert keys for the
+/// insert benchmarks: the first `load_fraction` of the keys are loaded,
+/// the rest measured as inserts.
+struct InsertSplit {
+  std::vector<std::string> load;
+  std::vector<std::string> inserts;
+};
+InsertSplit SplitForInserts(const std::vector<std::string>& keys,
+                            double load_fraction);
+
+}  // namespace hope

@@ -1,0 +1,115 @@
+#include "common/bits.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace hope {
+namespace {
+
+TEST(BitsTest, PopCount) {
+  EXPECT_EQ(PopCount64(0), 0);
+  EXPECT_EQ(PopCount64(~uint64_t{0}), 64);
+  EXPECT_EQ(PopCount64(0xF0F0), 8);
+}
+
+TEST(BitsTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+TEST(BitsTest, GetSetBit) {
+  uint64_t words[2] = {0, 0};
+  SetBit(words, 0);
+  SetBit(words, 63);
+  SetBit(words, 64);
+  SetBit(words, 127);
+  EXPECT_TRUE(GetBit(words, 0));
+  EXPECT_TRUE(GetBit(words, 63));
+  EXPECT_TRUE(GetBit(words, 64));
+  EXPECT_TRUE(GetBit(words, 127));
+  EXPECT_FALSE(GetBit(words, 1));
+  EXPECT_FALSE(GetBit(words, 65));
+  // MSB-first within a word.
+  EXPECT_EQ(words[0] >> 63, 1u);
+}
+
+TEST(BitsTest, CodeToString) {
+  Code c{0b101ull << 61, 3};
+  EXPECT_EQ(CodeToString(c), "101");
+  EXPECT_TRUE(CodeBit(c, 0));
+  EXPECT_FALSE(CodeBit(c, 1));
+  EXPECT_TRUE(CodeBit(c, 2));
+}
+
+TEST(BitsTest, AppendCodeSingleByte) {
+  std::string buf;
+  size_t off = AppendCode(&buf, 0, Code{0b101ull << 61, 3});
+  EXPECT_EQ(off, 3u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0b10100000);
+  off = AppendCode(&buf, off, Code{0b11ull << 62, 2});
+  EXPECT_EQ(off, 5u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0b10111000);
+}
+
+TEST(BitsTest, AppendCodeSpansBytes) {
+  std::string buf;
+  size_t off = AppendCode(&buf, 0, Code{0x3Full << 58, 6});   // 111111
+  off = AppendCode(&buf, off, Code{0b0000011ull << 57, 7});   // 0000011
+  EXPECT_EQ(off, 13u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0b11111100);
+  EXPECT_EQ(static_cast<uint8_t>(buf[1]), 0b00011000);
+}
+
+TEST(BitsTest, CompareBitStringsBasic) {
+  std::string a{"\x80", 1};  // bit 1
+  std::string b{"\x00", 1};  // bit 0
+  EXPECT_GT(CompareBitStrings(a, 1, b, 1), 0);
+  EXPECT_LT(CompareBitStrings(b, 1, a, 1), 0);
+  EXPECT_EQ(CompareBitStrings(a, 1, a, 1), 0);
+}
+
+TEST(BitsTest, CompareBitStringsPrefix) {
+  std::string a{"\xA0", 1};  // 101
+  std::string b{"\xA8", 1};  // 10101
+  EXPECT_LT(CompareBitStrings(a, 3, b, 5), 0);  // prefix < extension
+  EXPECT_GT(CompareBitStrings(b, 5, a, 3), 0);
+  EXPECT_EQ(CompareBitStrings(a, 3, b, 3), 0);  // same first 3 bits
+}
+
+TEST(BitsTest, CompareBitStringsRandomAgainstReference) {
+  std::mt19937_64 rng(7);
+  for (int iter = 0; iter < 2000; iter++) {
+    size_t abits = rng() % 40, bbits = rng() % 40;
+    std::string a((abits + 7) / 8, '\0'), b((bbits + 7) / 8, '\0');
+    std::string abin, bbin;
+    for (size_t i = 0; i < abits; i++)
+      if (rng() & 1) {
+        a[i / 8] = static_cast<char>(static_cast<uint8_t>(a[i / 8]) |
+                                     (1 << (7 - i % 8)));
+      }
+    for (size_t i = 0; i < bbits; i++)
+      if (rng() & 1) {
+        b[i / 8] = static_cast<char>(static_cast<uint8_t>(b[i / 8]) |
+                                     (1 << (7 - i % 8)));
+      }
+    for (size_t i = 0; i < abits; i++)
+      abin += ((static_cast<uint8_t>(a[i / 8]) >> (7 - i % 8)) & 1) ? '1'
+                                                                    : '0';
+    for (size_t i = 0; i < bbits; i++)
+      bbin += ((static_cast<uint8_t>(b[i / 8]) >> (7 - i % 8)) & 1) ? '1'
+                                                                    : '0';
+    int expect = abin < bbin ? -1 : (abin == bbin ? 0 : 1);
+    int got = CompareBitStrings(a, abits, b, bbits);
+    got = got < 0 ? -1 : (got == 0 ? 0 : 1);
+    EXPECT_EQ(got, expect) << "a=" << abin << " b=" << bbin;
+  }
+}
+
+}  // namespace
+}  // namespace hope

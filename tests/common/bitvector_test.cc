@@ -1,0 +1,132 @@
+#include "common/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace hope {
+namespace {
+
+// Reference implementation for cross-checking.
+struct RefBits {
+  std::vector<bool> bits;
+  size_t Rank1(size_t pos) const {
+    size_t r = 0;
+    for (size_t i = 0; i < pos; i++) r += bits[i];
+    return r;
+  }
+  size_t Select1(size_t i) const {
+    size_t seen = 0;
+    for (size_t p = 0; p < bits.size(); p++)
+      if (bits[p] && seen++ == i) return p;
+    return bits.size();
+  }
+  size_t Select0(size_t i) const {
+    size_t seen = 0;
+    for (size_t p = 0; p < bits.size(); p++)
+      if (!bits[p] && seen++ == i) return p;
+    return bits.size();
+  }
+};
+
+class BitVectorParamTest : public ::testing::TestWithParam<
+                               std::tuple<size_t, double, uint64_t>> {};
+
+TEST_P(BitVectorParamTest, MatchesReference) {
+  auto [n, density, seed] = GetParam();
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution coin(density);
+  BitVector bv;
+  RefBits ref;
+  for (size_t i = 0; i < n; i++) {
+    bool b = coin(rng);
+    bv.PushBack(b);
+    ref.bits.push_back(b);
+  }
+  bv.Finalize();
+  ASSERT_EQ(bv.size(), n);
+  size_t ones = ref.Rank1(n);
+  EXPECT_EQ(bv.num_ones(), ones);
+  // Rank at a spread of positions including boundaries.
+  for (size_t pos = 0; pos <= n; pos += std::max<size_t>(1, n / 97))
+    EXPECT_EQ(bv.Rank1(pos), ref.Rank1(pos)) << "pos=" << pos;
+  EXPECT_EQ(bv.Rank1(n), ones);
+  for (size_t i = 0; i < ones; i += std::max<size_t>(1, ones / 61))
+    EXPECT_EQ(bv.Select1(i), ref.Select1(i)) << "i=" << i;
+  size_t zeros = n - ones;
+  for (size_t i = 0; i < zeros; i += std::max<size_t>(1, zeros / 61))
+    EXPECT_EQ(bv.Select0(i), ref.Select0(i)) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BitVectorParamTest,
+    ::testing::Values(
+        std::make_tuple(size_t{1}, 1.0, 1),
+        std::make_tuple(size_t{63}, 0.5, 2),
+        std::make_tuple(size_t{64}, 0.5, 3),
+        std::make_tuple(size_t{65}, 0.5, 4),
+        std::make_tuple(size_t{512}, 0.5, 5),
+        std::make_tuple(size_t{513}, 0.01, 6),
+        std::make_tuple(size_t{4096}, 0.99, 7),
+        std::make_tuple(size_t{100000}, 0.5, 8),
+        std::make_tuple(size_t{100000}, 0.001, 9),
+        std::make_tuple(size_t{100001}, 0.93, 10)));
+
+TEST(BitVectorTest, RankSelectInverse) {
+  std::mt19937_64 rng(99);
+  BitVector bv;
+  for (int i = 0; i < 20000; i++) bv.PushBack(rng() % 3 == 0);
+  bv.Finalize();
+  for (size_t i = 0; i < bv.num_ones(); i++) {
+    size_t pos = bv.Select1(i);
+    EXPECT_TRUE(bv.Get(pos));
+    EXPECT_EQ(bv.Rank1(pos), i);
+    EXPECT_EQ(bv.Rank1(pos + 1), i + 1);
+  }
+}
+
+TEST(BitVectorTest, NextPrevOne) {
+  BitVector bv;
+  std::vector<size_t> set_positions = {0, 5, 63, 64, 100, 511, 512, 700};
+  size_t n = 800;
+  size_t idx = 0;
+  for (size_t i = 0; i < n; i++) {
+    bool b = idx < set_positions.size() && set_positions[idx] == i;
+    if (b) idx++;
+    bv.PushBack(b);
+  }
+  bv.Finalize();
+  EXPECT_EQ(bv.NextOne(0), 0u);
+  EXPECT_EQ(bv.NextOne(1), 5u);
+  EXPECT_EQ(bv.NextOne(6), 63u);
+  EXPECT_EQ(bv.NextOne(65), 100u);
+  EXPECT_EQ(bv.NextOne(701), n);
+  EXPECT_EQ(bv.PrevOne(799), 700u);
+  EXPECT_EQ(bv.PrevOne(700), 700u);
+  EXPECT_EQ(bv.PrevOne(699), 512u);
+  EXPECT_EQ(bv.PrevOne(4), 0u);
+  EXPECT_EQ(bv.PrevOne(0), 0u);
+}
+
+TEST(BitVectorTest, AppendZerosAndSet) {
+  BitVector bv;
+  bv.AppendZeros(300);
+  bv.Set(7);
+  bv.Set(255);
+  bv.Finalize();
+  EXPECT_EQ(bv.num_ones(), 2u);
+  EXPECT_EQ(bv.Select1(0), 7u);
+  EXPECT_EQ(bv.Select1(1), 255u);
+}
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector bv;
+  bv.Finalize();
+  EXPECT_EQ(bv.size(), 0u);
+  EXPECT_EQ(bv.num_ones(), 0u);
+  EXPECT_EQ(bv.Rank1(0), 0u);
+}
+
+}  // namespace
+}  // namespace hope

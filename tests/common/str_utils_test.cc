@@ -1,0 +1,63 @@
+#include "common/str_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace hope {
+namespace {
+
+TEST(StrUtilsTest, LcpLen) {
+  EXPECT_EQ(LcpLen("", ""), 0u);
+  EXPECT_EQ(LcpLen("abc", "abd"), 2u);
+  EXPECT_EQ(LcpLen("abc", "abc"), 3u);
+  EXPECT_EQ(LcpLen("abc", "abcde"), 3u);
+  EXPECT_EQ(LcpLen("xyz", "abc"), 0u);
+}
+
+TEST(StrUtilsTest, Successor) {
+  EXPECT_EQ(Successor("abc"), std::string("abc\0", 4));
+  EXPECT_EQ(Successor(""), std::string("\0", 1));
+}
+
+TEST(StrUtilsTest, PrefixUpperBound) {
+  EXPECT_EQ(PrefixUpperBound("abc"), "abd");
+  EXPECT_EQ(PrefixUpperBound(std::string("ab\xff", 3)), "ac");
+  EXPECT_EQ(PrefixUpperBound(std::string("\xff\xff", 2)), "");
+  EXPECT_EQ(PrefixUpperBound(std::string("a\xff\xff", 3)), "b");
+}
+
+TEST(StrUtilsTest, IntervalCommonPrefixSimple) {
+  // [abc, abd): common prefix "abc".
+  EXPECT_EQ(IntervalCommonPrefix("abc", "abd"), "abc");
+  // [inh, ion): common prefix "i" (paper Fig. 4d example).
+  EXPECT_EQ(IntervalCommonPrefix("inh", "ion"), "i");
+  // [sioo, t): common prefix "s" (paper Fig. 4c example).
+  EXPECT_EQ(IntervalCommonPrefix("sioo", "t"), "s");
+  // [azz, b): all members start with "a".
+  EXPECT_EQ(IntervalCommonPrefix("azz", "b"), "a");
+}
+
+TEST(StrUtilsTest, IntervalCommonPrefixTrailingZeros) {
+  // [b, b\0): contains only "b"; pred(b\0) = "b".
+  EXPECT_EQ(IntervalCommonPrefix("b", std::string("b\0", 2)), "b");
+  // [ab, ab\0\0): contains only "ab" and "ab\0".
+  EXPECT_EQ(IntervalCommonPrefix("ab", std::string("ab\0\0", 4)), "ab");
+}
+
+TEST(StrUtilsTest, IntervalCommonPrefixNoCommon) {
+  // [az, c): spans "b" so no common prefix.
+  EXPECT_EQ(IntervalCommonPrefix("az", "c"), "");
+  // ["", x): contains "" (no bytes).
+  EXPECT_EQ(IntervalCommonPrefix("", "foo"), "");
+}
+
+TEST(StrUtilsTest, IntervalCommonPrefixUnbounded) {
+  // [x, +inf): only all-0xFF lower bounds share a prefix with +inf side.
+  EXPECT_EQ(IntervalCommonPrefix("abc", ""), "");
+  EXPECT_EQ(IntervalCommonPrefix(std::string("\xff", 1), ""),
+            std::string("\xff", 1));
+  EXPECT_EQ(IntervalCommonPrefix(std::string("\xff\xff", 2), ""),
+            std::string("\xff\xff", 2));
+}
+
+}  // namespace
+}  // namespace hope

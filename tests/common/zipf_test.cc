@@ -1,0 +1,58 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace hope {
+namespace {
+
+TEST(ZipfTest, RanksAreSkewed) {
+  std::mt19937_64 rng(1);
+  ZipfDistribution zipf(1000, 0.99);
+  std::map<size_t, size_t> hist;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; i++) hist[zipf(rng)]++;
+  // Rank 0 must dominate rank 99 by roughly 100^0.99.
+  EXPECT_GT(hist[0], hist[99] * 20);
+  // All draws are in range.
+  EXPECT_LT(hist.rbegin()->first, 1000u);
+}
+
+TEST(ZipfTest, UniformTheta0) {
+  std::mt19937_64 rng(2);
+  ZipfDistribution zipf(10, 0.0);
+  std::map<size_t, size_t> hist;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; i++) hist[zipf(rng)]++;
+  for (auto& [rank, count] : hist) {
+    EXPECT_NEAR(static_cast<double>(count), kDraws / 10.0, kDraws * 0.01)
+        << "rank " << rank;
+  }
+}
+
+TEST(ZipfTest, ScrambledZipfSpreadsHotKeys) {
+  std::mt19937_64 rng(3);
+  ScrambledZipf sz(100000, 0.99);
+  std::map<size_t, size_t> hist;
+  for (int i = 0; i < 100000; i++) hist[sz(rng)]++;
+  // The hottest item should not be item 0 with overwhelming probability
+  // (the scramble spreads ranks across the space).
+  size_t hottest = 0, hottest_count = 0;
+  for (auto& [item, count] : hist)
+    if (count > hottest_count) {
+      hottest = item;
+      hottest_count = count;
+    }
+  EXPECT_NE(hottest, 0u);
+  EXPECT_GT(hottest_count, 1000u);  // still very skewed
+}
+
+TEST(ZipfTest, SingleItem) {
+  std::mt19937_64 rng(4);
+  ZipfDistribution zipf(1, 0.99);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(zipf(rng), 0u);
+}
+
+}  // namespace
+}  // namespace hope

@@ -1,0 +1,81 @@
+#include "datasets/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hope {
+namespace {
+
+class DatasetParamTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(DatasetParamTest, UniqueNonEmptyDeterministic) {
+  DatasetId id = GetParam();
+  auto keys = GenerateDataset(id, 5000, 42);
+  ASSERT_EQ(keys.size(), 5000u);
+  std::set<std::string> uniq(keys.begin(), keys.end());
+  EXPECT_EQ(uniq.size(), keys.size());
+  for (const auto& k : keys) EXPECT_FALSE(k.empty());
+  // Deterministic per seed.
+  auto again = GenerateDataset(id, 5000, 42);
+  EXPECT_EQ(keys, again);
+  auto other = GenerateDataset(id, 5000, 43);
+  EXPECT_NE(keys, other);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetParamTest,
+                         ::testing::Values(DatasetId::kEmail, DatasetId::kWiki,
+                                           DatasetId::kUrl));
+
+TEST(DatasetsTest, EmailShape) {
+  auto keys = GenerateEmails(20000, 7);
+  double total = 0;
+  size_t gmail = 0;
+  for (const auto& k : keys) {
+    total += static_cast<double>(k.size());
+    EXPECT_NE(k.find('@'), std::string::npos) << k;
+    // Host-reversed: starts with a TLD segment, not with a user name.
+    EXPECT_TRUE(k.find('.') < k.find('@')) << k;
+    if (k.rfind("com.gmail@", 0) == 0) gmail++;
+  }
+  double avg = total / static_cast<double>(keys.size());
+  EXPECT_GT(avg, 15.0);
+  EXPECT_LT(avg, 30.0);  // paper: ~22 bytes
+  // Provider skew: gmail is the hottest host.
+  EXPECT_GT(gmail, keys.size() / 20);
+}
+
+TEST(DatasetsTest, WikiShape) {
+  auto keys = GenerateWikiTitles(20000, 7);
+  double total = 0;
+  for (const auto& k : keys) total += static_cast<double>(k.size());
+  double avg = total / static_cast<double>(keys.size());
+  EXPECT_GT(avg, 12.0);
+  EXPECT_LT(avg, 30.0);  // paper: ~21 bytes
+  // Titles start with an uppercase letter.
+  EXPECT_TRUE(isupper(static_cast<unsigned char>(keys[0][0])));
+}
+
+TEST(DatasetsTest, UrlShape) {
+  auto keys = GenerateUrls(20000, 7);
+  double total = 0;
+  for (const auto& k : keys) {
+    total += static_cast<double>(k.size());
+    EXPECT_EQ(k.rfind("http://", 0), 0u) << k;
+  }
+  double avg = total / static_cast<double>(keys.size());
+  EXPECT_GT(avg, 30.0);
+  EXPECT_LT(avg, 120.0);  // paper: ~104 bytes; shape matters, not exact
+}
+
+TEST(DatasetsTest, SampleKeys) {
+  auto keys = GenerateEmails(1000, 9);
+  auto s = SampleKeys(keys, 0.01);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(s[0], keys[0]);
+  EXPECT_EQ(SampleKeys(keys, 0.0).size(), 1u);
+  EXPECT_EQ(SampleKeys(keys, 2.0).size(), keys.size());
+}
+
+}  // namespace
+}  // namespace hope

@@ -1,0 +1,96 @@
+#include "hope/code_assigner.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hope/hu_tucker.h"
+
+namespace hope {
+namespace {
+
+bool IsBitPrefix(const Code& a, const Code& b) {
+  if (a.len > b.len) return false;
+  uint64_t mask = a.len == 0 ? 0 : ~uint64_t{0} << (64 - a.len);
+  return (a.bits & mask) == (b.bits & mask);
+}
+
+void CheckMonotonePrefixFree(const std::vector<Code>& codes) {
+  for (size_t i = 0; i + 1 < codes.size(); i++)
+    ASSERT_LT(CodeToString(codes[i]), CodeToString(codes[i + 1])) << i;
+  for (size_t i = 0; i + 1 < codes.size(); i++) {
+    // With monotone codes, prefix violations can only involve neighbors
+    // in code order... but check all pairs to be thorough on small n.
+    for (size_t j = 0; j < codes.size(); j++) {
+      if (i == j) continue;
+      ASSERT_FALSE(IsBitPrefix(codes[i], codes[j]))
+          << CodeToString(codes[i]) << " prefixes " << CodeToString(codes[j]);
+    }
+  }
+}
+
+TEST(FixedLengthCodesTest, MonotoneAndSized) {
+  auto codes = AssignFixedLengthCodes(5);
+  ASSERT_EQ(codes.size(), 5u);
+  for (auto& c : codes) EXPECT_EQ(c.len, 3);  // ceil(log2(5))
+  CheckMonotonePrefixFree(codes);
+  EXPECT_EQ(CodeToString(codes[0]), "000");
+  EXPECT_EQ(CodeToString(codes[4]), "100");
+}
+
+TEST(FixedLengthCodesTest, SingleEntry) {
+  auto codes = AssignFixedLengthCodes(1);
+  ASSERT_EQ(codes.size(), 1u);
+  EXPECT_EQ(codes[0].len, 1);
+}
+
+class RangeCodesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeCodesTest, MonotonePrefixFreeOnRandomWeights) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> nsym(2, 40);
+  for (int iter = 0; iter < 30; iter++) {
+    int n = nsym(rng);
+    std::vector<double> w(n);
+    for (auto& x : w)
+      x = std::uniform_real_distribution<double>(0.01, 100.0)(rng);
+    auto codes = AssignRangeCodes(w);
+    ASSERT_EQ(codes.size(), w.size());
+    CheckMonotonePrefixFree(codes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeCodesTest, ::testing::Range(1, 6));
+
+TEST(RangeCodesTest, HotSymbolsGetShortCodes) {
+  std::vector<double> w{1, 1, 1000, 1, 1};
+  auto codes = AssignRangeCodes(w);
+  EXPECT_LE(codes[2].len, 3);
+  EXPECT_GT(codes[0].len, codes[2].len);
+}
+
+TEST(RangeCodesTest, NeverBeatsHuTucker) {
+  // The paper (§4.2): "Range Encoding ... requires more bits than
+  // Hu-Tucker to ensure that codes are exactly on range boundaries".
+  std::mt19937_64 rng(99);
+  for (int iter = 0; iter < 20; iter++) {
+    int n = 2 + static_cast<int>(rng() % 64);
+    std::vector<double> w(n);
+    for (auto& x : w)
+      x = std::uniform_real_distribution<double>(0.1, 50.0)(rng);
+    auto range = AssignRangeCodes(w);
+    auto hu = AssignHuTuckerCodes(w);
+    EXPECT_GE(ExpectedCodeLength(w, range) + 1e-9,
+              ExpectedCodeLength(w, hu));
+  }
+}
+
+TEST(ExpectedCodeLengthTest, Basics) {
+  std::vector<double> w{1, 3};
+  std::vector<Code> codes{{0, 2}, {uint64_t{1} << 63, 1}};
+  // (1*2 + 3*1) / 4 = 1.25
+  EXPECT_DOUBLE_EQ(ExpectedCodeLength(w, codes), 1.25);
+}
+
+}  // namespace
+}  // namespace hope

@@ -1,0 +1,71 @@
+#include "hope/decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/datasets.h"
+#include "hope/code_assigner.h"
+#include "hope/hope.h"
+
+namespace hope {
+namespace {
+
+std::vector<DictEntry> TinyDict() {
+  // Boundaries "", "a", "b" with symbols "\0", "a", "b".
+  std::vector<DictEntry> entries;
+  auto codes = AssignFixedLengthCodes(3);
+  entries.push_back({"", 1, codes[0]});
+  entries.push_back({"a", 1, codes[1]});
+  entries.push_back({"b", 1, codes[2]});
+  return entries;
+}
+
+TEST(DecoderTest, DecodesCodeSequence) {
+  Decoder dec(TinyDict());
+  // codes: 00 -> "\0", 01 -> "a", 10 -> "b"; sequence a b a = 01 10 01.
+  std::string bytes{static_cast<char>(0b01100100)};
+  EXPECT_EQ(dec.Decode(bytes, 6), "aba");
+}
+
+TEST(DecoderTest, EmptyInput) {
+  Decoder dec(TinyDict());
+  EXPECT_EQ(dec.Decode("", 0), "");
+}
+
+TEST(DecoderTest, RejectsPartialTrailingCode) {
+  Decoder dec(TinyDict());
+  std::string bytes{static_cast<char>(0b01100000)};
+  EXPECT_THROW(dec.Decode(bytes, 5), std::invalid_argument);  // 2+2+1 bits
+}
+
+TEST(DecoderTest, RejectsUnassignedCode) {
+  Decoder dec(TinyDict());
+  std::string bytes{static_cast<char>(0b11000000)};  // 11 is not a code
+  EXPECT_THROW(dec.Decode(bytes, 2), std::invalid_argument);
+}
+
+TEST(DecoderTest, RejectsDuplicateCodes) {
+  auto entries = TinyDict();
+  entries[2].code = entries[1].code;
+  EXPECT_THROW(Decoder dec(entries), std::invalid_argument);
+}
+
+TEST(DecoderTest, HeadEntryDecodesToNulByte) {
+  Decoder dec(TinyDict());
+  std::string bytes{static_cast<char>(0b00000000)};
+  EXPECT_EQ(dec.Decode(bytes, 2), std::string(1, '\0'));
+}
+
+TEST(DecoderTest, RoundTripLongKeysAllSchemes) {
+  auto keys = GenerateUrls(400, 95);
+  for (Scheme scheme : {Scheme::kDoubleChar, Scheme::kFourGrams}) {
+    auto hope = Hope::Build(scheme, keys, 2048);
+    for (size_t i = 0; i < keys.size(); i += 7) {
+      size_t bits = 0;
+      std::string enc = hope->Encode(keys[i], &bits);
+      EXPECT_EQ(hope->Decode(enc, bits), keys[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hope

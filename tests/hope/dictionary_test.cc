@@ -1,0 +1,142 @@
+// Cross-checks every dictionary implementation against the binary-search
+// reference on all six schemes: lookups must return identical codes and
+// consume identical byte counts for arbitrary inputs.
+#include "hope/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "datasets/datasets.h"
+#include "hope/code_assigner.h"
+#include "hope/hope.h"
+#include "hope/symbol_selector.h"
+
+namespace hope {
+namespace {
+
+std::vector<DictEntry> MakeEntries(Scheme scheme, size_t limit) {
+  auto keys = GenerateEmails(3000, 5);
+  return BuildDictEntries(scheme, keys, limit);
+}
+
+std::vector<std::string> ProbeStrings() {
+  std::vector<std::string> probes;
+  auto keys = GenerateEmails(500, 77);
+  probes.insert(probes.end(), keys.begin(), keys.end());
+  auto wiki = GenerateWikiTitles(200, 78);
+  probes.insert(probes.end(), wiki.begin(), wiki.end());
+  // Adversarial probes: every single byte, short strings, binary bytes.
+  for (int c = 0; c < 256; c++)
+    probes.push_back(std::string(1, static_cast<char>(c)));
+  std::mt19937_64 rng(79);
+  for (int i = 0; i < 500; i++) {
+    std::string s;
+    size_t len = 1 + rng() % 12;
+    for (size_t j = 0; j < len; j++)
+      s.push_back(static_cast<char>(rng() % 256));
+    probes.push_back(std::move(s));
+  }
+  return probes;
+}
+
+void CrossCheck(const Dictionary& dut, const Dictionary& ref) {
+  for (const auto& probe : ProbeStrings()) {
+    LookupResult a = dut.Lookup(probe);
+    LookupResult b = ref.Lookup(probe);
+    ASSERT_EQ(CodeToString(a.code), CodeToString(b.code))
+        << dut.Name() << " code mismatch on probe of size " << probe.size();
+    ASSERT_EQ(a.consumed, b.consumed)
+        << dut.Name() << " consumed mismatch";
+    ASSERT_GT(a.consumed, 0u);
+    ASSERT_LE(a.consumed, probe.size());
+  }
+}
+
+TEST(ArrayDictTest, MatchesReferenceSingleChar) {
+  auto entries = MakeEntries(Scheme::kSingleChar, 256);
+  auto dut = MakeArrayDict(entries, 1);
+  auto ref = MakeBinarySearchDict(entries);
+  EXPECT_EQ(dut->NumEntries(), 256u);
+  CrossCheck(*dut, *ref);
+}
+
+TEST(ArrayDictTest, MatchesReferenceDoubleChar) {
+  auto entries = MakeEntries(Scheme::kDoubleChar, 0);
+  auto dut = MakeArrayDict(entries, 2);
+  auto ref = MakeBinarySearchDict(entries);
+  EXPECT_EQ(dut->NumEntries(), 256u * 257u);
+  CrossCheck(*dut, *ref);
+}
+
+class BitmapTrieParamTest
+    : public ::testing::TestWithParam<std::tuple<int, size_t>> {};
+
+TEST_P(BitmapTrieParamTest, MatchesReference) {
+  auto [n, limit] = GetParam();
+  auto entries = MakeEntries(
+      n == 3 ? Scheme::kThreeGrams : Scheme::kFourGrams, limit);
+  auto dut = MakeBitmapTrieDict(entries, n);
+  auto ref = MakeBinarySearchDict(entries);
+  CrossCheck(*dut, *ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BitmapTrieParamTest,
+    ::testing::Combine(::testing::Values(3, 4),
+                       ::testing::Values(size_t{64}, size_t{1024},
+                                         size_t{8192})));
+
+class ArtDictParamTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ArtDictParamTest, MatchesReference) {
+  auto entries = MakeEntries(Scheme::kAlmImproved, GetParam());
+  auto dut = MakeArtDict(entries);
+  auto ref = MakeBinarySearchDict(entries);
+  CrossCheck(*dut, *ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ArtDictParamTest,
+                         ::testing::Values(size_t{64}, size_t{1024},
+                                           size_t{8192}));
+
+TEST(ArtDictTest, MatchesReferenceOnAlmFixedLen) {
+  auto entries = MakeEntries(Scheme::kAlm, 1024);
+  auto dut = MakeArtDict(entries);
+  auto ref = MakeBinarySearchDict(entries);
+  CrossCheck(*dut, *ref);
+}
+
+TEST(DictionaryTest, HandcraftedPredecessorCases) {
+  // Boundaries: "" , "in", "ing", "inh", "io", "t" (mixed lengths).
+  std::vector<std::string> bounds{"", "in", "ing", "inh", "io", "t"};
+  std::vector<DictEntry> entries;
+  auto codes = AssignFixedLengthCodes(bounds.size());
+  for (size_t i = 0; i < bounds.size(); i++)
+    entries.push_back(
+        {bounds[i], std::max<uint32_t>(1, bounds[i].size()), codes[i]});
+  auto art = MakeArtDict(entries);
+  auto ref = MakeBinarySearchDict(entries);
+  for (const char* probe :
+       {"in", "inz", "ing", "ingo", "inga", "i", "h", "ioz", "io", "s",
+        "t", "tz", "zebra", "a", "\x01"}) {
+    LookupResult a = art->Lookup(probe);
+    LookupResult b = ref->Lookup(probe);
+    EXPECT_EQ(CodeToString(a.code), CodeToString(b.code)) << probe;
+  }
+}
+
+TEST(DictionaryTest, MemoryAccountingSane) {
+  auto entries = MakeEntries(Scheme::kThreeGrams, 4096);
+  auto bt = MakeBitmapTrieDict(entries, 3);
+  auto bs = MakeBinarySearchDict(entries);
+  auto art = MakeArtDict(entries);
+  EXPECT_GT(bt->MemoryBytes(), 0u);
+  EXPECT_GT(bs->MemoryBytes(), 0u);
+  EXPECT_GT(art->MemoryBytes(), 0u);
+  // The ART dictionary is larger than the succinct bitmap-trie (§6.1).
+  EXPECT_GT(art->MemoryBytes(), bt->MemoryBytes());
+}
+
+}  // namespace
+}  // namespace hope

@@ -1,0 +1,115 @@
+// End-to-end facade tests: build stats, compression-rate ordering across
+// schemes, dictionary-implementation equivalence, distribution shift.
+#include "hope/hope.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datasets/datasets.h"
+
+namespace hope {
+namespace {
+
+TEST(HopeTest, BuildStatsPopulated) {
+  auto keys = GenerateEmails(2000, 31);
+  BuildStats stats;
+  auto hope = Hope::Build(Scheme::kThreeGrams, keys, 1024, &stats);
+  EXPECT_EQ(stats.num_entries, hope->dict().NumEntries());
+  EXPECT_GT(stats.num_entries, 512u);
+  EXPECT_GT(stats.dict_memory_bytes, 0u);
+  EXPECT_GE(stats.symbol_select_seconds, 0.0);
+  EXPECT_GE(stats.code_assign_seconds, 0.0);
+  EXPECT_GE(stats.dict_build_seconds, 0.0);
+}
+
+TEST(HopeTest, HigherOrderSchemesCompressBetter) {
+  auto keys = GenerateEmails(20000, 32);
+  auto sample = SampleKeys(keys, 0.2);
+  auto single = Hope::Build(Scheme::kSingleChar, sample);
+  auto dbl = Hope::Build(Scheme::kDoubleChar, sample);
+  auto grams3 = Hope::Build(Scheme::kThreeGrams, sample, 1 << 14);
+  double cpr1 = single->CompressionRate(keys);
+  double cpr2 = dbl->CompressionRate(keys);
+  double cpr3 = grams3->CompressionRate(keys);
+  // Fig. 8 ordering: Double-Char > Single-Char; 3-Grams (large dict)
+  // > Single-Char.
+  EXPECT_GT(cpr2, cpr1);
+  EXPECT_GT(cpr3, cpr1);
+  EXPECT_GT(cpr1, 1.2);  // email keys compress well even per-char
+}
+
+TEST(HopeTest, LargerDictImprovesVivcCompression) {
+  auto keys = GenerateEmails(20000, 33);
+  auto sample = SampleKeys(keys, 0.2);
+  auto small = Hope::Build(Scheme::kThreeGrams, sample, 256);
+  auto large = Hope::Build(Scheme::kThreeGrams, sample, 1 << 14);
+  EXPECT_GT(large->CompressionRate(keys),
+            small->CompressionRate(keys) * 0.999);
+}
+
+TEST(HopeTest, DictImplsAgreeEndToEnd) {
+  auto keys = GenerateEmails(3000, 34);
+  auto a = Hope::Build(Scheme::kFourGrams, keys, 2048, nullptr,
+                       DictImpl::kBitmapTrie);
+  auto b = Hope::Build(Scheme::kFourGrams, keys, 2048, nullptr,
+                       DictImpl::kBinarySearch);
+  auto c = Hope::Build(Scheme::kFourGrams, keys, 2048, nullptr,
+                       DictImpl::kArt);
+  for (size_t i = 0; i < 300; i++) {
+    EXPECT_EQ(a->Encode(keys[i]), b->Encode(keys[i]));
+    EXPECT_EQ(a->Encode(keys[i]), c->Encode(keys[i]));
+  }
+}
+
+TEST(HopeTest, ArbitraryKeysEncodableAfterDistributionShift) {
+  // Build on emails, encode wiki titles and URLs: completeness means the
+  // dictionary still encodes everything, order-preserved (Appendix C).
+  auto emails = GenerateEmails(3000, 35);
+  auto hope = Hope::Build(Scheme::kDoubleChar, emails);
+  auto wiki = GenerateWikiTitles(500, 36);
+  std::vector<std::string> sorted = wiki;
+  std::sort(sorted.begin(), sorted.end());
+  std::string prev_enc;
+  size_t prev_bits = 0;
+  for (size_t i = 0; i < sorted.size(); i++) {
+    size_t bits = 0;
+    std::string enc = hope->Encode(sorted[i], &bits);
+    EXPECT_EQ(hope->Decode(enc, bits), sorted[i]);
+    if (i > 0) {
+      EXPECT_LT(CompareBitStrings(prev_enc, prev_bits, enc, bits), 0)
+          << sorted[i - 1] << " vs " << sorted[i];
+    }
+    prev_enc = enc;
+    prev_bits = bits;
+  }
+}
+
+TEST(HopeTest, CompressionRateDropsOnShiftButStaysValid) {
+  auto emails = GenerateEmails(30000, 37);
+  // Split by provider as in Appendix C.
+  std::vector<std::string> part_a, part_b;
+  for (auto& k : emails) {
+    if (k.rfind("com.gmail@", 0) == 0 || k.rfind("com.yahoo@", 0) == 0)
+      part_a.push_back(k);
+    else
+      part_b.push_back(k);
+  }
+  ASSERT_GT(part_a.size(), 1000u);
+  ASSERT_GT(part_b.size(), 1000u);
+  auto dict_a = Hope::Build(Scheme::kThreeGrams, SampleKeys(part_a, 0.1),
+                            1 << 12);
+  double aa = dict_a->CompressionRate(part_a);
+  double ab = dict_a->CompressionRate(part_b);
+  EXPECT_GT(aa, 1.0);
+  EXPECT_GT(ab, 1.0);  // still compresses, just less
+  EXPECT_GT(aa, ab);   // matched distribution compresses better
+}
+
+TEST(HopeTest, SchemeNames) {
+  EXPECT_STREQ(SchemeName(Scheme::kSingleChar), "Single-Char");
+  EXPECT_STREQ(SchemeName(Scheme::kAlmImproved), "ALM-Improved");
+}
+
+}  // namespace
+}  // namespace hope

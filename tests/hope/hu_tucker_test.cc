@@ -1,0 +1,139 @@
+#include "hope/hu_tucker.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace hope {
+namespace {
+
+bool IsBitPrefix(const Code& a, const Code& b) {
+  if (a.len > b.len) return false;
+  if (a.len == 0) return true;
+  uint64_t mask = ~uint64_t{0} << (64 - a.len);
+  return (a.bits & mask) == (b.bits & mask);
+}
+
+bool CodeLess(const Code& a, const Code& b) {
+  return CodeToString(a) < CodeToString(b);
+}
+
+double ExpectedLength(const std::vector<double>& weights,
+                      const std::vector<Code>& codes) {
+  double total = 0;
+  for (size_t i = 0; i < weights.size(); i++)
+    total += weights[i] * codes[i].len;
+  return total;
+}
+
+void CheckAlphabeticPrefixCode(const std::vector<Code>& codes) {
+  for (size_t i = 0; i + 1 < codes.size(); i++)
+    EXPECT_TRUE(CodeLess(codes[i], codes[i + 1]))
+        << "codes not monotone at " << i << ": " << CodeToString(codes[i])
+        << " vs " << CodeToString(codes[i + 1]);
+  for (size_t i = 0; i < codes.size(); i++) {
+    for (size_t j = 0; j < codes.size(); j++) {
+      if (i == j) continue;
+      EXPECT_FALSE(IsBitPrefix(codes[i], codes[j]))
+          << CodeToString(codes[i]) << " prefixes " << CodeToString(codes[j]);
+    }
+  }
+}
+
+TEST(HuTuckerTest, Empty) { EXPECT_TRUE(HuTuckerCodes({}).empty()); }
+
+TEST(HuTuckerTest, SingleSymbol) {
+  auto codes = HuTuckerCodes({5.0});
+  ASSERT_EQ(codes.size(), 1u);
+  EXPECT_EQ(codes[0].len, 1);
+}
+
+TEST(HuTuckerTest, TwoSymbols) {
+  auto codes = HuTuckerCodes({1.0, 9.0});
+  ASSERT_EQ(codes.size(), 2u);
+  EXPECT_EQ(CodeToString(codes[0]), "0");
+  EXPECT_EQ(CodeToString(codes[1]), "1");
+}
+
+TEST(HuTuckerTest, UniformWeightsGiveBalancedTree) {
+  auto codes = HuTuckerCodes(std::vector<double>(8, 1.0));
+  ASSERT_EQ(codes.size(), 8u);
+  for (auto& c : codes) EXPECT_EQ(c.len, 3);
+  CheckAlphabeticPrefixCode(codes);
+}
+
+TEST(HuTuckerTest, SkewedWeightsGiveShortHotCodes) {
+  // A very hot middle symbol must receive a shorter code.
+  std::vector<double> w{1, 1, 1000, 1, 1};
+  auto codes = HuTuckerCodes(w);
+  CheckAlphabeticPrefixCode(codes);
+  EXPECT_LE(codes[2].len, 2);
+  EXPECT_GT(codes[0].len, codes[2].len);
+}
+
+TEST(HuTuckerTest, KnownExample) {
+  // Classic Hu-Tucker example: weights whose optimal alphabetic tree
+  // differs from the Huffman tree.
+  std::vector<double> w{3, 1, 4, 1, 5, 9, 2, 6};
+  auto codes = HuTuckerCodes(w);
+  CheckAlphabeticPrefixCode(codes);
+  EXPECT_DOUBLE_EQ(ExpectedLength(w, codes),
+                   OptimalAlphabeticCostBruteForce(w));
+}
+
+class HuTuckerRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HuTuckerRandomTest, OptimalAndValidOnRandomInputs) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> nsym(1, 24);
+  std::uniform_real_distribution<double> weight(0.0, 100.0);
+  for (int iter = 0; iter < 50; iter++) {
+    int n = nsym(rng);
+    std::vector<double> w(n);
+    for (auto& x : w) x = weight(rng);
+    auto codes = HuTuckerCodes(w);
+    ASSERT_EQ(codes.size(), w.size());
+    CheckAlphabeticPrefixCode(codes);
+    if (n >= 2) {
+      double got = ExpectedLength(w, codes);
+      double opt = OptimalAlphabeticCostBruteForce(w);
+      EXPECT_NEAR(got, opt, 1e-6 * std::max(1.0, opt))
+          << "suboptimal alphabetic code for n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HuTuckerRandomTest,
+                         ::testing::Range(1, 11));
+
+TEST(HuTuckerTest, ZeroWeightsDoNotBreak) {
+  std::vector<double> w{0, 0, 5, 0, 0, 7, 0};
+  auto codes = HuTuckerCodes(w);
+  CheckAlphabeticPrefixCode(codes);
+  // Hot symbols still get short codes.
+  EXPECT_LE(codes[2].len, 3);
+  EXPECT_LE(codes[5].len, 3);
+}
+
+TEST(HuTuckerTest, LargeInputHasBoundedDepth) {
+  std::mt19937_64 rng(42);
+  std::vector<double> w(1 << 12);
+  for (auto& x : w) x = std::uniform_real_distribution<double>(0, 1)(rng);
+  w[100] = 1e9;  // extreme skew
+  auto codes = HuTuckerCodes(w);
+  for (auto& c : codes) EXPECT_LE(c.len, 64);
+  for (size_t i = 0; i + 1 < codes.size(); i++)
+    EXPECT_TRUE(CodeLess(codes[i], codes[i + 1]));
+}
+
+TEST(HuTuckerTest, DepthsMatchCodes) {
+  std::vector<double> w{2, 7, 1, 8, 2, 8};
+  auto depths = HuTuckerDepths(w);
+  auto codes = HuTuckerCodes(w);
+  ASSERT_EQ(depths.size(), codes.size());
+  for (size_t i = 0; i < w.size(); i++)
+    EXPECT_EQ(depths[i], codes[i].len);
+}
+
+}  // namespace
+}  // namespace hope

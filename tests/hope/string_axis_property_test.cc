@@ -1,0 +1,121 @@
+// Property tests of the string-axis model (§3.1) on *randomized*
+// dictionaries: generate random interval divisions of the string axis,
+// assign Hu-Tucker or fixed codes, and verify the theorem of §3.1 — the
+// resulting encoding is complete, order-preserving, and uniquely
+// decodable — on random binary probes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "common/bits.h"
+#include "common/str_utils.h"
+#include "hope/code_assigner.h"
+#include "hope/decoder.h"
+#include "hope/dictionary.h"
+#include "hope/encoder.h"
+#include "hope/symbol_selector.h"
+
+namespace hope {
+namespace {
+
+/// Builds a random complete interval division: random "selected" symbol
+/// boundaries of random lengths, with gap intervals filling the rest via
+/// AddGapIntervals (the same mechanism the real selectors use).
+std::vector<IntervalSpec> RandomIntervals(std::mt19937_64* rng,
+                                          size_t num_symbols,
+                                          size_t max_symbol_len) {
+  std::set<std::string> symbols;
+  while (symbols.size() < num_symbols) {
+    std::string s;
+    size_t len = 1 + (*rng)() % max_symbol_len;
+    for (size_t i = 0; i < len; i++)
+      s.push_back(static_cast<char>((*rng)() % 256));
+    // Keep the set prefix-free the same way blending does: reject s if
+    // any stored symbol is a prefix of s, or s prefixes a stored symbol.
+    bool conflict = false;
+    for (size_t len = 1; len < s.size() && !conflict; len++)
+      conflict = symbols.count(s.substr(0, len)) > 0;
+    auto ext = symbols.lower_bound(s);
+    if (ext != symbols.end() && ext->compare(0, s.size(), s) == 0)
+      conflict = true;  // covers equality and extensions of s
+    if (!conflict) symbols.insert(std::move(s));
+  }
+  std::vector<IntervalSpec> intervals;
+  std::string cur;
+  for (const auto& sym : symbols) {
+    AddGapIntervals(cur, sym, &intervals);
+    intervals.push_back({sym, sym, 0});
+    cur = PrefixUpperBound(sym);
+    if (cur.empty()) return intervals;
+  }
+  AddGapIntervals(cur, "", &intervals);
+  return intervals;
+}
+
+class StringAxisPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StringAxisPropertyTest, RandomDictionariesPreserveOrder) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()));
+  for (int round = 0; round < 6; round++) {
+    auto intervals = RandomIntervals(&rng, 5 + rng() % 60, 1 + rng() % 6);
+    ASSERT_EQ(ValidateIntervals(intervals), "") << "round " << round;
+
+    // Random weights; alternate Hu-Tucker and fixed-length codes.
+    std::vector<double> weights(intervals.size());
+    for (auto& w : weights)
+      w = std::uniform_real_distribution<double>(0, 10)(rng);
+    std::vector<Code> codes = round % 2 == 0
+                                  ? AssignHuTuckerCodes(weights)
+                                  : AssignFixedLengthCodes(intervals.size());
+    std::vector<DictEntry> entries;
+    for (size_t i = 0; i < intervals.size(); i++)
+      entries.push_back({intervals[i].left_bound,
+                         static_cast<uint32_t>(intervals[i].symbol.size()),
+                         codes[i]});
+    Encoder encoder(MakeBinarySearchDict(entries));
+    Decoder decoder(entries);
+
+    // Random binary probes, plus neighbors differing in one byte.
+    std::vector<std::string> probes;
+    for (int i = 0; i < 120; i++) {
+      std::string s;
+      size_t len = 1 + rng() % 12;
+      for (size_t j = 0; j < len; j++)
+        s.push_back(static_cast<char>(rng() % 256));
+      probes.push_back(s);
+      if (!s.empty()) {
+        s.back() = static_cast<char>(static_cast<uint8_t>(s.back()) + 1);
+        probes.push_back(s);  // adjacent key
+      }
+    }
+    struct Enc {
+      std::string bytes;
+      size_t bits;
+    };
+    std::vector<Enc> enc(probes.size());
+    for (size_t i = 0; i < probes.size(); i++) {
+      enc[i].bytes = encoder.Encode(probes[i], &enc[i].bits);
+      // Unique decodability (lossless round trip).
+      ASSERT_EQ(decoder.Decode(enc[i].bytes, enc[i].bits), probes[i]);
+    }
+    // Order preservation as bit strings.
+    for (size_t i = 0; i < probes.size(); i += 3) {
+      for (size_t j = 1; j < probes.size(); j += 5) {
+        int key_cmp = probes[i].compare(probes[j]);
+        int enc_cmp = CompareBitStrings(enc[i].bytes, enc[i].bits,
+                                        enc[j].bytes, enc[j].bits);
+        int a = key_cmp < 0 ? -1 : (key_cmp == 0 ? 0 : 1);
+        int b = enc_cmp < 0 ? -1 : (enc_cmp == 0 ? 0 : 1);
+        ASSERT_EQ(a, b) << "order violated in round " << round;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StringAxisPropertyTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace hope

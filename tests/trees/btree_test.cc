@@ -1,0 +1,76 @@
+#include "btree/btree.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/trees/tree_test_utils.h"
+
+namespace hope {
+namespace {
+
+TEST(BTreeTest, EmptyTree) {
+  BTree t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.Lookup("x", nullptr));
+  EXPECT_EQ(t.Scan("", 10, nullptr), 0u);
+  EXPECT_EQ(t.Height(), 0);
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(BTreeTest, SingleKey) {
+  BTree t;
+  t.Insert("hello", 7);
+  uint64_t v = 0;
+  EXPECT_TRUE(t.Lookup("hello", &v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_FALSE(t.Lookup("hell", nullptr));
+  EXPECT_FALSE(t.Lookup("hello!", nullptr));
+  EXPECT_EQ(t.Height(), 1);
+}
+
+class BTreeCorpusTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BTreeCorpusTest, MatchesReferenceModel) {
+  auto corpora = TestKeyCorpora();
+  BTree t;
+  RunReferenceTest(&t, corpora[GetParam()], 11 + GetParam());
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpora, BTreeCorpusTest,
+                         ::testing::Values(0, 1, 2, 3), CorpusName);
+
+TEST(BTreeTest, SortedInsertionKeepsInvariants) {
+  auto keys = GenerateEmails(3000, 55);
+  std::sort(keys.begin(), keys.end());
+  BTree t;
+  for (size_t i = 0; i < keys.size(); i++) t.Insert(keys[i], i);
+  EXPECT_EQ(t.CheckInvariants(), "");
+  EXPECT_EQ(t.size(), keys.size());
+  // Full scan returns all values in key order.
+  std::vector<uint64_t> vals;
+  EXPECT_EQ(t.Scan("", keys.size() + 10, &vals), keys.size());
+  for (size_t i = 0; i + 1 < vals.size(); i++)
+    EXPECT_TRUE(keys[vals[i]] < keys[vals[i + 1]]);
+}
+
+TEST(BTreeTest, MemoryGrowsWithKeyBytes) {
+  BTree small, large;
+  for (int i = 0; i < 1000; i++) {
+    std::string k = "k" + std::to_string(i);
+    small.Insert(k, i);
+    large.Insert(k + std::string(64, 'x') + k, i);
+  }
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes() + 50000u);
+}
+
+TEST(BTreeTest, HeightIsLogarithmic) {
+  BTree t;
+  auto keys = GenerateEmails(10000, 56);
+  for (size_t i = 0; i < keys.size(); i++) t.Insert(keys[i], i);
+  // fanout >= 8 after splits: height <= log_8(10000) + 2 ~ 7.
+  EXPECT_LE(t.Height(), 7);
+  EXPECT_GE(t.Height(), 3);
+}
+
+}  // namespace
+}  // namespace hope

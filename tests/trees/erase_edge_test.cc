@@ -1,0 +1,115 @@
+// Deletion edge cases shared across the four updatable trees: erasing
+// down to the empty tree, interleaved insert/erase churn, and structural
+// invariants after every phase.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "art/art.h"
+#include "btree/btree.h"
+#include "datasets/datasets.h"
+#include "hot/hot.h"
+#include "prefix_btree/prefix_btree.h"
+
+namespace hope {
+namespace {
+
+template <typename Tree>
+void EraseToEmpty() {
+  Tree t;
+  auto keys = GenerateEmails(2000, 201);
+  for (size_t i = 0; i < keys.size(); i++) t.Insert(keys[i], i);
+  // Erase in a different order than insertion.
+  std::mt19937_64 rng(202);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(t.Erase(keys[i])) << i;
+    ASSERT_FALSE(t.Lookup(keys[i], nullptr));
+    if (i % 500 == 0) {
+      ASSERT_EQ(t.CheckInvariants(), "");
+    }
+  }
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.Scan("", 10, nullptr), 0u);
+  EXPECT_EQ(t.CheckInvariants(), "");
+  // The tree is reusable after being emptied.
+  t.Insert("phoenix", 1);
+  uint64_t v = 0;
+  EXPECT_TRUE(t.Lookup("phoenix", &v));
+  EXPECT_EQ(v, 1u);
+}
+
+template <typename Tree>
+void InsertEraseChurn() {
+  Tree t;
+  std::map<std::string, uint64_t> ref;
+  auto keys = GenerateWikiTitles(1500, 203);
+  std::mt19937_64 rng(204);
+  for (int op = 0; op < 30000; op++) {
+    const std::string& k = keys[rng() % keys.size()];
+    if (rng() % 3 == 0) {
+      ASSERT_EQ(t.Erase(k), ref.erase(k) > 0) << "op " << op;
+    } else {
+      uint64_t v = rng();
+      t.Insert(k, v);
+      ref[k] = v;
+    }
+    if (op % 5000 == 0) {
+      ASSERT_EQ(t.size(), ref.size());
+      ASSERT_EQ(t.CheckInvariants(), "");
+    }
+  }
+  ASSERT_EQ(t.size(), ref.size());
+  for (auto& [k, v] : ref) {
+    uint64_t got = 0;
+    ASSERT_TRUE(t.Lookup(k, &got));
+    ASSERT_EQ(got, v);
+  }
+  ASSERT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(EraseEdgeBTree, ToEmpty) { EraseToEmpty<BTree>(); }
+TEST(EraseEdgeBTree, Churn) { InsertEraseChurn<BTree>(); }
+TEST(EraseEdgePrefixBTree, ToEmpty) { EraseToEmpty<PrefixBTree>(); }
+TEST(EraseEdgePrefixBTree, Churn) { InsertEraseChurn<PrefixBTree>(); }
+TEST(EraseEdgeArt, ToEmpty) { EraseToEmpty<Art>(); }
+TEST(EraseEdgeArt, Churn) { InsertEraseChurn<Art>(); }
+TEST(EraseEdgeHot, ToEmpty) { EraseToEmpty<Hot>(); }
+TEST(EraseEdgeHot, Churn) { InsertEraseChurn<Hot>(); }
+
+TEST(EraseEdgeArt, CollapseRestoresPathCompression) {
+  // Removing the middle key of a three-way branch collapses the node and
+  // re-extends the prefix; lookups must keep working.
+  Art t;
+  std::string common(20, 'p');
+  t.Insert(common + "aX", 1);
+  t.Insert(common + "bY", 2);
+  t.Insert(common + "cZ", 3);
+  ASSERT_TRUE(t.Erase(common + "bY"));
+  ASSERT_TRUE(t.Erase(common + "cZ"));
+  uint64_t v = 0;
+  ASSERT_TRUE(t.Lookup(common + "aX", &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(t.CheckInvariants(), "");
+  // Re-split the collapsed path.
+  t.Insert(common.substr(0, 10) + "Q", 4);
+  ASSERT_TRUE(t.Lookup(common + "aX", &v));
+  ASSERT_TRUE(t.Lookup(common.substr(0, 10) + "Q", &v));
+  EXPECT_EQ(v, 4u);
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(EraseEdgeBTree, MemoryShrinksOnMerges) {
+  BTree t;
+  auto keys = GenerateEmails(5000, 205);
+  for (size_t i = 0; i < keys.size(); i++) t.Insert(keys[i], i);
+  size_t full = t.MemoryBytes();
+  for (size_t i = 0; i < keys.size() - 10; i++) t.Erase(keys[i]);
+  // Node bytes are released by merges (key arena is append-only).
+  EXPECT_LT(t.MemoryBytes(), full);
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+}  // namespace
+}  // namespace hope

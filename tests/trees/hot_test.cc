@@ -1,0 +1,91 @@
+#include "hot/hot.h"
+
+#include <gtest/gtest.h>
+
+#include "art/art.h"
+#include "tests/trees/tree_test_utils.h"
+
+namespace hope {
+namespace {
+
+TEST(HotTest, EmptyTree) {
+  Hot t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.Lookup("x", nullptr));
+  EXPECT_EQ(t.Scan("", 10, nullptr), 0u);
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(HotTest, PrefixKeysViaEndOfKeyEdges) {
+  Hot t;
+  t.Insert("ab", 1);
+  t.Insert("abc", 2);
+  t.Insert("abcd", 3);
+  t.Insert("x", 4);
+  uint64_t v = 0;
+  EXPECT_TRUE(t.Lookup("ab", &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(t.Lookup("abc", &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_FALSE(t.Lookup("a", nullptr));
+  EXPECT_FALSE(t.Lookup("abcde", nullptr));
+  EXPECT_EQ(t.CheckInvariants(), "");
+  std::vector<uint64_t> vals;
+  EXPECT_EQ(t.Scan("ab", 10, &vals), 4u);
+  EXPECT_EQ(vals, (std::vector<uint64_t>{1, 2, 3, 4}));
+}
+
+class HotCorpusTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HotCorpusTest, MatchesReferenceModel) {
+  auto corpora = TestKeyCorpora();
+  Hot t;
+  RunReferenceTest(&t, corpora[GetParam()], 41 + GetParam());
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpora, HotCorpusTest,
+                         ::testing::Values(0, 1, 2, 3), CorpusName);
+
+TEST(HotTest, StoresOnlyDiscriminativeBytes) {
+  // Keys sharing a 100-byte prefix: the trie must stay tiny and shallow
+  // because non-discriminative bytes are skipped entirely.
+  Hot t;
+  std::string common(100, 'c');
+  for (int i = 0; i < 100; i++)
+    t.Insert(common + std::to_string(i), static_cast<uint64_t>(i));
+  EXPECT_EQ(t.CheckInvariants(), "");
+  EXPECT_LT(t.AverageLeafDepth(), 4.0);
+  EXPECT_LT(t.MemoryBytes(), 20000u);
+  uint64_t v = 0;
+  EXPECT_TRUE(t.Lookup(common + "42", &v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_FALSE(t.Lookup(common + "100", nullptr));
+}
+
+TEST(HotTest, LowerHeightThanArt) {
+  // The height-optimized structure must be shallower than ART on the same
+  // keys (HOT's design goal).
+  auto keys = GenerateEmails(5000, 62);
+  Hot hot;
+  Art art;
+  for (size_t i = 0; i < keys.size(); i++) {
+    hot.Insert(keys[i], i);
+    art.Insert(keys[i], i);
+  }
+  EXPECT_LT(hot.AverageLeafDepth(), art.AverageLeafDepth() + 1.0);
+}
+
+TEST(HotTest, MemorySmallerThanArtOnSameKeys) {
+  auto keys = GenerateUrls(4000, 63);
+  Hot hot;
+  Art art;
+  for (size_t i = 0; i < keys.size(); i++) {
+    hot.Insert(keys[i], i);
+    art.Insert(keys[i], i);
+  }
+  EXPECT_LT(hot.MemoryBytes(), art.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace hope

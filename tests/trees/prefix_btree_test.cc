@@ -1,0 +1,82 @@
+#include "prefix_btree/prefix_btree.h"
+
+#include <gtest/gtest.h>
+
+#include "btree/btree.h"
+#include "tests/trees/tree_test_utils.h"
+
+namespace hope {
+namespace {
+
+TEST(ShortestSeparatorTest, Basics) {
+  EXPECT_EQ(ShortestSeparator("abc", "abq"), "abq");
+  EXPECT_EQ(ShortestSeparator("abc", "b"), "b");
+  EXPECT_EQ(ShortestSeparator("abc", "abcd"), "abcd");
+  EXPECT_EQ(ShortestSeparator("a", "c"), "c");
+  // The separator s satisfies a < s <= b and is one byte past the lcp.
+  std::string s = ShortestSeparator("com.gmail@alice", "com.gmail@bob");
+  EXPECT_EQ(s, "com.gmail@b");
+  EXPECT_LT(std::string("com.gmail@alice"), s);
+  EXPECT_LE(s, std::string("com.gmail@bob"));
+}
+
+TEST(PrefixBTreeTest, EmptyTree) {
+  PrefixBTree t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.Lookup("x", nullptr));
+  EXPECT_EQ(t.Scan("", 10, nullptr), 0u);
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+class PrefixBTreeCorpusTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PrefixBTreeCorpusTest, MatchesReferenceModel) {
+  auto corpora = TestKeyCorpora();
+  PrefixBTree t;
+  RunReferenceTest(&t, corpora[GetParam()], 21 + GetParam());
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpora, PrefixBTreeCorpusTest,
+                         ::testing::Values(0, 1, 2, 3), CorpusName);
+
+TEST(PrefixBTreeTest, PrefixTruncationSavesMemoryOnSharedPrefixes) {
+  // URL keys share long host prefixes: the Prefix B+tree must store far
+  // fewer key bytes than the plain B+tree.
+  auto keys = GenerateUrls(5000, 57);
+  PrefixBTree pt;
+  BTree bt;
+  for (size_t i = 0; i < keys.size(); i++) {
+    pt.Insert(keys[i], i);
+    bt.Insert(keys[i], i);
+  }
+  EXPECT_EQ(pt.CheckInvariants(), "");
+  EXPECT_LT(pt.MemoryBytes(), bt.MemoryBytes());
+}
+
+TEST(PrefixBTreeTest, LookupAfterPrefixShrink) {
+  // Force a leaf whose prefix must shrink when a diverging key arrives.
+  PrefixBTree t;
+  t.Insert("com.gmail@aaaa", 1);
+  t.Insert("com.gmail@aaab", 2);
+  t.Insert("com.gmail@aaac", 3);
+  t.Insert("org.apache@x", 4);  // shares no prefix
+  uint64_t v = 0;
+  EXPECT_TRUE(t.Lookup("com.gmail@aaab", &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_TRUE(t.Lookup("org.apache@x", &v));
+  EXPECT_EQ(v, 4u);
+  EXPECT_FALSE(t.Lookup("com.gmail@aaad", nullptr));
+  EXPECT_EQ(t.CheckInvariants(), "");
+}
+
+TEST(PrefixBTreeTest, ManySplitsKeepSeparatorsShort) {
+  auto keys = GenerateEmails(8000, 58);
+  PrefixBTree t;
+  for (size_t i = 0; i < keys.size(); i++) t.Insert(keys[i], i);
+  EXPECT_EQ(t.CheckInvariants(), "");
+  EXPECT_EQ(t.size(), keys.size());
+}
+
+}  // namespace
+}  // namespace hope

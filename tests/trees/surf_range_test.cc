@@ -1,0 +1,112 @@
+// Randomized SuRF range-query differential test: a filter must never
+// answer "definitely absent" for a range that actually contains a key
+// (no false negatives), across suffix modes, key shapes and range kinds.
+// Also measures that it does prune (answers false for a healthy fraction
+// of empty ranges).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "datasets/datasets.h"
+#include "hope/hope.h"
+#include "surf/surf.h"
+
+namespace hope {
+namespace {
+
+struct RangeCase {
+  std::vector<std::string> keys;  // sorted unique
+  std::set<std::string> present;
+};
+
+RangeCase MakeCase(std::vector<std::string> raw) {
+  std::sort(raw.begin(), raw.end());
+  raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+  RangeCase c;
+  c.present.insert(raw.begin(), raw.end());
+  c.keys = std::move(raw);
+  return c;
+}
+
+bool RefRangeNonEmpty(const std::set<std::string>& present,
+                      const std::string& lo, const std::string& hi) {
+  auto it = present.lower_bound(lo);
+  return it != present.end() && *it <= hi;
+}
+
+class SurfRangeTest : public ::testing::TestWithParam<SurfSuffix> {};
+
+TEST_P(SurfRangeTest, NoFalseNegativesRandomizedRanges) {
+  for (uint64_t seed : {301, 302}) {
+    RangeCase c = MakeCase(GenerateEmails(4000, seed));
+    Surf surf(c.keys, GetParam());
+    std::mt19937_64 rng(seed * 7);
+    size_t empty_ranges = 0, pruned = 0;
+    for (int iter = 0; iter < 3000; iter++) {
+      // Range endpoints: mutations of existing keys.
+      std::string lo = c.keys[rng() % c.keys.size()];
+      switch (rng() % 4) {
+        case 0: lo.pop_back(); break;
+        case 1: lo.back() = static_cast<char>(lo.back() - 1); break;
+        case 2: lo += static_cast<char>(rng() % 256); break;
+        default: break;
+      }
+      std::string hi = lo;
+      switch (rng() % 3) {
+        case 0: hi.back() = static_cast<char>(hi.back() + 1); break;
+        case 1: hi += std::string(1 + rng() % 3, '\x7f'); break;
+        default: hi += "zzz"; break;
+      }
+      if (hi < lo) std::swap(lo, hi);
+      bool ref = RefRangeNonEmpty(c.present, lo, hi);
+      bool got = surf.MayContainRange(lo, hi);
+      ASSERT_TRUE(got || !ref)
+          << "false negative for range [" << lo << ", " << hi << "]";
+      if (!ref) {
+        empty_ranges++;
+        pruned += !got;
+      }
+    }
+    // Most generated empty ranges sit right next to stored keys, where
+    // the truncated trie cannot prove emptiness (false positives by
+    // design); but some diverge early and those must be pruned.
+    if (empty_ranges > 200) {
+      EXPECT_GT(pruned, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suffixes, SurfRangeTest,
+                         ::testing::Values(SurfSuffix::kNone,
+                                           SurfSuffix::kHash8,
+                                           SurfSuffix::kReal8),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case SurfSuffix::kNone: return "None";
+                             case SurfSuffix::kHash8: return "Hash8";
+                             default: return "Real8";
+                           }
+                         });
+
+TEST(SurfRangeTest, EncodedRangesThroughHope) {
+  // End-to-end with HOPE pair encoding: the filter over encoded keys must
+  // answer every [key, bumped-key] range positively.
+  auto keys = GenerateUrls(3000, 303);
+  auto hope = Hope::Build(Scheme::kDoubleChar, SampleKeys(keys, 0.05));
+  std::vector<std::string> enc;
+  enc.reserve(keys.size());
+  for (const auto& k : keys) enc.push_back(hope->Encode(k));
+  RangeCase c = MakeCase(std::move(enc));
+  Surf surf(c.keys, SurfSuffix::kReal8);
+  for (size_t i = 0; i < keys.size(); i += 3) {
+    std::string end = keys[i];
+    end.back() = static_cast<char>(end.back() + 1);
+    auto [lo, hi] = hope->EncodePair(keys[i], end);
+    ASSERT_TRUE(surf.MayContainRange(lo, hi)) << keys[i];
+  }
+}
+
+}  // namespace
+}  // namespace hope

@@ -1,0 +1,136 @@
+#include "surf/surf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "datasets/datasets.h"
+
+namespace hope {
+namespace {
+
+std::vector<std::string> SortedUnique(std::vector<std::string> keys) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+class SurfSuffixTest : public ::testing::TestWithParam<SurfSuffix> {};
+
+TEST_P(SurfSuffixTest, NoFalseNegativesPoint) {
+  auto keys = SortedUnique(GenerateEmails(5000, 71));
+  Surf surf(keys, GetParam());
+  for (const auto& key : keys)
+    ASSERT_TRUE(surf.MayContain(key)) << key;
+}
+
+TEST_P(SurfSuffixTest, NoFalseNegativesRange) {
+  auto keys = SortedUnique(GenerateEmails(3000, 72));
+  Surf surf(keys, GetParam());
+  std::mt19937_64 rng(73);
+  for (int i = 0; i < 500; i++) {
+    const std::string& k = keys[rng() % keys.size()];
+    // Closed range [k, k+1-last-char] as the paper builds for YCSB E.
+    std::string end = k;
+    end.back() = static_cast<char>(end.back() + 1);
+    ASSERT_TRUE(surf.MayContainRange(k, end)) << k;
+    // Any range that contains an existing key must answer true.
+    std::string lo = k.substr(0, k.size() - 1);
+    ASSERT_TRUE(surf.MayContainRange(lo, k)) << k;
+  }
+}
+
+TEST_P(SurfSuffixTest, BinaryKeysWithZeros) {
+  std::mt19937_64 rng(74);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 2000; i++) {
+    std::string s;
+    size_t len = 1 + rng() % 16;
+    for (size_t j = 0; j < len; j++)
+      s.push_back(static_cast<char>(rng() % 3 == 0 ? 0 : rng() % 256));
+    keys.push_back(std::move(s));
+  }
+  keys = SortedUnique(std::move(keys));
+  Surf surf(keys, GetParam());
+  for (const auto& key : keys) ASSERT_TRUE(surf.MayContain(key));
+}
+
+INSTANTIATE_TEST_SUITE_P(Suffixes, SurfSuffixTest,
+                         ::testing::Values(SurfSuffix::kNone,
+                                           SurfSuffix::kHash8,
+                                           SurfSuffix::kReal8),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case SurfSuffix::kNone: return "None";
+                             case SurfSuffix::kHash8: return "Hash8";
+                             default: return "Real8";
+                           }
+                         });
+
+TEST(SurfTest, SuffixBitsReduceFalsePositives) {
+  auto all = GenerateEmails(30000, 75);
+  std::vector<std::string> keys(all.begin(), all.begin() + 20000);
+  std::vector<std::string> probes(all.begin() + 20000, all.end());
+  keys = SortedUnique(std::move(keys));
+  std::set<std::string> present(keys.begin(), keys.end());
+
+  Surf plain(keys, SurfSuffix::kNone);
+  Surf real8(keys, SurfSuffix::kReal8);
+  Surf hash8(keys, SurfSuffix::kHash8);
+  size_t fp_plain = 0, fp_real = 0, fp_hash = 0, negatives = 0;
+  for (const auto& p : probes) {
+    if (present.count(p)) continue;
+    negatives++;
+    fp_plain += plain.MayContain(p);
+    fp_real += real8.MayContain(p);
+    fp_hash += hash8.MayContain(p);
+  }
+  ASSERT_GT(negatives, 5000u);
+  // Fig. 11: suffix bits cut the false-positive rate substantially.
+  EXPECT_LT(fp_real * 2, fp_plain);
+  EXPECT_LT(fp_hash * 2, fp_plain);
+}
+
+TEST(SurfTest, AbsentRangeCanReturnFalse) {
+  std::vector<std::string> keys{"apple", "banana", "cherry", "grape"};
+  Surf surf(keys, SurfSuffix::kReal8);
+  // A range strictly between stored keys with diverging first byte.
+  EXPECT_FALSE(surf.MayContainRange("x", "z"));
+  EXPECT_TRUE(surf.MayContainRange("a", "b"));
+  EXPECT_TRUE(surf.MayContainRange("apple", "apple\x01"));
+  EXPECT_FALSE(surf.MayContainRange("dog", "fig"));
+}
+
+TEST(SurfTest, MemoryFarSmallerThanKeys) {
+  auto keys = SortedUnique(GenerateUrls(20000, 76));
+  size_t raw = 0;
+  for (auto& k : keys) raw += k.size();
+  Surf surf(keys, SurfSuffix::kReal8);
+  EXPECT_LT(surf.MemoryBytes(), raw / 4);  // succinct: way below raw keys
+  EXPECT_GT(surf.AverageLeafDepth(), 1.0);
+}
+
+TEST(SurfTest, EmptyAndSingle) {
+  Surf empty(std::vector<std::string>{}, SurfSuffix::kNone);
+  EXPECT_FALSE(empty.MayContain("x"));
+  EXPECT_FALSE(empty.MayContainRange("a", "b"));
+
+  Surf one(std::vector<std::string>{"solo"}, SurfSuffix::kReal8);
+  EXPECT_TRUE(one.MayContain("solo"));
+  EXPECT_FALSE(one.MayContain("tolo"));
+  EXPECT_TRUE(one.MayContainRange("snake", "sound"));
+  EXPECT_FALSE(one.MayContainRange("t", "u"));
+}
+
+TEST(SurfTest, PrefixKeyHandling) {
+  std::vector<std::string> keys{"a", "ab", "abc", "abd", "b"};
+  Surf surf(keys, SurfSuffix::kReal8);
+  for (const auto& k : keys) EXPECT_TRUE(surf.MayContain(k)) << k;
+  EXPECT_FALSE(surf.MayContain("c"));
+  EXPECT_FALSE(surf.MayContain(""));
+}
+
+}  // namespace
+}  // namespace hope

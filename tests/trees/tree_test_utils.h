@@ -1,0 +1,169 @@
+// Shared reference-model harness for the search-tree substrates: drives a
+// tree (Insert/Lookup/Scan API) against std::map on the same operations
+// and compares every result.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datasets/datasets.h"
+
+namespace hope {
+
+/// Key corpora exercised by every tree test: realistic datasets plus
+/// adversarial shapes (shared prefixes, prefix keys, embedded zeros,
+/// high bytes).
+inline std::string CorpusName(const ::testing::TestParamInfo<size_t>& info) {
+  static const char* names[] = {"Email", "Url", "PrefixChains", "Binary"};
+  return names[info.param];
+}
+
+inline std::vector<std::vector<std::string>> TestKeyCorpora() {
+  std::vector<std::vector<std::string>> corpora;
+  corpora.push_back(GenerateEmails(4000, 101));
+  corpora.push_back(GenerateUrls(1500, 102));
+  // Prefix chains: every key is a prefix of the next.
+  std::vector<std::string> chains;
+  for (int c = 0; c < 20; c++) {
+    std::string base(1, static_cast<char>('a' + c));
+    for (int i = 1; i <= 30; i++) chains.push_back(base + std::string(i, 'x'));
+    chains.push_back(base);
+  }
+  corpora.push_back(std::move(chains));
+  // Binary keys with embedded zeros and 0xFF (HOPE-encoded keys look like
+  // this).
+  std::mt19937_64 rng(103);
+  std::set<std::string> binary_set;  // de-duplicated: the erase phase
+                                     // removes each key exactly once
+  while (binary_set.size() < 3000) {
+    std::string s;
+    size_t len = 1 + rng() % 24;
+    for (size_t j = 0; j < len; j++)
+      s.push_back(static_cast<char>(rng() % 4 == 0 ? 0
+                                    : rng() % 4 == 1 ? 0xFF
+                                                     : rng() % 256));
+    binary_set.insert(std::move(s));
+  }
+  std::vector<std::string> binary(binary_set.begin(), binary_set.end());
+  std::shuffle(binary.begin(), binary.end(), rng);
+  corpora.push_back(std::move(binary));
+  return corpora;
+}
+
+/// Inserts all keys, then cross-checks point lookups (hits and misses)
+/// and range scans against std::map.
+template <typename Tree>
+void RunReferenceTest(Tree* tree, const std::vector<std::string>& keys,
+                      uint64_t seed) {
+  std::map<std::string, uint64_t> ref;
+  uint64_t v = 1;
+  for (const auto& key : keys) {
+    tree->Insert(key, v);
+    ref[key] = v;
+    v++;
+  }
+  ASSERT_EQ(tree->size(), ref.size());
+
+  // Point lookups: every inserted key hits with the right value.
+  for (const auto& [key, val] : ref) {
+    uint64_t got = 0;
+    ASSERT_TRUE(tree->Lookup(key, &got)) << "missing key of size "
+                                         << key.size();
+    ASSERT_EQ(got, val);
+  }
+  // Misses: mutated keys absent from the reference.
+  std::mt19937_64 rng(seed);
+  size_t checked = 0;
+  for (size_t i = 0; i < keys.size() && checked < 500; i += 7, checked++) {
+    std::string probe = keys[i];
+    probe.push_back(static_cast<char>(rng() % 256));
+    if (ref.count(probe)) continue;
+    ASSERT_FALSE(tree->Lookup(probe, nullptr));
+    if (!probe.empty()) {
+      probe.pop_back();
+      probe.pop_back();
+      if (!ref.count(probe)) {
+        ASSERT_FALSE(tree->Lookup(probe, nullptr));
+      }
+    }
+  }
+  // Overwrite semantics.
+  tree->Insert(keys[0], 999999);
+  uint64_t got = 0;
+  ASSERT_TRUE(tree->Lookup(keys[0], &got));
+  ASSERT_EQ(got, 999999u);
+  ASSERT_EQ(tree->size(), ref.size());
+  tree->Insert(keys[0], ref[keys[0]]);
+
+  // Deletion phase: erase ~half the keys (every other, plus misses),
+  // then verify lookups, scans, and re-insertion.
+  for (size_t i = 0; i < keys.size(); i += 2) {
+    ASSERT_TRUE(tree->Erase(keys[i])) << "erase missed key " << i;
+    ref.erase(keys[i]);
+  }
+  ASSERT_FALSE(tree->Erase("@@definitely-not-present@@"));
+  if (!ref.empty()) {
+    ASSERT_FALSE(tree->Erase(ref.begin()->first + std::string(1, '\x7f')));
+  }
+  ASSERT_EQ(tree->size(), ref.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    uint64_t got = 0;
+    bool want = ref.count(keys[i]) > 0;
+    ASSERT_EQ(tree->Lookup(keys[i], &got), want) << "post-erase lookup " << i;
+    if (want) {
+      ASSERT_EQ(got, ref[keys[i]]);
+    }
+  }
+  // Scans over the half-deleted tree.
+  for (size_t i = 0; i < keys.size(); i += 37) {
+    std::vector<uint64_t> got_vals;
+    tree->Scan(keys[i], 15, &got_vals);
+    std::vector<uint64_t> want_vals;
+    for (auto it = ref.lower_bound(keys[i]);
+         it != ref.end() && want_vals.size() < 15; ++it)
+      want_vals.push_back(it->second);
+    ASSERT_EQ(got_vals, want_vals) << "post-erase scan from " << i;
+  }
+  // Re-insert the erased keys; the tree must fully recover.
+  for (size_t i = 0; i < keys.size(); i += 2) {
+    tree->Insert(keys[i], i + 1);
+    ref[keys[i]] = i + 1;
+  }
+  ASSERT_EQ(tree->size(), ref.size());
+
+  // Range scans from existing keys, mutated keys, and extremes.
+  for (int iter = 0; iter < 200; iter++) {
+    std::string start;
+    switch (iter % 4) {
+      case 0: start = keys[rng() % keys.size()]; break;
+      case 1: {
+        start = keys[rng() % keys.size()];
+        start.push_back(static_cast<char>(rng() % 256));
+        break;
+      }
+      case 2: {
+        start = keys[rng() % keys.size()];
+        if (!start.empty()) start.pop_back();
+        break;
+      }
+      default: start = std::string(1, static_cast<char>(rng() % 256)); break;
+    }
+    size_t count = 1 + rng() % 40;
+    std::vector<uint64_t> got_vals;
+    size_t produced = tree->Scan(start, count, &got_vals);
+    std::vector<uint64_t> want_vals;
+    for (auto it = ref.lower_bound(start);
+         it != ref.end() && want_vals.size() < count; ++it)
+      want_vals.push_back(it->second);
+    ASSERT_EQ(produced, want_vals.size()) << "scan from key iter " << iter;
+    ASSERT_EQ(got_vals, want_vals) << "scan mismatch at iter " << iter;
+  }
+}
+
+}  // namespace hope

@@ -1,0 +1,63 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace hope {
+namespace {
+
+TEST(WorkloadTest, ZipfQueriesInRangeAndSkewed) {
+  auto queries = GenerateZipfQueries(10000, 100000, 7);
+  ASSERT_EQ(queries.size(), 100000u);
+  std::map<uint32_t, size_t> hist;
+  for (uint32_t q : queries) {
+    ASSERT_LT(q, 10000u);
+    hist[q]++;
+  }
+  size_t max_count = 0;
+  for (auto& [idx, count] : hist) max_count = std::max(max_count, count);
+  // Zipf 0.99: the hottest key gets far more than uniform share (10).
+  EXPECT_GT(max_count, 200u);
+  // But many distinct keys are touched.
+  EXPECT_GT(hist.size(), 3000u);
+}
+
+TEST(WorkloadTest, ZipfDeterministicPerSeed) {
+  EXPECT_EQ(GenerateZipfQueries(1000, 1000, 1),
+            GenerateZipfQueries(1000, 1000, 1));
+  EXPECT_NE(GenerateZipfQueries(1000, 1000, 1),
+            GenerateZipfQueries(1000, 1000, 2));
+}
+
+TEST(WorkloadTest, ScanLengths) {
+  auto lens = GenerateScanLengths(10000, 100, 3);
+  for (auto l : lens) {
+    ASSERT_GE(l, 1u);
+    ASSERT_LE(l, 100u);
+  }
+  double avg = 0;
+  for (auto l : lens) avg += l;
+  avg /= static_cast<double>(lens.size());
+  EXPECT_NEAR(avg, 50.5, 2.0);  // uniform in [1, 100]
+}
+
+TEST(WorkloadTest, SplitForInserts) {
+  std::vector<std::string> keys{"a", "b", "c", "d"};
+  auto split = SplitForInserts(keys, 0.5);
+  EXPECT_EQ(split.load.size(), 2u);
+  EXPECT_EQ(split.inserts.size(), 2u);
+  EXPECT_EQ(split.load[0], "a");
+  EXPECT_EQ(split.inserts[0], "c");
+}
+
+TEST(WorkloadTest, TimerMeasures) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; i++) x = x + 1;
+  EXPECT_GE(t.Seconds(), 0.0);
+  EXPECT_LT(t.Seconds(), 5.0);
+}
+
+}  // namespace
+}  // namespace hope

@@ -1,0 +1,191 @@
+// hope_cli — command-line front end for the HOPE encoder.
+//
+//   hope_cli build  <scheme> <keys.txt> <dict.hope> [dict_size]
+//       Builds a dictionary from newline-separated sample keys and saves
+//       it (schemes: single-char double-char alm 3-grams 4-grams
+//       alm-improved).
+//   hope_cli encode <dict.hope>
+//       Reads keys from stdin, writes "<bitlen> <hex-encoding>" lines.
+//   hope_cli decode <dict.hope>
+//       Reads "<bitlen> <hex-encoding>" lines, writes the original keys.
+//   hope_cli stats  <dict.hope> [keys.txt]
+//       Prints dictionary statistics and, given keys, the compression
+//       rate achieved on them.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hope/hope.h"
+
+namespace {
+
+using hope::Hope;
+using hope::Scheme;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hope_cli build <scheme> <keys.txt> <dict.hope> "
+               "[dict_size]\n"
+               "       hope_cli encode <dict.hope>   (keys on stdin)\n"
+               "       hope_cli decode <dict.hope>   (bitlen+hex on stdin)\n"
+               "       hope_cli stats  <dict.hope> [keys.txt]\n"
+               "schemes: single-char double-char alm 3-grams 4-grams "
+               "alm-improved\n");
+  return 2;
+}
+
+bool ParseScheme(const std::string& name, Scheme* out) {
+  static const std::pair<const char*, Scheme> kMap[] = {
+      {"single-char", Scheme::kSingleChar},
+      {"double-char", Scheme::kDoubleChar},
+      {"alm", Scheme::kAlm},
+      {"3-grams", Scheme::kThreeGrams},
+      {"4-grams", Scheme::kFourGrams},
+      {"alm-improved", Scheme::kAlmImproved},
+  };
+  for (auto& [n, s] : kMap)
+    if (name == n) {
+      *out = s;
+      return true;
+    }
+  return false;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+std::unique_ptr<Hope> LoadDict(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  auto hope = Hope::Deserialize(ss.str());
+  if (!hope) {
+    std::fprintf(stderr, "%s is not a valid HOPE dictionary\n", path.c_str());
+    std::exit(1);
+  }
+  return hope;
+}
+
+std::string ToHex(const std::string& bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xF]);
+  }
+  return out;
+}
+
+bool FromHex(const std::string& hex, std::string* bytes) {
+  if (hex.size() % 2) return false;
+  bytes->clear();
+  auto nib = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nib(hex[i]), lo = nib(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    bytes->push_back(static_cast<char>(hi * 16 + lo));
+  }
+  return true;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  Scheme scheme;
+  if (!ParseScheme(argv[2], &scheme)) return Usage();
+  auto keys = ReadLines(argv[3]);
+  size_t dict_size = argc > 5 ? std::strtoull(argv[5], nullptr, 10)
+                              : size_t{1} << 14;
+  hope::BuildStats stats;
+  auto hope = Hope::Build(scheme, keys, dict_size, &stats);
+  std::ofstream out(argv[4], std::ios::binary);
+  std::string blob = hope->Serialize();
+  out.write(blob.data(), static_cast<long>(blob.size()));
+  std::fprintf(stderr,
+               "built %s dictionary: %zu entries, %zu KB structure, "
+               "%.2fs (select %.2fs, assign %.2fs)\n",
+               argv[2], stats.num_entries, stats.dict_memory_bytes / 1024,
+               stats.TotalSeconds(), stats.symbol_select_seconds,
+               stats.code_assign_seconds);
+  std::fprintf(stderr, "compression rate on the sample: %.3fx\n",
+               hope->CompressionRate(keys));
+  return 0;
+}
+
+int CmdEncode(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto hope = LoadDict(argv[2]);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    size_t bits = 0;
+    std::string enc = hope->Encode(line, &bits);
+    std::printf("%zu %s\n", bits, ToHex(enc).c_str());
+  }
+  return 0;
+}
+
+int CmdDecode(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto hope = LoadDict(argv[2]);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    size_t space = line.find(' ');
+    std::string bytes;
+    if (space == std::string::npos ||
+        !FromHex(line.substr(space + 1), &bytes)) {
+      std::fprintf(stderr, "malformed line: %s\n", line.c_str());
+      return 1;
+    }
+    size_t bits = std::strtoull(line.c_str(), nullptr, 10);
+    std::printf("%s\n", hope->Decode(bytes, bits).c_str());
+  }
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto hope = LoadDict(argv[2]);
+  std::printf("scheme:        %s\n", hope::SchemeName(hope->scheme()));
+  std::printf("entries:       %zu\n", hope->dict().NumEntries());
+  std::printf("dictionary:    %s, %zu KB\n", hope->dict().Name(),
+              hope->dict().MemoryBytes() / 1024);
+  if (argc > 3) {
+    auto keys = ReadLines(argv[3]);
+    std::printf("compression:   %.3fx over %zu keys\n",
+                hope->CompressionRate(keys), keys.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (!std::strcmp(argv[1], "build")) return CmdBuild(argc, argv);
+  if (!std::strcmp(argv[1], "encode")) return CmdEncode(argc, argv);
+  if (!std::strcmp(argv[1], "decode")) return CmdDecode(argc, argv);
+  if (!std::strcmp(argv[1], "stats")) return CmdStats(argc, argv);
+  return Usage();
+}
