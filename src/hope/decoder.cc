@@ -10,12 +10,16 @@ Decoder::Decoder(const std::vector<DictEntry>& entries) {
   symbols_.reserve(entries.size());
   for (size_t i = 0; i < entries.size(); i++) {
     const DictEntry& e = entries[i];
+    if (e.code.len > 64)
+      throw std::invalid_argument("Decoder: code longer than 64 bits");
     symbols_.push_back(e.left_bound.empty()
                            ? std::string(1, '\0')
                            : e.left_bound.substr(0, e.symbol_len));
     int32_t node = 0;
     for (int b = 0; b < e.code.len; b++) {
       int bit = CodeBit(e.code, b);
+      if (nodes_[node].entry >= 0)
+        throw std::invalid_argument("Decoder: code is not prefix-free");
       if (nodes_[node].child[bit] < 0) {
         nodes_[node].child[bit] = static_cast<int32_t>(nodes_.size());
         nodes_.push_back(TrieNode());
@@ -24,11 +28,15 @@ Decoder::Decoder(const std::vector<DictEntry>& entries) {
     }
     if (nodes_[node].entry >= 0)
       throw std::invalid_argument("Decoder: duplicate code");
+    if (nodes_[node].child[0] >= 0 || nodes_[node].child[1] >= 0)
+      throw std::invalid_argument("Decoder: code is not prefix-free");
     nodes_[node].entry = static_cast<int32_t>(i);
   }
 }
 
 std::string Decoder::Decode(std::string_view bytes, size_t bit_len) const {
+  if (bit_len > bytes.size() * 8)
+    throw std::invalid_argument("Decoder: bit length exceeds input");
   std::string out;
   out.reserve(bit_len / 4);
   int32_t node = 0;

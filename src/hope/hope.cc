@@ -1,5 +1,6 @@
 #include "hope/hope.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -198,6 +199,9 @@ std::unique_ptr<Hope> Hope::Deserialize(std::string_view bytes) {
   bytes.remove_prefix(1);
   uint32_t count = 0;
   if (!GetU32(&bytes, &count)) return nullptr;
+  // Each entry occupies at least 4+4+8+1 bytes; reject impossible counts
+  // before reserving (a corrupted count must not trigger a huge allocation).
+  if (static_cast<uint64_t>(count) * 17 > bytes.size()) return nullptr;
   std::vector<DictEntry> entries;
   entries.reserve(count);
   for (uint32_t i = 0; i < count; i++) {
@@ -208,11 +212,22 @@ std::unique_ptr<Hope> Hope::Deserialize(std::string_view bytes) {
     e.left_bound.assign(bytes.data(), blen);
     bytes.remove_prefix(blen);
     if (!GetU32(&bytes, &symlen)) return nullptr;
+    // The symbol is a prefix of the left bound (the "" entry stands for
+    // the 1-byte symbol '\0'); a lookup must consume at least one byte.
+    if (symlen < 1 || symlen > std::max<uint32_t>(1, blen)) return nullptr;
     e.symbol_len = symlen;
     if (!GetU64(&bytes, &code_bits) || bytes.empty()) return nullptr;
     e.code.bits = code_bits;
     e.code.len = static_cast<uint8_t>(bytes[0]);
     bytes.remove_prefix(1);
+    // Codes are 1..64 bits (a zero-length code would encode symbols to
+    // nothing, silently breaking the decode round-trip), left-aligned,
+    // zero beyond `len` (the BitWriter relies on that invariant for
+    // branch-free ORs).
+    if (e.code.len < 1 || e.code.len > 64) return nullptr;
+    if (e.code.len < 64 &&
+        (e.code.bits & (~uint64_t{0} >> e.code.len)) != 0)
+      return nullptr;
     if (i > 0 && !(entries.back().left_bound < e.left_bound)) return nullptr;
     entries.push_back(std::move(e));
   }

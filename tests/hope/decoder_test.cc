@@ -37,6 +37,16 @@ TEST(DecoderTest, RejectsPartialTrailingCode) {
   EXPECT_THROW(dec.Decode(bytes, 5), std::invalid_argument);  // 2+2+1 bits
 }
 
+TEST(DecoderTest, RejectsBitLengthBeyondInput) {
+  // A bit length longer than the byte buffer must throw, not read past
+  // the end (the CLI feeds attacker-controlled "<bitlen> <hex>" lines).
+  Decoder dec(TinyDict());
+  std::string bytes{static_cast<char>(0b01100100)};
+  EXPECT_THROW(dec.Decode(bytes, 9), std::invalid_argument);
+  EXPECT_THROW(dec.Decode(bytes, 999), std::invalid_argument);
+  EXPECT_THROW(dec.Decode("", 1), std::invalid_argument);
+}
+
 TEST(DecoderTest, RejectsUnassignedCode) {
   Decoder dec(TinyDict());
   std::string bytes{static_cast<char>(0b11000000)};  // 11 is not a code

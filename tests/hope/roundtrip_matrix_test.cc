@@ -1,0 +1,86 @@
+// Satellite coverage: Encode -> Decode must be the identity for every
+// (Scheme, DictImpl) combination on the email and URL sample datasets.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datasets/datasets.h"
+#include "hope/hope.h"
+
+namespace hope {
+namespace {
+
+constexpr Scheme kSchemes[] = {
+    Scheme::kSingleChar, Scheme::kDoubleChar,  Scheme::kAlm,
+    Scheme::kThreeGrams, Scheme::kFourGrams,   Scheme::kAlmImproved,
+};
+
+constexpr DictImpl kImpls[] = {
+    DictImpl::kBinarySearch,
+    DictImpl::kArray,
+    DictImpl::kBitmapTrie,
+    DictImpl::kArt,
+};
+
+const char* ImplName(DictImpl impl) {
+  switch (impl) {
+    case DictImpl::kDefault:
+      return "default";
+    case DictImpl::kBinarySearch:
+      return "binary-search";
+    case DictImpl::kArray:
+      return "array";
+    case DictImpl::kBitmapTrie:
+      return "bitmap-trie";
+    case DictImpl::kArt:
+      return "art";
+  }
+  return "?";
+}
+
+// The array dictionary only represents 1- or 2-byte fixed-interval
+// boundaries, and the bitmap trie only bounded n-gram boundaries; the
+// variable-interval schemes cannot be forced into them.
+bool Compatible(Scheme scheme, DictImpl impl) {
+  switch (impl) {
+    case DictImpl::kArray:
+      return scheme == Scheme::kSingleChar || scheme == Scheme::kDoubleChar;
+    case DictImpl::kBitmapTrie:
+      return scheme == Scheme::kSingleChar || scheme == Scheme::kDoubleChar ||
+             scheme == Scheme::kThreeGrams || scheme == Scheme::kFourGrams;
+    default:
+      return true;
+  }
+}
+
+class RoundTripMatrixTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(RoundTripMatrixTest, EncodeDecodeIdentity) {
+  const auto keys = GenerateDataset(GetParam(), 400, /*seed=*/7);
+  const auto samples = SampleKeys(keys, 0.25);
+  for (Scheme scheme : kSchemes) {
+    for (DictImpl impl : kImpls) {
+      if (!Compatible(scheme, impl)) continue;
+      SCOPED_TRACE(std::string(SchemeName(scheme)) + " / " + ImplName(impl));
+      auto hope =
+          Hope::Build(scheme, samples, /*dict_size_limit=*/1 << 12,
+                      /*stats=*/nullptr, impl);
+      ASSERT_NE(hope, nullptr);
+      for (const std::string& key : keys) {
+        size_t bits = 0;
+        const std::string enc = hope->Encode(key, &bits);
+        ASSERT_EQ(hope->Decode(enc, bits), key) << "key: " << key;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EmailUrl, RoundTripMatrixTest,
+                         ::testing::Values(DatasetId::kEmail, DatasetId::kUrl),
+                         [](const auto& info) {
+                           return std::string(DatasetName(info.param));
+                         });
+
+}  // namespace
+}  // namespace hope

@@ -70,5 +70,80 @@ TEST(SerializeTest, RejectsCorruptedOrder) {
   }
 }
 
+struct BlobEntry {
+  std::string left_bound;
+  uint32_t symbol_len;
+  uint64_t code_bits;
+  uint8_t code_len;
+};
+
+// Handcrafts a Scheme::kAlm blob (the ART dictionary accepts arbitrary
+// entry counts, so nothing but the field validations under test can
+// reject it) with the given entries.
+std::string AlmBlob(const std::vector<BlobEntry>& entries) {
+  std::string blob = "HOPEDICT1";
+  blob.push_back(2);  // Scheme::kAlm
+  auto put_u32 = [&](uint32_t v) {
+    for (int i = 0; i < 4; i++)
+      blob.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  put_u32(static_cast<uint32_t>(entries.size()));
+  for (const BlobEntry& e : entries) {
+    put_u32(static_cast<uint32_t>(e.left_bound.size()));
+    blob += e.left_bound;
+    put_u32(e.symbol_len);
+    for (int i = 0; i < 8; i++)
+      blob.push_back(static_cast<char>((e.code_bits >> (8 * i)) & 0xFF));
+    blob.push_back(static_cast<char>(e.code_len));
+  }
+  return blob;
+}
+
+constexpr uint64_t kMsb = uint64_t{1} << 63;
+
+TEST(SerializeTest, AcceptsMinimalWellFormedBlob) {
+  // Baseline showing AlmBlob layouts are loadable at all — without this,
+  // the rejection cases below could pass for unrelated reasons.
+  auto loaded = Hope::Deserialize(
+      AlmBlob({{"", 1, 0, 1}, {"a", 1, kMsb, 1}}));
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->dict().NumEntries(), 2u);
+}
+
+TEST(SerializeTest, RejectsMalformedEntryFields) {
+  // Oversized code length (would shift out of the 64-bit code word).
+  EXPECT_EQ(Hope::Deserialize(AlmBlob({{"", 1, 0, 200}})), nullptr);
+  EXPECT_EQ(Hope::Deserialize(AlmBlob({{"", 1, 0, 65}})), nullptr);
+  // A zero-length code would encode its symbol to nothing (lossy decode).
+  EXPECT_EQ(Hope::Deserialize(AlmBlob({{"", 1, 0, 0}})), nullptr);
+  // Nonzero bits beyond the code length break the BitWriter invariant.
+  EXPECT_EQ(Hope::Deserialize(AlmBlob({{"", 1, uint64_t{1}, 1}})), nullptr);
+  // A lookup must consume at least one byte, and the symbol is a prefix
+  // of the left bound.
+  EXPECT_EQ(Hope::Deserialize(AlmBlob({{"", 0, 0, 1}})), nullptr);
+  EXPECT_EQ(Hope::Deserialize(AlmBlob({{"", 7, 0, 1}})), nullptr);
+}
+
+TEST(SerializeTest, RejectsNonPrefixFreeCodes) {
+  // "0" is a prefix of "00": decoding would emit the first symbol early.
+  EXPECT_EQ(Hope::Deserialize(
+                AlmBlob({{"", 1, 0, 1}, {"a", 1, 0, 2}})),
+            nullptr);
+  // Duplicate codes.
+  EXPECT_EQ(Hope::Deserialize(
+                AlmBlob({{"", 1, 0, 1}, {"a", 1, 0, 1}})),
+            nullptr);
+}
+
+TEST(SerializeTest, RejectsHugeEntryCount) {
+  auto keys = GenerateEmails(100, 95);
+  auto hope = Hope::Build(Scheme::kSingleChar, keys, 256);
+  std::string blob = hope->Serialize();
+  // Overwrite the count with 0xFFFFFFFF; the loader must reject it
+  // without attempting a multi-gigabyte allocation.
+  for (size_t i = 10; i < 14; i++) blob[i] = '\xFF';
+  EXPECT_EQ(Hope::Deserialize(blob), nullptr);
+}
+
 }  // namespace
 }  // namespace hope

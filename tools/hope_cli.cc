@@ -11,6 +11,10 @@
 //   hope_cli stats  <dict.hope> [keys.txt]
 //       Prints dictionary statistics and, given keys, the compression
 //       rate achieved on them.
+//   hope_cli selftest
+//       Builds every scheme on a synthetic sample, round-trips
+//       encode/decode (including through serialize/deserialize), and
+//       exits non-zero on any mismatch. Used as the CI smoke test.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "datasets/datasets.h"
 #include "hope/hope.h"
 
 namespace {
@@ -33,6 +38,7 @@ int Usage() {
                "       hope_cli encode <dict.hope>   (keys on stdin)\n"
                "       hope_cli decode <dict.hope>   (bitlen+hex on stdin)\n"
                "       hope_cli stats  <dict.hope> [keys.txt]\n"
+               "       hope_cli selftest\n"
                "schemes: single-char double-char alm 3-grams 4-grams "
                "alm-improved\n");
   return 2;
@@ -153,13 +159,21 @@ int CmdDecode(int argc, char** argv) {
   while (std::getline(std::cin, line)) {
     size_t space = line.find(' ');
     std::string bytes;
+    char* num_end = nullptr;
+    size_t bits = std::strtoull(line.c_str(), &num_end, 10);
     if (space == std::string::npos ||
+        num_end != line.c_str() + space ||
         !FromHex(line.substr(space + 1), &bytes)) {
       std::fprintf(stderr, "malformed line: %s\n", line.c_str());
       return 1;
     }
-    size_t bits = std::strtoull(line.c_str(), nullptr, 10);
-    std::printf("%s\n", hope->Decode(bytes, bits).c_str());
+    try {
+      std::printf("%s\n", hope->Decode(bytes, bits).c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "invalid encoding \"%s\": %s\n", line.c_str(),
+                   e.what());
+      return 1;
+    }
   }
   return 0;
 }
@@ -179,6 +193,46 @@ int CmdStats(int argc, char** argv) {
   return 0;
 }
 
+int CmdSelftest() {
+  static const Scheme kAll[] = {
+      Scheme::kSingleChar, Scheme::kDoubleChar,  Scheme::kAlm,
+      Scheme::kThreeGrams, Scheme::kFourGrams,   Scheme::kAlmImproved,
+  };
+  auto keys = hope::GenerateEmails(300, /*seed=*/11);
+  auto urls = hope::GenerateUrls(100, /*seed=*/11);
+  keys.insert(keys.end(), urls.begin(), urls.end());
+  auto samples = hope::SampleKeys(keys, 0.25);
+  int failures = 0;
+  for (Scheme scheme : kAll) {
+    auto built = Hope::Build(scheme, samples, size_t{1} << 12);
+    // Round-trip through the serialized form, like the encode/decode
+    // subcommands do.
+    auto hope = Hope::Deserialize(built->Serialize());
+    if (!hope) {
+      std::fprintf(stderr, "FAIL %s: serialize round-trip rejected\n",
+                   hope::SchemeName(scheme));
+      failures++;
+      continue;
+    }
+    size_t bad = 0;
+    for (const std::string& key : keys) {
+      size_t bits = 0;
+      std::string enc = hope->Encode(key, &bits);
+      if (hope->Decode(enc, bits) != key) bad++;
+    }
+    if (bad) {
+      std::fprintf(stderr, "FAIL %s: %zu/%zu keys did not round-trip\n",
+                   hope::SchemeName(scheme), bad, keys.size());
+      failures++;
+    } else {
+      std::fprintf(stderr, "ok   %s: %zu keys round-tripped (%.3fx)\n",
+                   hope::SchemeName(scheme), keys.size(),
+                   hope->CompressionRate(keys));
+    }
+  }
+  return failures ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,5 +241,6 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "encode")) return CmdEncode(argc, argv);
   if (!std::strcmp(argv[1], "decode")) return CmdDecode(argc, argv);
   if (!std::strcmp(argv[1], "stats")) return CmdStats(argc, argv);
+  if (!std::strcmp(argv[1], "selftest")) return CmdSelftest();
   return Usage();
 }
