@@ -43,11 +43,18 @@ void Run() {
     auto hu = AssignHuTuckerCodes(weights);
     auto range = AssignRangeCodes(weights);
     auto fixed = AssignFixedLengthCodes(weights.size());
+    double len_hu = ExpectedCodeLength(weights, hu);
+    double len_range = ExpectedCodeLength(weights, range);
+    double len_fixed = ExpectedCodeLength(weights, fixed);
     std::printf("  %-13s %9zu %11.3f %11.3f %11.3f\n", SchemeName(scheme),
-                intervals.size(), ExpectedCodeLength(weights, hu),
-                ExpectedCodeLength(weights, range),
-                ExpectedCodeLength(weights, fixed));
+                intervals.size(), len_hu, len_range, len_fixed);
     std::fflush(stdout);
+    Report()
+        .Str("scheme", SchemeName(scheme))
+        .Num("entries", static_cast<double>(intervals.size()))
+        .Num("bits_hu_tucker", len_hu)
+        .Num("bits_range", len_range)
+        .Num("bits_fixed", len_fixed);
   }
   std::printf(
       "\n  Hu-Tucker is optimal among order-preserving prefix codes; Range\n"
@@ -58,7 +65,7 @@ void Run() {
 }  // namespace
 }  // namespace hope::bench
 
-int main() {
-  hope::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return hope::bench::BenchMain(argc, argv, "ablation_assigners",
+                                hope::bench::Run);
 }

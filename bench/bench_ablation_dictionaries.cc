@@ -20,6 +20,13 @@ void Measure(const char* label, Scheme scheme, size_t limit, DictImpl impl,
   std::printf("  %-13s %-14s %10.1f %10.2fx %12.1f\n", SchemeName(scheme),
               label, ns, speedup,
               static_cast<double>(hope->dict().MemoryBytes()) / 1024.0);
+  Report()
+      .Str("scheme", SchemeName(scheme))
+      .Str("dictionary", label)
+      .Num("encode_ns_per_char", ns)
+      .Num("speedup", speedup)
+      .Num("dict_kb",
+           static_cast<double>(hope->dict().MemoryBytes()) / 1024.0);
 }
 
 void Run() {
@@ -67,7 +74,7 @@ void Run() {
 }  // namespace
 }  // namespace hope::bench
 
-int main() {
-  hope::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return hope::bench::BenchMain(argc, argv, "ablation_dictionaries",
+                                hope::bench::Run);
 }

@@ -1,15 +1,21 @@
 // Shared infrastructure for the per-figure benchmark binaries.
 //
 // Every bench prints the same rows/series as the corresponding paper
-// table or figure. Defaults are laptop-sized; environment variables scale
-// the runs up:
+// table or figure, and every bench binary accepts `--json <path>` to
+// additionally emit its rows as machine-readable JSON (see JsonReport;
+// bench/run_benches.sh collects the files the perf trajectory tracks).
+// Defaults are laptop-sized; environment variables scale the runs up:
 //   HOPE_BENCH_KEYS   keys per dataset   (default 200000)
 //   HOPE_BENCH_FULL=1 paper-sized dictionary sweeps (2^16/2^18 entries)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "datasets/datasets.h"
@@ -144,6 +150,115 @@ inline BuiltConfig PrepareConfig(const TreeConfig& config,
     built.tree_keys = keys;
   }
   return built;
+}
+
+/// Machine-readable results sink behind `--json <path>`: benches append
+/// flat rows (string and numeric fields) next to their printf output, and
+/// BenchMain writes `{"bench": ..., "keys": ..., "rows": [...]}` on exit.
+/// When --json is absent the rows are collected and dropped — call sites
+/// stay unconditional.
+class JsonReport {
+ public:
+  class Row {
+   public:
+    Row& Str(const char* key, std::string_view value) {
+      Sep();
+      body_ += '"';
+      Escape(key);
+      body_ += "\": \"";
+      Escape(value);
+      body_ += '"';
+      return *this;
+    }
+    Row& Num(const char* key, double value) {
+      Sep();
+      body_ += '"';
+      Escape(key);
+      body_ += "\": ";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      body_ += buf;
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    void Sep() {
+      if (!body_.empty()) body_ += ", ";
+    }
+    void Escape(std::string_view s) {
+      for (char c : s) {
+        if (c == '"' || c == '\\') {
+          body_ += '\\';
+          body_ += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          body_ += buf;
+        } else {
+          body_ += c;
+        }
+      }
+    }
+    std::string body_;
+  };
+
+  static JsonReport& Get() {
+    static JsonReport report;
+    return report;
+  }
+
+  void set_bench_name(const char* name) { bench_name_ = name; }
+  void set_path(std::string path) { path_ = std::move(path); }
+  bool enabled() const { return !path_.empty(); }
+
+  Row& AddRow() { return rows_.emplace_back(); }
+
+  /// Writes the report if --json was given. Returns false on I/O failure.
+  bool Flush() const {
+    if (path_.empty()) return true;
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << "{\n  \"bench\": \"" << bench_name_ << "\",\n"
+        << "  \"keys\": " << NumKeys() << ",\n"
+        << "  \"full_scale\": " << (FullScale() ? "true" : "false") << ",\n"
+        << "  \"rows\": [\n";
+    for (size_t i = 0; i < rows_.size(); i++)
+      out << "    {" << rows_[i].body_ << (i + 1 < rows_.size() ? "},\n" : "}\n");
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string bench_name_ = "?";
+  std::string path_;
+  std::deque<Row> rows_;
+};
+
+/// Shorthand for call sites: Report().Str("scheme", ...).Num("cpr", ...).
+inline JsonReport::Row& Report() { return JsonReport::Get().AddRow(); }
+
+/// Uniform main() for the bench binaries: parses `--json <path>`, runs
+/// the bench, and flushes the report. Exit codes: 0 ok, 1 runtime error
+/// (JSON write failed), 2 usage error.
+inline int BenchMain(int argc, char** argv, const char* name, void (*run)()) {
+  JsonReport& report = JsonReport::Get();
+  report.set_bench_name(name);
+  for (int i = 1; i < argc; i++) {
+    if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      report.set_path(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  run();
+  if (!report.Flush()) {
+    std::fprintf(stderr, "failed to write JSON report\n");
+    return 1;
+  }
+  if (report.enabled()) std::printf("\n  JSON report written\n");
+  return 0;
 }
 
 inline void PrintHeader(const char* title) {

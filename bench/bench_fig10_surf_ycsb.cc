@@ -67,6 +67,14 @@ void Run() {
       std::printf("  %-18s %10.3f %10.3f %10.2f %10.2f %9.1f\n",
                   config.name, point_us, range_us, mem_mb, build_s,
                   surf.AverageLeafDepth());
+      Report()
+          .Str("dataset", DatasetName(id))
+          .Str("config", config.name)
+          .Num("point_us", point_us)
+          .Num("range_us", range_us)
+          .Num("mem_mb", mem_mb)
+          .Num("build_s", build_s)
+          .Num("avg_leaf_depth", surf.AverageLeafDepth());
     }
   }
 }
@@ -74,7 +82,7 @@ void Run() {
 }  // namespace
 }  // namespace hope::bench
 
-int main() {
-  hope::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return hope::bench::BenchMain(argc, argv, "fig10_surf_ycsb",
+                                hope::bench::Run);
 }

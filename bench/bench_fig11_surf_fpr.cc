@@ -35,16 +35,21 @@ void Run() {
       fp_real += real8.MayContain(enc);
     }
     double denom = static_cast<double>(probes.size());
-    std::printf("  %-18s %12.2f %12.2f\n", config.name,
-                100.0 * static_cast<double>(fp_plain) / denom,
-                100.0 * static_cast<double>(fp_real) / denom);
+    double fpr_plain = 100.0 * static_cast<double>(fp_plain) / denom;
+    double fpr_real = 100.0 * static_cast<double>(fp_real) / denom;
+    std::printf("  %-18s %12.2f %12.2f\n", config.name, fpr_plain,
+                fpr_real);
+    Report()
+        .Str("config", config.name)
+        .Num("fpr_percent", fpr_plain)
+        .Num("fpr_real8_percent", fpr_real);
   }
 }
 
 }  // namespace
 }  // namespace hope::bench
 
-int main() {
-  hope::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return hope::bench::BenchMain(argc, argv, "fig11_surf_fpr",
+                                hope::bench::Run);
 }

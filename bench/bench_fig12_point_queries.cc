@@ -12,7 +12,8 @@ namespace hope::bench {
 namespace {
 
 template <typename Tree>
-void RunTree(const char* tree_name, const std::vector<std::string>& keys,
+void RunTree(const char* dataset, const char* tree_name,
+             const std::vector<std::string>& keys,
              const std::vector<uint32_t>& queries,
              const std::vector<BuiltConfig>& configs) {
   std::printf("\n  --- %s ---\n", tree_name);
@@ -34,6 +35,12 @@ void RunTree(const char* tree_name, const std::vector<std::string>& keys,
                                         built.dict_memory) /
                     (1024.0 * 1024.0);
     std::printf("  %-18s %10.3f %10.2f\n", built.config.name, us, mem_mb);
+    Report()
+        .Str("dataset", dataset)
+        .Str("tree", tree_name)
+        .Str("config", built.config.name)
+        .Num("point_us", us)
+        .Num("mem_mb", mem_mb);
   }
 }
 
@@ -50,17 +57,17 @@ void Run() {
     std::vector<BuiltConfig> configs;
     for (const TreeConfig& config : SearchTreeConfigs())
       configs.push_back(PrepareConfig(config, keys));
-    RunTree<Art>("ART", keys, queries, configs);
-    RunTree<Hot>("HOT", keys, queries, configs);
-    RunTree<BTree>("B+tree", keys, queries, configs);
-    RunTree<PrefixBTree>("Prefix B+tree", keys, queries, configs);
+    RunTree<Art>(DatasetName(id), "ART", keys, queries, configs);
+    RunTree<Hot>(DatasetName(id), "HOT", keys, queries, configs);
+    RunTree<BTree>(DatasetName(id), "B+tree", keys, queries, configs);
+    RunTree<PrefixBTree>(DatasetName(id), "Prefix B+tree", keys, queries, configs);
   }
 }
 
 }  // namespace
 }  // namespace hope::bench
 
-int main() {
-  hope::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return hope::bench::BenchMain(argc, argv, "fig12_point_queries",
+                                hope::bench::Run);
 }

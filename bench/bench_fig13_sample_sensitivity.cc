@@ -28,8 +28,14 @@ void Run() {
           continue;
         }
         auto hope = Hope::Build(scheme, SampleKeys(keys, f), limit);
-        std::printf(" %9.3f", MeasureCpr(*hope, keys));
+        double cpr = MeasureCpr(*hope, keys);
+        std::printf(" %9.3f", cpr);
         std::fflush(stdout);
+        Report()
+            .Str("dataset", DatasetName(id))
+            .Str("scheme", SchemeName(scheme))
+            .Num("sample_fraction", f)
+            .Num("cpr", cpr);
       }
       std::printf("\n");
     }
@@ -39,7 +45,7 @@ void Run() {
 }  // namespace
 }  // namespace hope::bench
 
-int main() {
-  hope::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return hope::bench::BenchMain(argc, argv, "fig13_sample_sensitivity",
+                                hope::bench::Run);
 }

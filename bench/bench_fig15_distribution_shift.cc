@@ -29,17 +29,26 @@ void Run() {
   for (Scheme scheme : AllSchemes()) {
     auto dict_a = Hope::Build(scheme, SampleKeys(part_a, 0.02), limit);
     auto dict_b = Hope::Build(scheme, SampleKeys(part_b, 0.02), limit);
+    double a_on_a = MeasureCpr(*dict_a, part_a);
+    double b_on_b = MeasureCpr(*dict_b, part_b);
+    double a_on_b = MeasureCpr(*dict_a, part_b);
+    double b_on_a = MeasureCpr(*dict_b, part_a);
     std::printf("  %-13s %12.3f %12.3f %12.3f %12.3f\n", SchemeName(scheme),
-                MeasureCpr(*dict_a, part_a), MeasureCpr(*dict_b, part_b),
-                MeasureCpr(*dict_a, part_b), MeasureCpr(*dict_b, part_a));
+                a_on_a, b_on_b, a_on_b, b_on_a);
     std::fflush(stdout);
+    Report()
+        .Str("scheme", SchemeName(scheme))
+        .Num("cpr_a_on_a", a_on_a)
+        .Num("cpr_b_on_b", b_on_b)
+        .Num("cpr_a_on_b", a_on_b)
+        .Num("cpr_b_on_a", b_on_a);
   }
 }
 
 }  // namespace
 }  // namespace hope::bench
 
-int main() {
-  hope::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return hope::bench::BenchMain(argc, argv, "fig15_distribution_shift",
+                                hope::bench::Run);
 }

@@ -12,7 +12,8 @@ namespace hope::bench {
 namespace {
 
 template <typename Tree>
-void RunTree(const char* tree_name, const std::vector<std::string>& keys,
+void RunTree(const char* dataset, const char* tree_name,
+             const std::vector<std::string>& keys,
              const std::vector<uint32_t>& queries,
              const std::vector<uint32_t>& scan_lens,
              const std::vector<BuiltConfig>& configs) {
@@ -46,6 +47,12 @@ void RunTree(const char* tree_name, const std::vector<std::string>& keys,
 
     std::printf("  %-18s %10.3f %11.3f\n", built.config.name, range_us,
                 insert_us);
+    Report()
+        .Str("dataset", dataset)
+        .Str("tree", tree_name)
+        .Str("config", built.config.name)
+        .Num("range_us", range_us)
+        .Num("insert_us", insert_us);
   }
 }
 
@@ -62,17 +69,17 @@ void Run() {
     std::vector<BuiltConfig> configs;
     for (const TreeConfig& config : SearchTreeConfigs())
       configs.push_back(PrepareConfig(config, keys));
-    RunTree<Art>("ART", keys, queries, scan_lens, configs);
-    RunTree<Hot>("HOT", keys, queries, scan_lens, configs);
-    RunTree<BTree>("B+tree", keys, queries, scan_lens, configs);
-    RunTree<PrefixBTree>("Prefix B+tree", keys, queries, scan_lens, configs);
+    RunTree<Art>(DatasetName(id), "ART", keys, queries, scan_lens, configs);
+    RunTree<Hot>(DatasetName(id), "HOT", keys, queries, scan_lens, configs);
+    RunTree<BTree>(DatasetName(id), "B+tree", keys, queries, scan_lens, configs);
+    RunTree<PrefixBTree>(DatasetName(id), "Prefix B+tree", keys, queries, scan_lens, configs);
   }
 }
 
 }  // namespace
 }  // namespace hope::bench
 
-int main() {
-  hope::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return hope::bench::BenchMain(argc, argv, "fig16_range_insert",
+                                hope::bench::Run);
 }

@@ -11,7 +11,8 @@
 namespace hope::bench {
 namespace {
 
-void RunScheme(Scheme scheme, const std::vector<std::string>& keys,
+void RunScheme(DatasetId id, Scheme scheme,
+               const std::vector<std::string>& keys,
                const std::vector<std::string>& sample) {
   std::vector<size_t> sizes;
   if (scheme == Scheme::kSingleChar) {
@@ -31,6 +32,13 @@ void RunScheme(Scheme scheme, const std::vector<std::string>& keys,
     std::printf("  %-13s %9zu %8.3f %9.1f %12.1f\n", SchemeName(scheme),
                 stats.num_entries, cpr, ns,
                 static_cast<double>(stats.dict_memory_bytes) / 1024.0);
+    Report()
+        .Str("dataset", DatasetName(id))
+        .Str("scheme", SchemeName(scheme))
+        .Num("entries", static_cast<double>(stats.num_entries))
+        .Num("cpr", cpr)
+        .Num("encode_ns_per_char", ns)
+        .Num("dict_kb", static_cast<double>(stats.dict_memory_bytes) / 1024.0);
   }
 }
 
@@ -46,14 +54,14 @@ void Run() {
                     static_cast<double>(keys.size()));
     std::printf("  %-13s %9s %8s %9s %12s\n", "Scheme", "Entries", "CPR",
                 "ns/char", "DictKB");
-    for (Scheme scheme : AllSchemes()) RunScheme(scheme, keys, sample);
+    for (Scheme scheme : AllSchemes()) RunScheme(id, scheme, keys, sample);
   }
 }
 
 }  // namespace
 }  // namespace hope::bench
 
-int main() {
-  hope::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return hope::bench::BenchMain(argc, argv, "fig8_microbench",
+                                hope::bench::Run);
 }

@@ -7,14 +7,21 @@
 namespace hope::bench {
 namespace {
 
-void Report(Scheme scheme, size_t limit, const char* size_label,
-            const std::vector<std::string>& sample) {
+void MeasureBuild(Scheme scheme, size_t limit, const char* size_label,
+                  const std::vector<std::string>& sample) {
   BuildStats stats;
   auto hope = Hope::Build(scheme, sample, limit, &stats);
   std::printf("  %-13s %-9s %9.3f %9.3f %9.3f | total %7.3f s\n",
               SchemeName(scheme), size_label, stats.symbol_select_seconds,
               stats.code_assign_seconds, stats.dict_build_seconds,
               stats.TotalSeconds());
+  Report()
+      .Str("scheme", SchemeName(scheme))
+      .Str("dict_size", size_label)
+      .Num("select_s", stats.symbol_select_seconds)
+      .Num("assign_s", stats.code_assign_seconds)
+      .Num("build_s", stats.dict_build_seconds)
+      .Num("total_s", stats.TotalSeconds());
 }
 
 void Run() {
@@ -24,21 +31,21 @@ void Run() {
 
   std::printf("  %-13s %-9s %9s %9s %9s\n", "Scheme", "DictSize",
               "Select(s)", "Assign(s)", "Build(s)");
-  Report(Scheme::kSingleChar, 256, "fixed", sample);
-  Report(Scheme::kDoubleChar, 0, "fixed", sample);
+  MeasureBuild(Scheme::kSingleChar, 256, "fixed", sample);
+  MeasureBuild(Scheme::kDoubleChar, 0, "fixed", sample);
   size_t big = FullScale() ? (size_t{1} << 16) : (size_t{1} << 14);
   const char* big_label = FullScale() ? "64K" : "16K";
   for (Scheme scheme : {Scheme::kThreeGrams, Scheme::kFourGrams, Scheme::kAlm,
                         Scheme::kAlmImproved}) {
-    Report(scheme, size_t{1} << 12, "4K", sample);
-    Report(scheme, big, big_label, sample);
+    MeasureBuild(scheme, size_t{1} << 12, "4K", sample);
+    MeasureBuild(scheme, big, big_label, sample);
   }
 }
 
 }  // namespace
 }  // namespace hope::bench
 
-int main() {
-  hope::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return hope::bench::BenchMain(argc, argv, "fig9_build_time",
+                                hope::bench::Run);
 }

@@ -41,13 +41,22 @@ void Run() {
                 rows[i].scheme, rows[i].selector, rows[i].assigner,
                 rows[i].dict, stats.num_entries, cpr, ns,
                 stats.TotalSeconds());
+    Report()
+        .Str("scheme", rows[i].scheme)
+        .Str("selector", rows[i].selector)
+        .Str("assigner", rows[i].assigner)
+        .Str("dictionary", rows[i].dict)
+        .Num("entries", static_cast<double>(stats.num_entries))
+        .Num("cpr", cpr)
+        .Num("encode_ns_per_char", ns)
+        .Num("build_s", stats.TotalSeconds());
   }
 }
 
 }  // namespace
 }  // namespace hope::bench
 
-int main() {
-  hope::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return hope::bench::BenchMain(argc, argv, "table1_schemes",
+                                hope::bench::Run);
 }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs the tracked benchmark set and collects machine-readable results, so
+# the perf trajectory accumulates across PRs.
+#
+#   bench/run_benches.sh [build_dir] [out_dir]     # fig14 + dynamic
+#   bench/run_benches.sh --all [build_dir] [out_dir]
+#
+# Scale knobs pass through the usual env vars (HOPE_BENCH_KEYS,
+# HOPE_BENCH_FULL=1).
+set -euo pipefail
+
+all=0
+if [[ "${1:-}" == "--all" ]]; then
+  all=1
+  shift
+fi
+build_dir="${1:-build}"
+out_dir="${2:-bench-results}"
+
+if [[ ! -x "$build_dir/bench/bench_fig14_batch_encoding" ]]; then
+  echo "error: bench binaries not found under $build_dir/bench" >&2
+  echo "build first: cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 1
+fi
+mkdir -p "$out_dir"
+
+run() {
+  local bin="$1" out="$2"
+  echo "== $bin -> $out"
+  "$build_dir/bench/$bin" --json "$out_dir/$out"
+}
+
+run bench_fig14_batch_encoding BENCH_fig14.json
+run bench_dynamic_rebuild BENCH_dynamic.json
+
+if [[ "$all" == 1 ]]; then
+  run bench_fig8_microbench BENCH_fig8.json
+  run bench_fig9_build_time BENCH_fig9.json
+  run bench_fig10_surf_ycsb BENCH_fig10.json
+  run bench_fig11_surf_fpr BENCH_fig11.json
+  run bench_fig12_point_queries BENCH_fig12.json
+  run bench_fig13_sample_sensitivity BENCH_fig13.json
+  run bench_fig15_distribution_shift BENCH_fig15.json
+  run bench_fig16_range_insert BENCH_fig16.json
+  run bench_table1_schemes BENCH_table1.json
+  run bench_ablation_assigners BENCH_ablation_assigners.json
+  run bench_ablation_dictionaries BENCH_ablation_dictionaries.json
+fi
+
+echo "results in $out_dir/"

@@ -1,0 +1,9 @@
+// Library version, surfaced by `hope_cli version` and available to
+// embedders. Bump the minor on each feature PR, the patch on fixes.
+#pragma once
+
+namespace hope {
+
+inline constexpr const char kVersion[] = "0.3.0";
+
+}  // namespace hope

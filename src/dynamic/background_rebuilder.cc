@@ -1,0 +1,47 @@
+#include "dynamic/background_rebuilder.h"
+
+namespace hope::dynamic {
+
+BackgroundRebuilder::BackgroundRebuilder(DictionaryManager* manager,
+                                         Options options)
+    : manager_(manager), options_(options), worker_([this] { Loop(); }) {}
+
+BackgroundRebuilder::~BackgroundRebuilder() { Stop(); }
+
+void BackgroundRebuilder::Nudge() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nudged_ = true;
+  }
+  cv_.notify_one();
+}
+
+void BackgroundRebuilder::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_one();
+  if (worker_.joinable()) worker_.join();
+}
+
+void BackgroundRebuilder::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, options_.poll_interval,
+                 [this] { return stop_ || nudged_; });
+    if (stop_) break;
+    nudged_ = false;
+    // Run the cycle unlocked so Nudge()/Stop() never wait on a build.
+    lock.unlock();
+    cycles_.fetch_add(1);
+    // RebuildNow re-checks the policy under its own mutex (the
+    // authoritative, race-free evaluation), so no pre-check here.
+    if (manager_->RebuildNow() == DictionaryManager::RebuildResult::kRebuilt)
+      rebuilds_.fetch_add(1);
+    lock.lock();
+  }
+}
+
+}  // namespace hope::dynamic

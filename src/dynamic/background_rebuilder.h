@@ -1,0 +1,60 @@
+// Worker thread that keeps a DictionaryManager fresh off the hot path:
+// it periodically evaluates the manager's rebuild policy and, when
+// staleness is detected, runs the (potentially expensive) build +
+// validate + publish cycle so encoders never pay for it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "dynamic/dictionary_manager.h"
+
+namespace hope::dynamic {
+
+class BackgroundRebuilder {
+ public:
+  struct Options {
+    /// How often the policy is re-evaluated when nothing nudges us.
+    std::chrono::milliseconds poll_interval{50};
+  };
+
+  /// `manager` must outlive the rebuilder. The worker starts immediately.
+  explicit BackgroundRebuilder(DictionaryManager* manager)
+      : BackgroundRebuilder(manager, Options{}) {}
+  BackgroundRebuilder(DictionaryManager* manager, Options options);
+  ~BackgroundRebuilder();
+
+  BackgroundRebuilder(const BackgroundRebuilder&) = delete;
+  BackgroundRebuilder& operator=(const BackgroundRebuilder&) = delete;
+
+  /// Wakes the worker to evaluate the policy now (e.g. after a burst of
+  /// inserts) instead of waiting out the poll interval.
+  void Nudge();
+
+  /// Stops and joins the worker. Idempotent; the destructor calls it.
+  void Stop();
+
+  uint64_t rebuilds_completed() const { return rebuilds_.load(); }
+  uint64_t cycles() const { return cycles_.load(); }
+
+ private:
+  void Loop();
+
+  DictionaryManager* manager_;
+  const Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool nudged_ = false;
+
+  std::atomic<uint64_t> rebuilds_{0};
+  std::atomic<uint64_t> cycles_{0};
+  std::thread worker_;
+};
+
+}  // namespace hope::dynamic

@@ -1,0 +1,179 @@
+#include "dynamic/dictionary_manager.h"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace hope::dynamic {
+
+namespace {
+
+/// Below this many reservoir keys a rebuild would overfit a handful of
+/// strings; wait for the collector to see more traffic.
+constexpr size_t kMinRebuildCorpus = 16;
+
+/// Mean per-key compression rate (PerKeyCpr averaged over the corpus) —
+/// the same statistic the collector's EWMA tracks, so gate comparisons
+/// and published baselines are apples-to-apples with it (the aggregate
+/// byte-total ratio of Hope::CompressionRate weighs long keys more and
+/// diverges from the EWMA whenever key lengths vary).
+double MeanKeyCpr(const Hope& hope, const std::vector<std::string>& keys) {
+  if (keys.empty()) return 0;
+  double sum = 0;
+  for (const auto& key : keys) {
+    size_t bits = 0;
+    hope.Encode(key, &bits);
+    sum += PerKeyCpr(key.size(), bits);
+  }
+  return sum / static_cast<double>(keys.size());
+}
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* DictionaryManager::RebuildResultName(RebuildResult r) {
+  switch (r) {
+    case RebuildResult::kRebuilt: return "rebuilt";
+    case RebuildResult::kNotTriggered: return "not-triggered";
+    case RebuildResult::kInsufficientData: return "insufficient-data";
+    case RebuildResult::kRejectedBuildError: return "rejected-build-error";
+    case RebuildResult::kRejectedRoundTrip: return "rejected-round-trip";
+    case RebuildResult::kRejectedNoGain: return "rejected-no-gain";
+  }
+  return "?";
+}
+
+bool DictionaryManager::InBackoff() const {
+  return SteadyNowNs() < backoff_until_ns_.load(std::memory_order_relaxed);
+}
+
+DictionaryManager::DictionaryManager(std::unique_ptr<Hope> initial,
+                                     Options options,
+                                     std::unique_ptr<RebuildPolicy> policy,
+                                     const std::vector<std::string>& baseline_keys)
+    : options_(options),
+      policy_(std::move(policy)),
+      collector_(std::make_shared<EncodeStatsCollector>(options.stats)) {
+  if (!initial) throw std::invalid_argument("initial dictionary is null");
+  if (!policy_) policy_ = MakeNeverPolicy();
+  // Measure the baseline before the observer is attached so the
+  // measurement itself does not feed the stats.
+  double baseline = 0;
+  if (!baseline_keys.empty()) {
+    baseline = MeanKeyCpr(*initial, baseline_keys);
+    baseline_cpr_.store(baseline);
+  }
+  collector_->MarkRebuild(baseline);
+  auto v = std::make_shared<Version>();
+  v->epoch = 0;
+  v->hope = WrapVersion(std::move(initial));
+  current_.store(std::move(v));
+}
+
+std::shared_ptr<const Hope> DictionaryManager::WrapVersion(
+    std::unique_ptr<Hope> hope) {
+  hope->SetEncodeObserver(collector_.get());
+  // The deleter captures the collector so any outstanding snapshot keeps
+  // the observer alive even after the manager is destroyed.
+  return std::shared_ptr<const Hope>(
+      hope.release(),
+      [keep = collector_](const Hope* p) { delete p; });
+}
+
+DictSnapshot DictionaryManager::Acquire() const {
+  std::shared_ptr<const Version> v = current_.load();
+  return DictSnapshot{v->epoch, v->hope};
+}
+
+RebuildSignals DictionaryManager::Signals() const {
+  RebuildSignals s;
+  s.ewma_cpr = collector_->EwmaCompressionRate();
+  s.baseline_cpr = baseline_cpr_.load();
+  s.keys_since_rebuild = collector_->KeysSinceRebuild();
+  s.seconds_since_rebuild = collector_->SecondsSinceRebuild();
+  s.reservoir_fill = collector_->ReservoirFill();
+  s.reservoir_capacity = collector_->reservoir_capacity();
+  return s;
+}
+
+DictionaryManager::RebuildResult DictionaryManager::RebuildNow(bool force) {
+  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  if (!force) {
+    if (InBackoff()) return RebuildResult::kNotTriggered;
+    if (!policy_->ShouldRebuild(Signals()))
+      return RebuildResult::kNotTriggered;
+  }
+  auto reject = [this](RebuildResult r) {
+    rejected_.fetch_add(1);
+    backoff_until_ns_.store(
+        SteadyNowNs() +
+            static_cast<int64_t>(options_.rebuild_backoff_seconds * 1e9),
+        std::memory_order_relaxed);
+    return r;
+  };
+
+  std::vector<std::string> corpus = collector_->ReservoirSnapshot();
+  if (corpus.size() < kMinRebuildCorpus)
+    return RebuildResult::kInsufficientData;
+
+  std::unique_ptr<Hope> candidate;
+  try {
+    candidate = Hope::Build(options_.scheme, corpus, options_.dict_size_limit);
+  } catch (const std::exception&) {
+    return reject(RebuildResult::kRejectedBuildError);
+  }
+
+  if (options_.validate_roundtrip) {
+    for (const std::string& key : corpus) {
+      size_t bits = 0;
+      std::string enc = candidate->Encode(key, &bits);
+      if (candidate->Decode(enc, bits) != key)
+        return reject(RebuildResult::kRejectedRoundTrip);
+    }
+  }
+
+  // The EWMA approximates the live dictionary's mean per-key CPR on
+  // recent keys, so the candidate is gated on the same statistic over the
+  // reservoir (measuring the live dictionary directly would feed the
+  // observer and pollute the very stats being compared).
+  double candidate_cpr = MeanKeyCpr(*candidate, corpus);
+  double live_cpr = collector_->EwmaCompressionRate();
+  if (options_.min_cpr_gain >= 0 && live_cpr > 0 &&
+      candidate_cpr < live_cpr * (1.0 + options_.min_cpr_gain))
+    return reject(RebuildResult::kRejectedNoGain);
+
+  PublishLocked(std::move(candidate), candidate_cpr);
+  return RebuildResult::kRebuilt;
+}
+
+uint64_t DictionaryManager::Publish(std::unique_ptr<Hope> candidate) {
+  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  std::vector<std::string> corpus = collector_->ReservoirSnapshot();
+  // With no traffic observed yet there is nothing to measure the
+  // candidate on; carry the previous baseline forward rather than storing
+  // 0, which would unseed the EWMA and permanently disable the
+  // compression-drop policy.
+  double fresh_cpr = corpus.empty() ? baseline_cpr_.load()
+                                    : MeanKeyCpr(*candidate, corpus);
+  return PublishLocked(std::move(candidate), fresh_cpr);
+}
+
+uint64_t DictionaryManager::PublishLocked(std::unique_ptr<Hope> candidate,
+                                          double fresh_cpr) {
+  auto v = std::make_shared<Version>();
+  v->epoch = current_.load()->epoch + 1;
+  v->hope = WrapVersion(std::move(candidate));
+  uint64_t epoch = v->epoch;
+  current_.store(std::move(v));
+  baseline_cpr_.store(fresh_cpr);
+  collector_->MarkRebuild(fresh_cpr);
+  published_.fetch_add(1);
+  return epoch;
+}
+
+}  // namespace hope::dynamic

@@ -1,0 +1,153 @@
+// The dynamic dictionary manager: owns immutable, reference-counted HOPE
+// dictionary versions and swaps in fresh ones as the key distribution
+// drifts away from the build sample.
+//
+//   readers ──Acquire()──► {epoch, shared_ptr<const Hope>}   (lock-free)
+//   encodes ──observer──► EncodeStatsCollector (reservoir + CPR EWMA)
+//   RebuildPolicy ──ShouldRebuild()──► BackgroundRebuilder ──RebuildNow()
+//   candidate Hope ──validate──► Publish() ──► new epoch, old versions
+//                                              live until last reader drops
+//
+// A snapshot stays valid for as long as the caller holds it — even past
+// the manager's destruction: versions are immutable and reference-counted
+// (each one also pins the stats collector its observer hook points at),
+// so a reader that acquired epoch N can keep encoding/decoding with it
+// while epoch N+1 (or N+5) is live. The current version is held in a
+// std::atomic<std::shared_ptr>, so Acquire() never blocks behind a
+// rebuild or publish.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "dynamic/encode_stats.h"
+#include "dynamic/rebuild_policy.h"
+#include "hope/hope.h"
+
+namespace hope::dynamic {
+
+/// An acquired dictionary version. Copyable; keeps the version alive.
+struct DictSnapshot {
+  uint64_t epoch = 0;
+  std::shared_ptr<const Hope> hope;
+};
+
+class DictionaryManager {
+ public:
+  struct Options {
+    Scheme scheme = Scheme::kDoubleChar;       ///< scheme for rebuilds
+    size_t dict_size_limit = size_t{1} << 14;  ///< entry cap for rebuilds
+    EncodeStatsCollector::Options stats;
+    /// Candidate validation: every reservoir key must round-trip
+    /// encode→decode through the candidate before it may be published.
+    bool validate_roundtrip = true;
+    /// Candidate must beat the live dictionary's reservoir CPR by this
+    /// fraction (0 = any improvement; negative disables the gate).
+    double min_cpr_gain = 0.0;
+    /// After a rejected candidate, suppress policy-triggered rebuilds for
+    /// this long: when traffic is intrinsically less compressible the
+    /// trigger condition persists, and without backoff the background
+    /// worker would repeat the full build+validate cycle every poll.
+    double rebuild_backoff_seconds = 5.0;
+  };
+
+  enum class RebuildResult {
+    kRebuilt,            ///< candidate validated and published
+    kNotTriggered,       ///< policy quiet, or rejection backoff active
+    kInsufficientData,   ///< reservoir too small to build from
+    kRejectedBuildError, ///< Hope::Build failed on the reservoir corpus
+    kRejectedRoundTrip,  ///< candidate failed lossless validation
+    kRejectedNoGain,     ///< candidate did not improve compression enough
+  };
+  static const char* RebuildResultName(RebuildResult r);
+
+  /// Takes ownership of the initial dictionary (epoch 0) and attaches the
+  /// stats collector to its encode path. `policy` decides when rebuilds
+  /// trigger; pass MakeNeverPolicy() for manual-only management.
+  /// `baseline_keys` (typically the build sample) seeds the baseline
+  /// compression rate the drop policy compares against; without it the
+  /// baseline stays unknown until the first publish.
+  DictionaryManager(std::unique_ptr<Hope> initial, Options options,
+                    std::unique_ptr<RebuildPolicy> policy,
+                    const std::vector<std::string>& baseline_keys = {});
+
+  DictionaryManager(const DictionaryManager&) = delete;
+  DictionaryManager& operator=(const DictionaryManager&) = delete;
+
+  /// Lock-free reader snapshot of the current version.
+  DictSnapshot Acquire() const;
+
+  uint64_t epoch() const { return current_.load()->epoch; }
+
+  /// Convenience: encode through the current version (feeds the stats
+  /// collector via the observer hook).
+  std::string Encode(std::string_view key, size_t* bit_len = nullptr) const {
+    return Acquire().hope->Encode(key, bit_len);
+  }
+
+  EncodeStatsCollector& stats() { return *collector_; }
+  const EncodeStatsCollector& stats() const { return *collector_; }
+  const RebuildPolicy& policy() const { return *policy_; }
+
+  /// Assembles the policy inputs from the collector and publish history.
+  RebuildSignals Signals() const;
+
+  /// True while a rejected candidate's backoff window is active; rebuild
+  /// attempts are suppressed (pollers should stop nudging).
+  bool InBackoff() const;
+
+  /// True when the policy wants a rebuild and no rejection backoff is
+  /// active (used by BackgroundRebuilder and external pollers).
+  bool ShouldRebuild() const {
+    return !InBackoff() && policy_->ShouldRebuild(Signals());
+  }
+
+  /// Rebuilds a candidate from the reservoir, validates it, and publishes
+  /// it on success. `force` skips the policy check (not the validation).
+  /// Serialized internally — concurrent callers queue on a mutex; readers
+  /// are never blocked.
+  RebuildResult RebuildNow(bool force = false);
+
+  /// Installs an externally built candidate unconditionally (validation
+  /// belongs to the RebuildNow path), attaching the stats collector and
+  /// bumping the epoch. Returns the new epoch.
+  uint64_t Publish(std::unique_ptr<Hope> candidate);
+
+  /// Lifetime counters (relaxed reads; exact only when rebuilds quiesce).
+  uint64_t rebuilds_published() const { return published_.load(); }
+  uint64_t rebuilds_rejected() const { return rejected_.load(); }
+  double baseline_cpr() const { return baseline_cpr_.load(); }
+
+ private:
+  struct Version {
+    uint64_t epoch;
+    std::shared_ptr<const Hope> hope;
+  };
+
+  uint64_t PublishLocked(std::unique_ptr<Hope> candidate, double fresh_cpr);
+
+  /// Attaches the collector as the observer and returns a shared_ptr
+  /// whose deleter also pins the collector, so a snapshot that outlives
+  /// the manager never encodes through a dangling observer.
+  std::shared_ptr<const Hope> WrapVersion(std::unique_ptr<Hope> hope);
+
+  const Options options_;
+  std::unique_ptr<RebuildPolicy> policy_;
+  std::shared_ptr<EncodeStatsCollector> collector_;
+
+  std::atomic<std::shared_ptr<const Version>> current_;
+  std::mutex rebuild_mu_;  ///< serializes RebuildNow/Publish
+  /// Rejection-backoff deadline, steady_clock nanoseconds since epoch
+  /// (atomic so lockless ShouldRebuild()/InBackoff() can read it).
+  std::atomic<int64_t> backoff_until_ns_{0};
+  std::atomic<double> baseline_cpr_{0};
+  std::atomic<uint64_t> published_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace hope::dynamic

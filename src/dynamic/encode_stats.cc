@@ -1,0 +1,93 @@
+#include "dynamic/encode_stats.h"
+
+#include <algorithm>
+
+namespace hope::dynamic {
+
+EncodeStatsCollector::EncodeStatsCollector(Options options)
+    : options_([&] {
+        Options o = options;
+        o.reservoir_size = std::max<size_t>(1, o.reservoir_size);
+        o.sample_every = std::max<size_t>(1, o.sample_every);
+        o.ewma_alpha = std::clamp(o.ewma_alpha, 1e-6, 1.0);
+        return o;
+      }()),
+      rebuild_time_(std::chrono::steady_clock::now()) {
+  reservoir_.reserve(options_.reservoir_size);
+}
+
+void EncodeStatsCollector::OnEncode(std::string_view key, size_t bit_len) {
+  uint64_t n = observed_.fetch_add(1, std::memory_order_relaxed);
+  if (n % options_.sample_every != 0) return;
+
+  double cpr = PerKeyCpr(key.size(), bit_len);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  sampled_++;
+  if (ewma_seeded_) {
+    ewma_cpr_ += options_.ewma_alpha * (cpr - ewma_cpr_);
+  } else {
+    ewma_cpr_ = cpr;
+    ewma_seeded_ = true;
+  }
+  if (reservoir_.size() < options_.reservoir_size) {
+    reservoir_.emplace_back(key);
+  } else {
+    // Algorithm R: the i-th sampled key replaces a random slot with
+    // probability capacity / i, keeping the reservoir uniform.
+    std::uniform_int_distribution<uint64_t> slot(0, sampled_ - 1);
+    uint64_t s = slot(rng_);
+    if (s < reservoir_.size()) reservoir_[s].assign(key.data(), key.size());
+  }
+}
+
+double EncodeStatsCollector::EwmaCompressionRate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_seeded_ ? ewma_cpr_ : 0.0;
+}
+
+uint64_t EncodeStatsCollector::KeysObserved() const {
+  return observed_.load(std::memory_order_relaxed);
+}
+
+uint64_t EncodeStatsCollector::KeysSampled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sampled_;
+}
+
+uint64_t EncodeStatsCollector::KeysSinceRebuild() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observed_.load(std::memory_order_relaxed) - keys_at_rebuild_;
+}
+
+double EncodeStatsCollector::SecondsSinceRebuild() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       rebuild_time_)
+      .count();
+}
+
+size_t EncodeStatsCollector::ReservoirFill() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reservoir_.size();
+}
+
+std::vector<std::string> EncodeStatsCollector::ReservoirSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reservoir_;
+}
+
+void EncodeStatsCollector::MarkRebuild(double fresh_cpr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ewma_cpr_ = fresh_cpr;
+  ewma_seeded_ = fresh_cpr > 0;
+  keys_at_rebuild_ = observed_.load(std::memory_order_relaxed);
+  rebuild_time_ = std::chrono::steady_clock::now();
+  // Restart the Algorithm-R stream at the current contents: without this,
+  // replacement probability decays as capacity / lifetime-sampled and a
+  // long-lived collector would stop tracking drift (new keys displace old
+  // ones at full rate again after every swap).
+  sampled_ = reservoir_.size();
+}
+
+}  // namespace hope::dynamic

@@ -1,0 +1,100 @@
+#include "dynamic/rebuild_policy.h"
+
+#include <utility>
+
+namespace hope::dynamic {
+
+namespace {
+
+class CompressionDropPolicy final : public RebuildPolicy {
+ public:
+  CompressionDropPolicy(double drop_fraction, size_t min_fill)
+      : drop_fraction_(drop_fraction), min_fill_(min_fill) {}
+
+  bool ShouldRebuild(const RebuildSignals& s) const override {
+    if (s.reservoir_fill < min_fill_) return false;
+    if (s.ewma_cpr <= 0 || s.baseline_cpr <= 0) return false;
+    return s.ewma_cpr < s.baseline_cpr * (1.0 - drop_fraction_);
+  }
+  const char* Name() const override { return "compression-drop"; }
+
+ private:
+  double drop_fraction_;
+  size_t min_fill_;
+};
+
+class KeyCountPolicy final : public RebuildPolicy {
+ public:
+  explicit KeyCountPolicy(uint64_t every_n) : every_n_(every_n ? every_n : 1) {}
+
+  bool ShouldRebuild(const RebuildSignals& s) const override {
+    return s.keys_since_rebuild >= every_n_;
+  }
+  const char* Name() const override { return "key-count"; }
+
+ private:
+  uint64_t every_n_;
+};
+
+class PeriodicPolicy final : public RebuildPolicy {
+ public:
+  explicit PeriodicPolicy(double every_seconds)
+      : every_seconds_(every_seconds) {}
+
+  bool ShouldRebuild(const RebuildSignals& s) const override {
+    return s.seconds_since_rebuild >= every_seconds_;
+  }
+  const char* Name() const override { return "periodic"; }
+
+ private:
+  double every_seconds_;
+};
+
+class AnyOfPolicy final : public RebuildPolicy {
+ public:
+  explicit AnyOfPolicy(std::vector<std::unique_ptr<RebuildPolicy>> children)
+      : children_(std::move(children)) {}
+
+  bool ShouldRebuild(const RebuildSignals& s) const override {
+    for (const auto& c : children_)
+      if (c->ShouldRebuild(s)) return true;
+    return false;
+  }
+  const char* Name() const override { return "any-of"; }
+
+ private:
+  std::vector<std::unique_ptr<RebuildPolicy>> children_;
+};
+
+class NeverPolicy final : public RebuildPolicy {
+ public:
+  bool ShouldRebuild(const RebuildSignals&) const override { return false; }
+  const char* Name() const override { return "never"; }
+};
+
+}  // namespace
+
+std::unique_ptr<RebuildPolicy> MakeCompressionDropPolicy(
+    double drop_fraction, size_t min_reservoir_fill) {
+  return std::make_unique<CompressionDropPolicy>(drop_fraction,
+                                                 min_reservoir_fill);
+}
+
+std::unique_ptr<RebuildPolicy> MakeKeyCountPolicy(uint64_t every_n_keys) {
+  return std::make_unique<KeyCountPolicy>(every_n_keys);
+}
+
+std::unique_ptr<RebuildPolicy> MakePeriodicPolicy(double every_seconds) {
+  return std::make_unique<PeriodicPolicy>(every_seconds);
+}
+
+std::unique_ptr<RebuildPolicy> MakeAnyOfPolicy(
+    std::vector<std::unique_ptr<RebuildPolicy>> children) {
+  return std::make_unique<AnyOfPolicy>(std::move(children));
+}
+
+std::unique_ptr<RebuildPolicy> MakeNeverPolicy() {
+  return std::make_unique<NeverPolicy>();
+}
+
+}  // namespace hope::dynamic

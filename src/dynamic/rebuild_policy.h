@@ -1,0 +1,51 @@
+// Pluggable rebuild triggers: given a view of the collector's statistics,
+// decide whether dictionary staleness warrants a background rebuild.
+// Policies are pure predicates — the manager serializes evaluation, so
+// implementations need no internal locking.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hope::dynamic {
+
+/// Snapshot of the signals a policy may consult, assembled by the
+/// DictionaryManager from its collector and publish history.
+struct RebuildSignals {
+  double ewma_cpr = 0;       ///< current EWMA compression rate (0 = no data)
+  double baseline_cpr = 0;   ///< CPR measured when the live dict was published
+  uint64_t keys_since_rebuild = 0;
+  double seconds_since_rebuild = 0;
+  size_t reservoir_fill = 0;
+  size_t reservoir_capacity = 0;
+};
+
+class RebuildPolicy {
+ public:
+  virtual ~RebuildPolicy() = default;
+  virtual bool ShouldRebuild(const RebuildSignals& s) const = 0;
+  virtual const char* Name() const = 0;
+};
+
+/// Triggers when the EWMA compression rate falls more than
+/// `drop_fraction` below the published baseline (e.g. 0.05 = 5% worse),
+/// once at least `min_reservoir_fill` keys are available to rebuild from.
+std::unique_ptr<RebuildPolicy> MakeCompressionDropPolicy(
+    double drop_fraction, size_t min_reservoir_fill = 256);
+
+/// Triggers every `every_n_keys` observed encodes.
+std::unique_ptr<RebuildPolicy> MakeKeyCountPolicy(uint64_t every_n_keys);
+
+/// Triggers every `every_seconds` of wall time.
+std::unique_ptr<RebuildPolicy> MakePeriodicPolicy(double every_seconds);
+
+/// Triggers when any child policy triggers.
+std::unique_ptr<RebuildPolicy> MakeAnyOfPolicy(
+    std::vector<std::unique_ptr<RebuildPolicy>> children);
+
+/// Never triggers (manual RebuildNow(force) only).
+std::unique_ptr<RebuildPolicy> MakeNeverPolicy();
+
+}  // namespace hope::dynamic

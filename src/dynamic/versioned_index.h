@@ -1,0 +1,198 @@
+// VersionedIndex<Tree>: an adapter over the existing tree wrappers that
+// stores HOPE-encoded keys and stays correct across dictionary hot-swaps.
+//
+// Encodings from different dictionary versions are not mutually
+// order-consistent, so versions cannot share one ordered structure.
+// Instead the index keeps one *generation* per adopted dictionary epoch:
+// a tree whose keys were all encoded under that generation's snapshot
+// (which the DictSnapshot keeps alive), plus an insert log of original
+// keys that serves as the migration source. New inserts always land in
+// the newest generation; lookups probe newest-to-oldest and lazily
+// migrate any hit found in an old generation by re-encoding it under the
+// current dictionary, so old generations drain as their keys are touched.
+// MigrateAll() drains them eagerly (required before range scans, which
+// only make sense within a single generation's encoding).
+//
+// The adapter is deliberately single-writer: one thread mutates the
+// index while the DictionaryManager swaps dictionaries underneath it —
+// the swap itself is what stays concurrent-safe, via immutable snapshots.
+//
+// Tree must provide: Insert(string_view, uint64_t),
+// Lookup(string_view, uint64_t*) const, Erase(string_view), size().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "dynamic/dictionary_manager.h"
+
+namespace hope::dynamic {
+
+template <typename Tree>
+class VersionedIndex {
+ public:
+  /// `manager` must outlive the index. Adopts the current epoch.
+  explicit VersionedIndex(DictionaryManager* manager) : manager_(manager) {
+    gens_.push_back(std::make_unique<Generation>(manager_->Acquire()));
+  }
+
+  /// Adopts the manager's current epoch if it moved since the last call;
+  /// inserts and lookups call this themselves, so explicit calls are only
+  /// needed to pick up a swap eagerly.
+  void Refresh() {
+    if (manager_->epoch() != gens_.back()->dict.epoch)
+      gens_.push_back(std::make_unique<Generation>(manager_->Acquire()));
+  }
+
+  void Insert(const std::string& key, uint64_t value) {
+    Refresh();
+    // Evict any stale copy so an old generation can never shadow the
+    // fresh value after this one migrates or is erased.
+    for (size_t g = 0; g + 1 < gens_.size(); g++)
+      gens_[g]->tree.Erase(gens_[g]->ProbeEncode(key));
+    Generation& newest = *gens_.back();
+    newest.tree.Insert(newest.Encode(key), value);
+    newest.log.push_back(key);
+    CompactLog(newest);
+  }
+
+  /// Point lookup; a hit in an old generation migrates the entry into the
+  /// newest one (re-encoded under the current dictionary).
+  bool Lookup(const std::string& key, uint64_t* value) {
+    Refresh();
+    // The newest-generation encode is the one real serving encode (it
+    // feeds the stats collector); old-generation probes and the
+    // migration insert reuse it or go through the observer-free clone.
+    std::string newest_enc = gens_.back()->Encode(key);
+    for (size_t g = gens_.size(); g-- > 0;) {
+      Generation& gen = *gens_[g];
+      std::string enc = g + 1 == gens_.size() ? newest_enc
+                                              : gen.ProbeEncode(key);
+      uint64_t v = 0;
+      if (!gen.tree.Lookup(enc, &v)) continue;
+      if (g + 1 < gens_.size()) {
+        gen.tree.Erase(enc);
+        Generation& newest = *gens_.back();
+        newest.tree.Insert(newest_enc, v);
+        newest.log.push_back(key);
+        PruneEmpty();
+      }
+      if (value) *value = v;
+      return true;
+    }
+    return false;
+  }
+
+  bool Erase(const std::string& key) {
+    bool erased = false;
+    for (auto& gen : gens_)
+      erased |= gen->tree.Erase(gen->ProbeEncode(key));
+    PruneEmpty();
+    return erased;
+  }
+
+  /// Eagerly drains every old generation through its insert log. Returns
+  /// the number of entries moved; afterwards NumGenerations() == 1.
+  size_t MigrateAll() {
+    Refresh();
+    size_t moved = 0;
+    for (size_t g = 0; g + 1 < gens_.size(); g++) {
+      Generation& gen = *gens_[g];
+      for (const std::string& key : gen.log) {
+        std::string enc = gen.ProbeEncode(key);
+        uint64_t v = 0;
+        // Logged keys may have been erased or already migrated (the log
+        // is append-only); only live entries move.
+        if (!gen.tree.Lookup(enc, &v)) continue;
+        gen.tree.Erase(enc);
+        Generation& newest = *gens_.back();
+        newest.tree.Insert(newest.ProbeEncode(key), v);
+        newest.log.push_back(key);
+        moved++;
+      }
+    }
+    gens_.erase(gens_.begin(), gens_.end() - 1);
+    return moved;
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& gen : gens_) n += gen->tree.size();
+    return n;
+  }
+
+  size_t NumGenerations() const { return gens_.size(); }
+  uint64_t CurrentEpoch() const { return gens_.back()->dict.epoch; }
+
+  /// Newest generation's insert-log length (diagnostic; stays within a
+  /// constant factor of live entries thanks to compaction).
+  size_t LogSize() const { return gens_.back()->log.size(); }
+
+  /// The newest generation's tree — valid for scans once
+  /// NumGenerations() == 1 (call MigrateAll() first).
+  const Tree& tree() const { return gens_.back()->tree; }
+  const DictSnapshot& snapshot() const { return gens_.back()->dict; }
+
+ private:
+  struct Generation {
+    explicit Generation(DictSnapshot snapshot) : dict(std::move(snapshot)) {}
+
+    /// Serving encode: goes through the manager-published version, so it
+    /// feeds the stats collector like any other live traffic. Use ONLY
+    /// for encodes that represent a real request (newest-generation
+    /// insert/lookup of the caller's key).
+    std::string Encode(const std::string& key) const {
+      return dict.hope->Encode(key);
+    }
+
+    /// Maintenance encode: eviction passes, old-generation probes,
+    /// migration and log compaction re-encode keys mechanically; routing
+    /// them through the published version would pollute the EWMA/
+    /// reservoir with retired-dictionary stats and synthetic bursts. The
+    /// observer-free clone is built lazily on first maintenance touch.
+    std::string ProbeEncode(const std::string& key) {
+      if (!probe) probe = dict.hope->Clone();
+      return probe->Encode(key);
+    }
+
+    DictSnapshot dict;
+    std::unique_ptr<Hope> probe;   ///< observer-free clone (lazy)
+    Tree tree;
+    std::vector<std::string> log;  ///< original keys inserted here
+  };
+
+  /// Bounds the append-only insert log: once it outgrows the live entry
+  /// count by 4x (overwrites, erased keys, migrated re-appends), rewrite
+  /// it with the deduplicated live keys. The geometric trigger keeps the
+  /// amortized cost per insert constant, and log size tracks live
+  /// entries, not lifetime inserts.
+  void CompactLog(Generation& gen) {
+    if (gen.log.size() <= 4 * gen.tree.size() + 64) return;
+    std::unordered_set<std::string_view> seen;
+    std::vector<std::string> live;
+    live.reserve(gen.tree.size());
+    for (const std::string& key : gen.log) {
+      if (!seen.insert(key).second) continue;
+      uint64_t v = 0;
+      if (gen.tree.Lookup(gen.ProbeEncode(key), &v)) live.push_back(key);
+    }
+    gen.log = std::move(live);
+  }
+
+  void PruneEmpty() {
+    // Drop drained old generations (never the newest) so probes and the
+    // per-insert eviction pass stay short.
+    for (size_t g = gens_.size() - 1; g-- > 0;)
+      if (gens_[g]->tree.size() == 0)
+        gens_.erase(gens_.begin() + static_cast<long>(g));
+  }
+
+  DictionaryManager* manager_;
+  std::vector<std::unique_ptr<Generation>> gens_;  ///< oldest .. newest
+};
+
+}  // namespace hope::dynamic

@@ -1,6 +1,8 @@
 #include "hope/encoder.h"
 
+#include <algorithm>
 #include <cassert>
+#include <thread>
 
 #include "common/str_utils.h"
 
@@ -82,35 +84,35 @@ std::string Encoder::Encode(std::string_view key, size_t* bit_len) const {
   BitWriter writer;
   std::string out = EncodeWithTrace(key, 0, &writer, nullptr);
   if (bit_len) *bit_len = writer.total_bits();
+  if (observer_) observer_->OnEncode(key, writer.total_bits());
   return out;
 }
 
-std::vector<std::string> Encoder::EncodeBatch(
-    const std::vector<std::string>& keys, size_t* total_bits) const {
-  std::vector<std::string> out;
-  out.reserve(keys.size());
-  size_t bits_sum = 0;
+void Encoder::EncodeRange(const std::vector<std::string>& keys, size_t begin,
+                          size_t end, std::vector<std::string>* out,
+                          size_t* bits_sum) const {
+  size_t bits = 0;
   const size_t lookahead = dict_->MaxLookahead();
   if (lookahead == std::numeric_limits<size_t>::max()) {
     // Unbounded lookahead (ALM family): arbitrary-length symbols prevent
     // determining an aligned shared prefix a priori (Appendix B).
-    for (const auto& key : keys) {
-      size_t bits = 0;
-      out.push_back(Encode(key, &bits));
-      bits_sum += bits;
+    for (size_t i = begin; i < end; i++) {
+      size_t key_bits = 0;
+      (*out)[i] = Encode(keys[i], &key_bits);
+      bits += key_bits;
     }
-    if (total_bits) *total_bits = bits_sum;
-    return out;
+    *bits_sum = bits;
+    return;
   }
 
   std::vector<TracePoint> trace, next_trace;
   BitWriter writer;
-  for (size_t i = 0; i < keys.size(); i++) {
+  for (size_t i = begin; i < end; i++) {
     const std::string& key = keys[i];
     writer.Clear();
     next_trace.clear();
     size_t resume = 0;
-    if (i > 0) {
+    if (i > begin) {
       size_t l = LcpLen(keys[i - 1], key);
       // Reuse lookups [0, j): every reused lookup must have inspected
       // only bytes inside the common prefix, i.e.
@@ -122,16 +124,83 @@ std::vector<std::string> Encoder::EncodeBatch(
              trace[j].src_pos + lookahead <= l)
         j++;
       if (j > 0) {
-        writer.InitFromPrefix(out[i - 1], trace[j].bit_pos);
+        writer.InitFromPrefix((*out)[i - 1], trace[j].bit_pos);
         next_trace.assign(trace.begin(), trace.begin() + static_cast<long>(j));
         resume = trace[j].src_pos;
       }
     }
-    out.push_back(EncodeWithTrace(key, resume, &writer, &next_trace));
-    bits_sum += writer.total_bits();
+    (*out)[i] = EncodeWithTrace(key, resume, &writer, &next_trace);
+    bits += writer.total_bits();
+    if (observer_) observer_->OnEncode(key, writer.total_bits());
     std::swap(trace, next_trace);
   }
-  if (total_bits) *total_bits = bits_sum;
+  *bits_sum = bits;
+}
+
+std::vector<std::string> Encoder::EncodeBatch(
+    const std::vector<std::string>& keys, size_t* total_bits,
+    unsigned num_threads) const {
+  std::vector<std::string> out(keys.size());
+  if (num_threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw ? hw : 1;
+  }
+  // Chunked fan-out: each worker runs the sequential algorithm on a
+  // contiguous slice. Per-key encodings do not depend on the slicing, so
+  // the output is identical to the single-threaded path; only the
+  // shared-prefix reuse at the (num_threads - 1) chunk seams is forgone.
+  if (keys.size() < kParallelBatchMin) num_threads = 1;
+  num_threads = static_cast<unsigned>(
+      std::min<size_t>(num_threads, std::max<size_t>(keys.size(), 1)));
+  if (num_threads <= 1) {
+    size_t bits = 0;
+    EncodeRange(keys, 0, keys.size(), &out, &bits);
+    if (total_bits) *total_bits = bits;
+    return out;
+  }
+
+  std::vector<size_t> chunk_bits(num_threads, 0);
+  std::vector<std::exception_ptr> errors(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads - 1);
+  const size_t per = (keys.size() + num_threads - 1) / num_threads;
+  auto run_chunk = [this, &keys, &out, &chunk_bits, &errors](unsigned t,
+                                                            size_t begin,
+                                                            size_t end) {
+    try {
+      EncodeRange(keys, begin, end, &out, &chunk_bits[t]);
+    } catch (...) {
+      // Captured and rethrown on the calling thread after the join — an
+      // exception escaping a worker would otherwise std::terminate.
+      errors[t] = std::current_exception();
+    }
+  };
+  unsigned spawned = 1;  // chunk 0 runs on the calling thread
+  try {
+    for (unsigned t = 1; t < num_threads; t++) {
+      size_t begin = std::min(keys.size(), per * t);
+      size_t end = std::min(keys.size(), begin + per);
+      workers.emplace_back(run_chunk, t, begin, end);
+      spawned = t + 1;
+    }
+  } catch (const std::system_error&) {
+    // Thread creation failed (e.g. process thread limit): finish the
+    // unspawned chunks on this thread rather than aborting the batch.
+  }
+  run_chunk(0, 0, std::min(keys.size(), per));
+  for (unsigned t = spawned; t < num_threads; t++) {
+    size_t begin = std::min(keys.size(), per * t);
+    size_t end = std::min(keys.size(), begin + per);
+    run_chunk(t, begin, end);
+  }
+  for (auto& w : workers) w.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  if (total_bits) {
+    size_t bits = 0;
+    for (size_t b : chunk_bits) bits += b;
+    *total_bits = bits;
+  }
   return out;
 }
 

@@ -46,6 +46,17 @@ class BitWriter {
   void FlushAcc();
 };
 
+/// Observes every completed encode. Implementations must be thread-safe:
+/// EncodeBatch may invoke the observer from its worker threads, and
+/// multiple readers may share one encoder. Used by the dynamic dictionary
+/// manager to sample recent keys and track the achieved compression rate
+/// without the core library depending on it.
+class EncodeObserver {
+ public:
+  virtual ~EncodeObserver() = default;
+  virtual void OnEncode(std::string_view key, size_t bit_len) = 0;
+};
+
 /// Stateless encoder over a dictionary.
 class Encoder {
  public:
@@ -60,14 +71,29 @@ class Encoder {
   /// prefixes where the dictionary's bounded lookahead proves the lookups
   /// identical (Appendix B). Falls back to per-key encoding for
   /// unbounded-lookahead dictionaries (ALM family).
+  ///
+  /// `num_threads` fans the batch out over contiguous chunks (keys are
+  /// independent, so the output is byte-identical for any thread count):
+  /// 1 = sequential, 0 = hardware concurrency. Batches smaller than
+  /// kParallelBatchMin always take the deterministic sequential path.
   std::vector<std::string> EncodeBatch(const std::vector<std::string>& keys,
-                                       size_t* total_bits = nullptr) const;
+                                       size_t* total_bits = nullptr,
+                                       unsigned num_threads = 1) const;
 
   /// Pair encoding for closed-range queries (batch of two).
   std::pair<std::string, std::string> EncodePair(std::string_view a,
                                                  std::string_view b) const;
 
   const Dictionary& dict() const { return *dict_; }
+
+  /// Installs a stats hook invoked after every Encode/EncodeBatch key
+  /// (nullptr detaches). Not owned; must outlive the encoder and be set
+  /// before the encoder is shared across threads.
+  void set_observer(EncodeObserver* observer) { observer_ = observer; }
+  EncodeObserver* observer() const { return observer_; }
+
+  /// Minimum batch size before EncodeBatch considers spawning threads.
+  static constexpr size_t kParallelBatchMin = 4096;
 
  private:
   /// One lookup step boundary: the source position where a lookup started
@@ -81,7 +107,15 @@ class Encoder {
                               BitWriter* writer,
                               std::vector<TracePoint>* trace) const;
 
+  /// Sequential batch core over keys[begin, end), writing into
+  /// out[begin, end) (preallocated by the caller). Shared-prefix reuse
+  /// applies within the range; `bits_sum` receives the range's bit total.
+  void EncodeRange(const std::vector<std::string>& keys, size_t begin,
+                   size_t end, std::vector<std::string>* out,
+                   size_t* bits_sum) const;
+
   std::unique_ptr<Dictionary> dict_;
+  EncodeObserver* observer_ = nullptr;
 };
 
 }  // namespace hope

@@ -243,6 +243,10 @@ std::unique_ptr<Hope> Hope::Deserialize(std::string_view bytes) {
   }
 }
 
+std::unique_ptr<Hope> Hope::Clone() const {
+  return FromEntries(scheme_, entries_, DictImpl::kDefault, nullptr);
+}
+
 double Hope::CompressionRate(const std::vector<std::string>& keys) const {
   size_t original = 0, compressed_bits = 0;
   for (const auto& key : keys) {

@@ -73,8 +73,9 @@ class Hope {
   }
 
   std::vector<std::string> EncodeBatch(const std::vector<std::string>& keys,
-                                       size_t* total_bits = nullptr) const {
-    return encoder_->EncodeBatch(keys, total_bits);
+                                       size_t* total_bits = nullptr,
+                                       unsigned num_threads = 1) const {
+    return encoder_->EncodeBatch(keys, total_bits, num_threads);
   }
 
   std::pair<std::string, std::string> EncodePair(std::string_view a,
@@ -91,6 +92,14 @@ class Hope {
   const Encoder& encoder() const { return *encoder_; }
   Scheme scheme() const { return scheme_; }
 
+  /// Installs an encode-path stats hook (see EncodeObserver). Must be
+  /// called before the instance is shared across threads — the dynamic
+  /// DictionaryManager attaches its collector here before publishing a
+  /// version as `shared_ptr<const Hope>`.
+  void SetEncodeObserver(EncodeObserver* observer) {
+    encoder_->set_observer(observer);
+  }
+
   /// Uncompressed bytes / compressed bytes over a key set (§6.1).
   double CompressionRate(const std::vector<std::string>& keys) const;
 
@@ -103,6 +112,11 @@ class Hope {
   /// Rebuilds an encoder from Serialize() output. Returns nullptr on a
   /// malformed input.
   static std::unique_ptr<Hope> Deserialize(std::string_view bytes);
+
+  /// Fresh instance over the same dictionary entries (identical
+  /// encodings, no observer attached). The supported way to measure a
+  /// managed/observed instance without feeding its stats hook.
+  std::unique_ptr<Hope> Clone() const;
 
  private:
   Hope(Scheme scheme, std::unique_ptr<Encoder> encoder,

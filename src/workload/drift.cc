@@ -1,0 +1,62 @@
+#include "workload/drift.h"
+
+#include <algorithm>
+#include <random>
+
+#include "datasets/datasets.h"
+
+namespace hope {
+
+DriftingWorkload::DriftingWorkload(DriftOptions options) : options_(options) {
+  if (options_.num_phases < 2) options_.num_phases = 2;
+  if (options_.keys_per_phase == 0) options_.keys_per_phase = 1;
+  size_t corpus = options_.corpus_size ? options_.corpus_size
+                                       : 2 * options_.keys_per_phase;
+  auto emails = GenerateEmails(corpus, options_.seed);
+  for (auto& k : emails) {
+    // The fig-15 provider split: host-reversed addresses start with the
+    // provider domain.
+    if (k.rfind("com.gmail@", 0) == 0 || k.rfind("com.yahoo@", 0) == 0)
+      part_a_.push_back(std::move(k));
+    else
+      part_b_.push_back(std::move(k));
+  }
+  // The Zipf provider head guarantees both splits are populated for any
+  // reasonable corpus size, but keep degenerate inputs safe.
+  if (part_a_.empty()) part_a_.push_back("com.gmail@fallback");
+  if (part_b_.empty()) part_b_.push_back("com.aol@fallback");
+}
+
+double DriftingWorkload::MixFraction(size_t phase) const {
+  phase = std::min(phase, options_.num_phases - 1);
+  return static_cast<double>(phase) /
+         static_cast<double>(options_.num_phases - 1);
+}
+
+std::vector<std::string> DriftingWorkload::Phase(size_t phase) const {
+  std::mt19937_64 rng(options_.seed ^ (0xD1F7ull * (phase + 1)));
+  double frac_b = MixFraction(phase);
+
+  // Shuffled cursor over each pool so a phase cycles through distinct
+  // keys before repeating any.
+  std::vector<uint32_t> order_a(part_a_.size()), order_b(part_b_.size());
+  for (uint32_t i = 0; i < order_a.size(); i++) order_a[i] = i;
+  for (uint32_t i = 0; i < order_b.size(); i++) order_b[i] = i;
+  std::shuffle(order_a.begin(), order_a.end(), rng);
+  std::shuffle(order_b.begin(), order_b.end(), rng);
+
+  std::vector<std::string> keys;
+  keys.reserve(options_.keys_per_phase);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  size_t ia = 0, ib = 0;
+  for (size_t i = 0; i < options_.keys_per_phase; i++) {
+    if (coin(rng) < frac_b) {
+      keys.push_back(part_b_[order_b[ib++ % order_b.size()]]);
+    } else {
+      keys.push_back(part_a_[order_a[ia++ % order_a.size()]]);
+    }
+  }
+  return keys;
+}
+
+}  // namespace hope

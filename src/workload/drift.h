@@ -1,0 +1,44 @@
+// Drifting key workload (the fig-15 shift model, made gradual): the
+// Email corpus is split by provider into Email-A (gmail + yahoo) and
+// Email-B (everything else), and successive phases blend from pure A to
+// pure B. A dictionary built from a phase-0 sample therefore faces a
+// slowly shifting distribution — the scenario the dynamic dictionary
+// manager exists for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hope {
+
+struct DriftOptions {
+  size_t keys_per_phase = 20000;
+  size_t num_phases = 5;   ///< phase 0 is pure A, the last pure B
+  uint64_t seed = 42;
+  size_t corpus_size = 0;  ///< emails to generate; 0 = 2 * keys_per_phase
+};
+
+class DriftingWorkload {
+ public:
+  explicit DriftingWorkload(DriftOptions options = {});
+
+  size_t num_phases() const { return options_.num_phases; }
+
+  /// Fraction of phase-`p` keys drawn from Email-B: p / (num_phases - 1).
+  double MixFraction(size_t phase) const;
+
+  /// Deterministic key stream for one phase (keys repeat across phases;
+  /// within a phase each pool is cycled in shuffled order).
+  std::vector<std::string> Phase(size_t phase) const;
+
+  const std::vector<std::string>& part_a() const { return part_a_; }
+  const std::vector<std::string>& part_b() const { return part_b_; }
+
+ private:
+  DriftOptions options_;
+  std::vector<std::string> part_a_;  ///< gmail + yahoo keys
+  std::vector<std::string> part_b_;  ///< all other providers
+};
+
+}  // namespace hope

@@ -1,0 +1,127 @@
+// Unit tests for the EncodeStatsCollector: EWMA math, reservoir
+// behaviour, sampling cadence, and the rebuild bookkeeping the policies
+// rely on.
+#include "dynamic/encode_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace hope::dynamic {
+namespace {
+
+EncodeStatsCollector::Options EveryKey(size_t reservoir, double alpha) {
+  EncodeStatsCollector::Options o;
+  o.reservoir_size = reservoir;
+  o.sample_every = 1;
+  o.ewma_alpha = alpha;
+  return o;
+}
+
+TEST(EncodeStatsTest, EwmaSeedsAtFirstSampleThenBlends) {
+  EncodeStatsCollector c(EveryKey(16, 0.5));
+  EXPECT_EQ(c.EwmaCompressionRate(), 0.0);
+
+  // 8 source bytes -> 16 bits = 2 padded bytes: CPR 4.0. Seeds the EWMA.
+  c.OnEncode("abcdefgh", 16);
+  EXPECT_DOUBLE_EQ(c.EwmaCompressionRate(), 4.0);
+
+  // 8 bytes -> 4 padded bytes: CPR 2.0. EWMA = 4 + 0.5 * (2 - 4) = 3.
+  c.OnEncode("abcdefgh", 32);
+  EXPECT_DOUBLE_EQ(c.EwmaCompressionRate(), 3.0);
+
+  // Bit lengths are byte-padded like Hope::CompressionRate: 9 bits -> 2
+  // bytes, CPR 1.0. EWMA = 3 + 0.5 * (1 - 3) = 2.
+  c.OnEncode("ab", 9);
+  EXPECT_DOUBLE_EQ(c.EwmaCompressionRate(), 2.0);
+}
+
+TEST(EncodeStatsTest, SamplingCadenceSkipsKeys) {
+  EncodeStatsCollector::Options o;
+  o.reservoir_size = 1000;
+  o.sample_every = 4;
+  EncodeStatsCollector c(o);
+  for (int i = 0; i < 100; i++) c.OnEncode("key", 8);
+  EXPECT_EQ(c.KeysObserved(), 100u);
+  EXPECT_EQ(c.KeysSampled(), 25u);  // every 4th, starting with the first
+  EXPECT_EQ(c.ReservoirFill(), 25u);
+}
+
+TEST(EncodeStatsTest, ReservoirHoldsEverythingBelowCapacity) {
+  EncodeStatsCollector c(EveryKey(64, 0.1));
+  for (int i = 0; i < 40; i++) c.OnEncode("key" + std::to_string(i), 8);
+  auto snap = c.ReservoirSnapshot();
+  ASSERT_EQ(snap.size(), 40u);
+  std::set<std::string> uniq(snap.begin(), snap.end());
+  EXPECT_EQ(uniq.size(), 40u);
+}
+
+TEST(EncodeStatsTest, ReservoirCapsAndStaysRepresentative) {
+  EncodeStatsCollector c(EveryKey(100, 0.1));
+  for (int i = 0; i < 10000; i++) c.OnEncode("key" + std::to_string(i), 8);
+  auto snap = c.ReservoirSnapshot();
+  ASSERT_EQ(snap.size(), 100u);
+
+  // Uniform sampling: roughly half the survivors should come from the
+  // second half of the stream. Bound loosely (deterministic seed, but we
+  // don't want to pin the RNG's exact draw).
+  size_t late = 0;
+  for (const auto& k : snap) {
+    int idx = std::stoi(k.substr(3));
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 10000);
+    if (idx >= 5000) late++;
+  }
+  EXPECT_GT(late, 20u);
+  EXPECT_LT(late, 80u);
+}
+
+TEST(EncodeStatsTest, MarkRebuildResetsCountersAndReseedsEwma) {
+  EncodeStatsCollector c(EveryKey(16, 0.5));
+  for (int i = 0; i < 10; i++) c.OnEncode("abcdefgh", 32);
+  EXPECT_EQ(c.KeysSinceRebuild(), 10u);
+
+  c.MarkRebuild(3.5);
+  EXPECT_EQ(c.KeysSinceRebuild(), 0u);
+  EXPECT_DOUBLE_EQ(c.EwmaCompressionRate(), 3.5);
+  EXPECT_EQ(c.ReservoirFill(), 10u);  // corpus survives the swap
+
+  c.OnEncode("abcdefgh", 32);  // CPR 2.0 -> EWMA 2.75
+  EXPECT_DOUBLE_EQ(c.EwmaCompressionRate(), 2.75);
+  EXPECT_EQ(c.KeysSinceRebuild(), 1u);
+}
+
+TEST(EncodeStatsTest, MarkRebuildRestartsReservoirReplacementRate) {
+  EncodeStatsCollector c(EveryKey(50, 0.1));
+  // Age the stream: lifetime sampled count is 100x the capacity, so the
+  // per-key replacement probability has decayed to ~1%.
+  for (int i = 0; i < 5000; i++) c.OnEncode("old" + std::to_string(i), 8);
+
+  c.MarkRebuild(2.0);
+  for (int i = 0; i < 500; i++) c.OnEncode("new" + std::to_string(i), 8);
+
+  // With the stream restarted at the swap, the 500 post-swap keys behave
+  // like positions 51..550 and displace most of the old contents; without
+  // the restart the expected number of "new" survivors is ~4.5.
+  size_t fresh = 0;
+  for (const auto& k : c.ReservoirSnapshot())
+    if (k.rfind("new", 0) == 0) fresh++;
+  EXPECT_GT(fresh, 25u);
+}
+
+TEST(EncodeStatsTest, DegenerateOptionsAreClamped) {
+  EncodeStatsCollector::Options o;
+  o.reservoir_size = 0;
+  o.sample_every = 0;
+  o.ewma_alpha = 7.0;
+  EncodeStatsCollector c(o);
+  c.OnEncode("abcd", 16);
+  c.OnEncode("abcdefgh", 16);
+  EXPECT_EQ(c.ReservoirFill(), 1u);
+  // alpha clamped to 1.0: EWMA tracks the last key exactly.
+  EXPECT_DOUBLE_EQ(c.EwmaCompressionRate(), 4.0);
+}
+
+}  // namespace
+}  // namespace hope::dynamic

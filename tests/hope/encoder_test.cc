@@ -124,6 +124,27 @@ TEST_P(SchemeEncoderTest, BatchEncodingMatchesIndividual) {
   EXPECT_EQ(batch_bits, indiv_bits);
 }
 
+TEST_P(SchemeEncoderTest, ParallelBatchIsByteIdenticalToSequential) {
+  // The chunked fan-out must be invisible in the output: same encodings
+  // and same bit total for any thread count, above and below the
+  // parallel threshold (6000 > kParallelBatchMin = 4096 > 1000).
+  std::vector<std::string> sorted(keys_.begin(), keys_.begin() + 1000);
+  std::vector<std::string> big = keys_;
+  big.insert(big.end(), keys_.begin(), keys_.end());  // 6000 > threshold
+  std::sort(sorted.begin(), sorted.end());
+  std::sort(big.begin(), big.end());
+  for (const auto* batch : {&sorted, &big}) {
+    size_t seq_bits = 0, par_bits = 0;
+    auto seq = hope_->EncodeBatch(*batch, &seq_bits, 1);
+    auto par = hope_->EncodeBatch(*batch, &par_bits, 4);
+    EXPECT_EQ(seq, par);
+    EXPECT_EQ(seq_bits, par_bits);
+    size_t auto_bits = 0;
+    EXPECT_EQ(hope_->EncodeBatch(*batch, &auto_bits, 0), seq);
+    EXPECT_EQ(auto_bits, seq_bits);
+  }
+}
+
 TEST_P(SchemeEncoderTest, PairEncodingMatchesIndividual) {
   auto [a, b] = hope_->EncodePair("com.gmail@aaa", "com.gmail@aab");
   EXPECT_EQ(a, hope_->Encode("com.gmail@aaa"));
