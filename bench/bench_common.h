@@ -9,6 +9,8 @@
 //   HOPE_BENCH_FULL=1 paper-sized dictionary sweeps (2^16/2^18 entries)
 #pragma once
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,9 +27,29 @@
 namespace hope::bench {
 
 inline size_t NumKeys() {
-  if (const char* env = std::getenv("HOPE_BENCH_KEYS"))
-    return static_cast<size_t>(std::strtoull(env, nullptr, 10));
-  return 200000;
+  // Parsed (and any warning printed) once: strtoull would silently turn
+  // "abc" into 0, "-1" into 2^64-1, and "12x" into 12, and a 0-key bench
+  // reports garbage — reject anything but a plain positive integer.
+  static const size_t cached = [] {
+    constexpr size_t kDefault = 200000;
+    const char* env = std::getenv("HOPE_BENCH_KEYS");
+    if (!env) return kDefault;
+    bool digits_only = *env != '\0';
+    for (const char* p = env; *p; p++)
+      if (*p < '0' || *p > '9') digits_only = false;
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (!digits_only || errno == ERANGE || *end != '\0' || v == 0) {
+      std::fprintf(stderr,
+                   "warning: HOPE_BENCH_KEYS=\"%s\" is not a positive "
+                   "integer; using default %zu\n",
+                   env, kDefault);
+      return kDefault;
+    }
+    return static_cast<size_t>(v);
+  }();
+  return cached;
 }
 
 inline bool FullScale() {
@@ -175,9 +197,14 @@ class JsonReport {
       body_ += '"';
       Escape(key);
       body_ += "\": ";
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.6g", value);
-      body_ += buf;
+      if (std::isfinite(value)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        body_ += buf;
+      } else {
+        // "%g" would print nan/inf, which is not valid JSON.
+        body_ += "null";
+      }
       return *this;
     }
 

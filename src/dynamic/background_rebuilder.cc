@@ -1,10 +1,30 @@
 #include "dynamic/background_rebuilder.h"
 
+#include "dynamic/sharded_manager.h"
+
 namespace hope::dynamic {
 
-BackgroundRebuilder::BackgroundRebuilder(DictionaryManager* manager,
+namespace {
+
+std::vector<DictionaryManager*> AllShards(ShardedDictionaryManager* sharded) {
+  std::vector<DictionaryManager*> managers;
+  managers.reserve(sharded->num_shards());
+  for (size_t i = 0; i < sharded->num_shards(); i++)
+    managers.push_back(&sharded->shard(i));
+  return managers;
+}
+
+}  // namespace
+
+BackgroundRebuilder::BackgroundRebuilder(
+    std::vector<DictionaryManager*> managers, Options options)
+    : managers_(std::move(managers)),
+      options_(options),
+      worker_([this] { Loop(); }) {}
+
+BackgroundRebuilder::BackgroundRebuilder(ShardedDictionaryManager* sharded,
                                          Options options)
-    : manager_(manager), options_(options), worker_([this] { Loop(); }) {}
+    : BackgroundRebuilder(AllShards(sharded), options) {}
 
 BackgroundRebuilder::~BackgroundRebuilder() { Stop(); }
 
@@ -36,10 +56,14 @@ void BackgroundRebuilder::Loop() {
     // Run the cycle unlocked so Nudge()/Stop() never wait on a build.
     lock.unlock();
     cycles_.fetch_add(1);
-    // RebuildNow re-checks the policy under its own mutex (the
-    // authoritative, race-free evaluation), so no pre-check here.
-    if (manager_->RebuildNow() == DictionaryManager::RebuildResult::kRebuilt)
-      rebuilds_.fetch_add(1);
+    // RebuildNow re-checks each policy under the manager's own mutex (the
+    // authoritative, race-free evaluation), so no pre-check here. Shards
+    // whose policy is quiet return kNotTriggered in microseconds, so one
+    // drifted shard never starves the others of polling.
+    for (DictionaryManager* manager : managers_) {
+      if (manager->RebuildNow() == DictionaryManager::RebuildResult::kRebuilt)
+        rebuilds_.fetch_add(1);
+    }
     lock.lock();
   }
 }

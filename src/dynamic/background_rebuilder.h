@@ -1,7 +1,9 @@
-// Worker thread that keeps a DictionaryManager fresh off the hot path:
-// it periodically evaluates the manager's rebuild policy and, when
-// staleness is detected, runs the (potentially expensive) build +
-// validate + publish cycle so encoders never pay for it.
+// Worker thread that keeps one or more DictionaryManagers fresh off the
+// hot path: it periodically evaluates each manager's rebuild policy and,
+// when staleness is detected, runs the (potentially expensive) build +
+// validate + publish cycle so encoders never pay for it. A
+// ShardedDictionaryManager hands all its shards to a single rebuilder,
+// so N shards cost one polling thread, not N.
 #pragma once
 
 #include <atomic>
@@ -10,41 +12,58 @@
 #include <cstdint>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "dynamic/dictionary_manager.h"
 
 namespace hope::dynamic {
 
+class ShardedDictionaryManager;
+
 class BackgroundRebuilder {
  public:
   struct Options {
-    /// How often the policy is re-evaluated when nothing nudges us.
+    /// How often the policies are re-evaluated when nothing nudges us.
     std::chrono::milliseconds poll_interval{50};
   };
 
-  /// `manager` must outlive the rebuilder. The worker starts immediately.
+  /// Every manager must outlive the rebuilder. The worker starts
+  /// immediately and polls the managers in the given order each cycle.
   explicit BackgroundRebuilder(DictionaryManager* manager)
       : BackgroundRebuilder(manager, Options{}) {}
-  BackgroundRebuilder(DictionaryManager* manager, Options options);
+  BackgroundRebuilder(DictionaryManager* manager, Options options)
+      : BackgroundRebuilder(std::vector<DictionaryManager*>{manager},
+                            options) {}
+  // (Delegation instead of `Options options = {}` defaults: GCC rejects
+  // a `= {}` default for a nested struct with member initializers.)
+  explicit BackgroundRebuilder(std::vector<DictionaryManager*> managers)
+      : BackgroundRebuilder(std::move(managers), Options{}) {}
+  BackgroundRebuilder(std::vector<DictionaryManager*> managers,
+                      Options options);
+  /// Polls every shard of `sharded` with one shared worker loop.
+  explicit BackgroundRebuilder(ShardedDictionaryManager* sharded)
+      : BackgroundRebuilder(sharded, Options{}) {}
+  BackgroundRebuilder(ShardedDictionaryManager* sharded, Options options);
   ~BackgroundRebuilder();
 
   BackgroundRebuilder(const BackgroundRebuilder&) = delete;
   BackgroundRebuilder& operator=(const BackgroundRebuilder&) = delete;
 
-  /// Wakes the worker to evaluate the policy now (e.g. after a burst of
+  /// Wakes the worker to evaluate the policies now (e.g. after a burst of
   /// inserts) instead of waiting out the poll interval.
   void Nudge();
 
   /// Stops and joins the worker. Idempotent; the destructor calls it.
   void Stop();
 
+  size_t num_managers() const { return managers_.size(); }
   uint64_t rebuilds_completed() const { return rebuilds_.load(); }
   uint64_t cycles() const { return cycles_.load(); }
 
  private:
   void Loop();
 
-  DictionaryManager* manager_;
+  const std::vector<DictionaryManager*> managers_;
   const Options options_;
 
   std::mutex mu_;

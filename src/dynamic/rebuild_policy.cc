@@ -6,10 +6,20 @@ namespace hope::dynamic {
 
 namespace {
 
+// Factory-input clamps (see the factory docs in rebuild_policy.h): every
+// policy brings a degenerate parameter to the nearest valid value, the
+// way KeyCountPolicy has always clamped 0 -> 1. NaN fails every
+// comparison, so the `!(x >= lo)` form catches it alongside underflow.
+constexpr double kMaxDropFraction = 0.99;
+constexpr double kMinPeriodSeconds = 0.001;
+
 class CompressionDropPolicy final : public RebuildPolicy {
  public:
   CompressionDropPolicy(double drop_fraction, size_t min_fill)
-      : drop_fraction_(drop_fraction), min_fill_(min_fill) {}
+      : drop_fraction_(!(drop_fraction >= 0) ? 0.0
+                       : drop_fraction > kMaxDropFraction ? kMaxDropFraction
+                                                          : drop_fraction),
+        min_fill_(min_fill ? min_fill : 1) {}
 
   bool ShouldRebuild(const RebuildSignals& s) const override {
     if (s.reservoir_fill < min_fill_) return false;
@@ -39,7 +49,9 @@ class KeyCountPolicy final : public RebuildPolicy {
 class PeriodicPolicy final : public RebuildPolicy {
  public:
   explicit PeriodicPolicy(double every_seconds)
-      : every_seconds_(every_seconds) {}
+      : every_seconds_(!(every_seconds >= kMinPeriodSeconds)
+                           ? kMinPeriodSeconds
+                           : every_seconds) {}
 
   bool ShouldRebuild(const RebuildSignals& s) const override {
     return s.seconds_since_rebuild >= every_seconds_;

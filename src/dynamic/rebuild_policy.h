@@ -32,13 +32,18 @@ class RebuildPolicy {
 /// Triggers when the EWMA compression rate falls more than
 /// `drop_fraction` below the published baseline (e.g. 0.05 = 5% worse),
 /// once at least `min_reservoir_fill` keys are available to rebuild from.
+/// Degenerate inputs clamp to the nearest valid value: drop_fraction to
+/// [0, 0.99] (NaN -> 0; at 1.0+ the gate could never fire, at < 0 it
+/// would fire on any wobble), min_reservoir_fill 0 -> 1.
 std::unique_ptr<RebuildPolicy> MakeCompressionDropPolicy(
     double drop_fraction, size_t min_reservoir_fill = 256);
 
-/// Triggers every `every_n_keys` observed encodes.
+/// Triggers every `every_n_keys` observed encodes (0 clamps to 1).
 std::unique_ptr<RebuildPolicy> MakeKeyCountPolicy(uint64_t every_n_keys);
 
-/// Triggers every `every_seconds` of wall time.
+/// Triggers every `every_seconds` of wall time. Non-positive or NaN
+/// periods clamp to 0.001s (a zero period would trigger on every poll,
+/// even with zero elapsed time since the last rebuild).
 std::unique_ptr<RebuildPolicy> MakePeriodicPolicy(double every_seconds);
 
 /// Triggers when any child policy triggers.

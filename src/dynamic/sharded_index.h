@@ -1,0 +1,111 @@
+// ShardedVersionedIndex<Tree>: the index counterpart of the
+// ShardedDictionaryManager. One VersionedIndex per shard; inserts,
+// lookups and erases route through the ShardRouter to the shard that
+// owns the key's range, so a dictionary swap in shard i only opens a new
+// generation in shard i's index — the other shards keep serving out of
+// their single generation with no migration work.
+//
+// Range scans come back cheaply because the router's boundaries are
+// ranges over the *original* key order: shard i's keys all precede shard
+// i+1's keys, and within a shard HOPE encodings preserve order. Scan()
+// therefore drains each touched shard to a single generation (scans only
+// make sense within one generation's encoding) and walks shards in
+// boundary order.
+//
+// Single-writer like VersionedIndex: one thread mutates the index while
+// the shard managers swap dictionaries underneath it.
+//
+// Tree must provide: Insert(string_view, uint64_t),
+// Lookup(string_view, uint64_t*) const, Erase(string_view), size(), and
+// for Scan(): Scan(string_view start, size_t count, vector<uint64_t>*).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynamic/sharded_manager.h"
+#include "dynamic/versioned_index.h"
+
+namespace hope::dynamic {
+
+template <typename Tree>
+class ShardedVersionedIndex {
+ public:
+  /// `manager` must outlive the index. Adopts every shard's current epoch.
+  explicit ShardedVersionedIndex(ShardedDictionaryManager* manager)
+      : manager_(manager) {
+    shards_.reserve(manager->num_shards());
+    for (size_t i = 0; i < manager->num_shards(); i++)
+      shards_.push_back(
+          std::make_unique<VersionedIndex<Tree>>(&manager->shard(i)));
+  }
+
+  void Insert(const std::string& key, uint64_t value) {
+    ShardFor(key).Insert(key, value);
+  }
+
+  bool Lookup(const std::string& key, uint64_t* value) {
+    return ShardFor(key).Lookup(key, value);
+  }
+
+  bool Erase(const std::string& key) { return ShardFor(key).Erase(key); }
+
+  /// Drains every shard's old generations. Returns total entries moved;
+  /// afterwards every shard has a single generation.
+  size_t MigrateAll() {
+    size_t moved = 0;
+    for (auto& shard : shards_) moved += shard->MigrateAll();
+    return moved;
+  }
+
+  /// Scans up to `count` entries from the first key >= start, in global
+  /// key order, across shard boundaries. Touched shards are drained to a
+  /// single generation first (the per-shard equivalent of calling
+  /// MigrateAll() before tree() scans). Returns entries produced.
+  size_t Scan(const std::string& start, size_t count,
+              std::vector<uint64_t>* out) {
+    size_t produced = 0;
+    const size_t first = manager_->Route(start);
+    for (size_t s = first; s < shards_.size() && produced < count; s++) {
+      VersionedIndex<Tree>& shard = *shards_[s];
+      shard.MigrateAll();
+      // The start bound only constrains the first shard: every later
+      // shard's range lies entirely above it. Encodings preserve order
+      // within a shard, so the encoded bound scans correctly.
+      std::string enc = s == first ? shard.snapshot().hope->Encode(start)
+                                   : std::string();
+      produced += shard.tree().Scan(enc, count - produced, out);
+    }
+    return produced;
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& shard : shards_) n += shard->size();
+    return n;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+  VersionedIndex<Tree>& shard(size_t i) { return *shards_[i]; }
+  const VersionedIndex<Tree>& shard(size_t i) const { return *shards_[i]; }
+
+  /// Sum of per-shard generation counts (== num_shards() when fully
+  /// migrated everywhere).
+  size_t TotalGenerations() const {
+    size_t n = 0;
+    for (const auto& shard : shards_) n += shard->NumGenerations();
+    return n;
+  }
+
+ private:
+  VersionedIndex<Tree>& ShardFor(const std::string& key) {
+    return *shards_[manager_->Route(key)];
+  }
+
+  ShardedDictionaryManager* manager_;
+  std::vector<std::unique_ptr<VersionedIndex<Tree>>> shards_;
+};
+
+}  // namespace hope::dynamic

@@ -1,0 +1,87 @@
+#include "dynamic/sharded_manager.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hope::dynamic {
+
+ShardRouter::ShardRouter(std::vector<std::string> sample, size_t num_shards) {
+  if (num_shards < 1) num_shards = 1;
+  if (sample.empty() || num_shards == 1) return;
+  std::sort(sample.begin(), sample.end());
+  boundaries_.reserve(num_shards - 1);
+  for (size_t i = 1; i < num_shards; i++) {
+    // Equal-weight quantiles over the sorted sample (duplicates keep
+    // their weight, so a hot key pulls boundaries toward itself).
+    const std::string& b = sample[i * sample.size() / num_shards];
+    // Strictly increasing boundaries only: equal quantile keys collapse
+    // into one range, and a boundary at the sample minimum would leave
+    // shard 0 empty over the sample.
+    if ((boundaries_.empty() && b > sample.front()) ||
+        (!boundaries_.empty() && b > boundaries_.back()))
+      boundaries_.push_back(b);
+  }
+}
+
+ShardedDictionaryManager::ShardedDictionaryManager(
+    const std::vector<std::string>& sample, Options options,
+    PolicyFactory policy_factory)
+    : router_(sample, options.num_shards) {
+  if (sample.empty())
+    throw std::invalid_argument("sharded manager needs a non-empty sample");
+
+  std::vector<std::vector<std::string>> partitions(router_.num_shards());
+  for (const std::string& key : sample)
+    partitions[router_.Route(key)].push_back(key);
+
+  shards_.reserve(router_.num_shards());
+  for (auto& partition : partitions) {
+    // Tiny partitions (skewed samples, collapsed boundaries) train on the
+    // whole sample so every shard starts with a usable dictionary; the
+    // shard's baseline CPR still comes from its own keys.
+    const std::vector<std::string>& corpus =
+        partition.size() >= options.min_shard_sample ? partition : sample;
+    auto initial = Hope::Build(options.shard.scheme, corpus,
+                               options.shard.dict_size_limit);
+    const std::vector<std::string>& baseline =
+        partition.empty() ? sample : partition;
+    shards_.push_back(std::make_unique<DictionaryManager>(
+        std::move(initial), options.shard,
+        policy_factory ? policy_factory() : MakeNeverPolicy(), baseline));
+  }
+}
+
+std::vector<uint64_t> ShardedDictionaryManager::Epochs() const {
+  std::vector<uint64_t> epochs;
+  epochs.reserve(shards_.size());
+  for (const auto& shard : shards_) epochs.push_back(shard->epoch());
+  return epochs;
+}
+
+bool ShardedDictionaryManager::ShouldRebuild() const {
+  for (const auto& shard : shards_)
+    if (shard->ShouldRebuild()) return true;
+  return false;
+}
+
+size_t ShardedDictionaryManager::RebuildPending() {
+  size_t published = 0;
+  for (auto& shard : shards_)
+    if (shard->RebuildNow() == DictionaryManager::RebuildResult::kRebuilt)
+      published++;
+  return published;
+}
+
+uint64_t ShardedDictionaryManager::rebuilds_published() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->rebuilds_published();
+  return n;
+}
+
+uint64_t ShardedDictionaryManager::rebuilds_rejected() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->rebuilds_rejected();
+  return n;
+}
+
+}  // namespace hope::dynamic

@@ -1,0 +1,145 @@
+// Per-key-range sharding of the dynamic dictionary manager.
+//
+// A single global DictionaryManager forces a whole-corpus rebuild even
+// when only one key region drifted (the fig-15 experiment drifts one
+// email-provider region while the rest of the keyspace stays stable).
+// Sharding localizes maintenance to what actually changed:
+//
+//   ShardRouter      — N-1 range boundaries derived from the build sample
+//                      (equal-weight quantiles over the sorted keys);
+//                      Route(key) is a binary search.
+//   ShardedDictionaryManager
+//                    — one DictionaryManager per range, each with its own
+//                      epoch counter, stats collector, and rebuild
+//                      policy, so drift in one range triggers a rebuild
+//                      of only that shard's dictionary.
+//   BackgroundRebuilder (background_rebuilder.h)
+//                    — a single shared worker loop polls every shard.
+//
+// Shards never exchange keys: a key's shard is fixed by the router for
+// the manager's lifetime, so per-shard epochs advance independently and
+// a reader holding shard i's snapshot is unaffected by shard j's swap.
+// ShardedVersionedIndex (sharded_index.h) builds the index counterpart
+// on top of this.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dynamic/dictionary_manager.h"
+
+namespace hope::dynamic {
+
+/// Maps keys to shard indices via range boundaries derived from a build
+/// sample: boundary i is the sorted sample's (i+1)/N quantile, so each
+/// shard covers an equal share of the sample's weight. Immutable after
+/// construction; Route() is safe to call concurrently.
+class ShardRouter {
+ public:
+  /// Derives min(num_shards, distinct quantile keys + 1) ranges from the
+  /// sample. `num_shards` is clamped to >= 1; duplicate quantile keys
+  /// collapse (a sample with one distinct key yields a single shard).
+  /// An empty sample yields a single shard covering everything.
+  ShardRouter(std::vector<std::string> sample, size_t num_shards);
+
+  /// Shard index for a key: the number of boundaries <= key. Keys below
+  /// every boundary go to shard 0; a key equal to boundary i belongs to
+  /// shard i+1 (boundaries are inclusive starts of their range).
+  size_t Route(std::string_view key) const {
+    auto it = std::upper_bound(
+        boundaries_.begin(), boundaries_.end(), key,
+        [](std::string_view k, const std::string& b) {
+          return k < std::string_view(b);
+        });
+    return static_cast<size_t>(it - boundaries_.begin());
+  }
+
+  size_t num_shards() const { return boundaries_.size() + 1; }
+
+  /// Sorted, strictly increasing; boundaries()[i] is the first key of
+  /// shard i+1. Size num_shards() - 1.
+  const std::vector<std::string>& boundaries() const { return boundaries_; }
+
+ private:
+  std::vector<std::string> boundaries_;
+};
+
+/// A DictionaryManager per key range. Each shard's dictionary is built
+/// from the sample keys routed to it (falling back to the whole sample
+/// when a partition is too small to train on), and each shard runs its
+/// own EncodeStatsCollector and RebuildPolicy, so rebuild decisions are
+/// per-range: traffic drifting inside shard i trips shard i's policy and
+/// leaves every other shard's epoch untouched.
+class ShardedDictionaryManager {
+ public:
+  /// Fresh policy per shard (policies are stateless predicates today, but
+  /// per-shard instances keep the door open for stateful ones). A null
+  /// factory gives every shard MakeNeverPolicy().
+  using PolicyFactory = std::function<std::unique_ptr<RebuildPolicy>()>;
+
+  struct Options {
+    size_t num_shards = 4;              ///< requested; router may collapse
+    DictionaryManager::Options shard;   ///< applied to every shard manager
+    /// A shard whose sample partition has fewer keys than this trains its
+    /// initial dictionary on the whole sample instead (a handful of keys
+    /// would overfit); its baseline still comes from its own partition.
+    size_t min_shard_sample = 64;
+  };
+
+  /// Builds the router and every shard's initial dictionary from
+  /// `sample` (must be non-empty). Throws std::invalid_argument on an
+  /// empty sample and propagates Hope::Build failures.
+  ShardedDictionaryManager(const std::vector<std::string>& sample,
+                           Options options,
+                           PolicyFactory policy_factory = nullptr);
+
+  ShardedDictionaryManager(const ShardedDictionaryManager&) = delete;
+  ShardedDictionaryManager& operator=(const ShardedDictionaryManager&) = delete;
+
+  const ShardRouter& router() const { return router_; }
+  size_t num_shards() const { return shards_.size(); }
+  size_t Route(std::string_view key) const { return router_.Route(key); }
+
+  DictionaryManager& shard(size_t i) { return *shards_[i]; }
+  const DictionaryManager& shard(size_t i) const { return *shards_[i]; }
+  DictionaryManager& ShardFor(std::string_view key) {
+    return *shards_[router_.Route(key)];
+  }
+
+  /// Lock-free snapshot of the owning shard's current version.
+  DictSnapshot Acquire(std::string_view key) const {
+    return shards_[router_.Route(key)]->Acquire();
+  }
+
+  /// Encode through the owning shard (feeds that shard's collector).
+  std::string Encode(std::string_view key, size_t* bit_len = nullptr) const {
+    return shards_[router_.Route(key)]->Encode(key, bit_len);
+  }
+
+  /// Per-shard epochs in boundary order (diagnostics / bench output).
+  std::vector<uint64_t> Epochs() const;
+
+  /// True when any shard's policy wants a rebuild.
+  bool ShouldRebuild() const;
+
+  /// Polls every shard once: RebuildNow() on each, in boundary order.
+  /// Returns the number of shards that published. Used by tests and by
+  /// callers without a BackgroundRebuilder; the shared worker loop calls
+  /// the per-shard managers directly.
+  size_t RebuildPending();
+
+  /// Sums over shards (each counter is itself relaxed).
+  uint64_t rebuilds_published() const;
+  uint64_t rebuilds_rejected() const;
+
+ private:
+  ShardRouter router_;
+  std::vector<std::unique_ptr<DictionaryManager>> shards_;
+};
+
+}  // namespace hope::dynamic

@@ -79,6 +79,12 @@ class VersionedIndex {
         Generation& newest = *gens_.back();
         newest.tree.Insert(newest_enc, v);
         newest.log.push_back(key);
+        // Migration appends count against the log bound just like insert
+        // appends: a read-heavy migrate workload (lookups draining an old
+        // generation while erases shrink the live set) would otherwise
+        // grow the log far past the 4x-live bound with no Insert ever
+        // running compaction.
+        CompactLog(newest);
         PruneEmpty();
       }
       if (value) *value = v;
@@ -114,6 +120,9 @@ class VersionedIndex {
         newest.log.push_back(key);
         moved++;
       }
+      // Same bound as the Insert/Lookup append paths; one check per
+      // drained generation keeps the drain loop linear.
+      CompactLog(*gens_.back());
     }
     gens_.erase(gens_.begin(), gens_.end() - 1);
     return moved;

@@ -7,24 +7,81 @@
 
 namespace hope {
 
+namespace {
+
+std::vector<std::string> GenerateCorpus(DriftModel model, size_t n,
+                                        uint64_t seed) {
+  switch (model) {
+    case DriftModel::kEmailProvider: return GenerateEmails(n, seed);
+    case DriftModel::kWikiFlavor: return GenerateWikiTitles(n, seed);
+    case DriftModel::kUrlStyle: return GenerateUrls(n, seed);
+  }
+  return {};
+}
+
+/// True = part B (the distribution the blend drifts toward).
+bool InPartB(DriftModel model, const std::string& key) {
+  switch (model) {
+    case DriftModel::kEmailProvider:
+      // The fig-15 provider split: host-reversed addresses start with
+      // the provider domain. A = gmail + yahoo, B = everything else.
+      return key.rfind("com.gmail@", 0) != 0 &&
+             key.rfind("com.yahoo@", 0) != 0;
+    case DriftModel::kWikiFlavor:
+      // A = plain word titles, B = decorated ones (list prefixes and
+      // parenthesized years/disambiguations).
+      return key.rfind("List_of_", 0) == 0 ||
+             key.find('(') != std::string::npos;
+    case DriftModel::kUrlStyle:
+      // A = path-style URLs, B = query-style tails.
+      return key.find('?') != std::string::npos;
+  }
+  return false;
+}
+
+/// Synthetic stand-ins when a degenerate corpus leaves a part empty
+/// (e.g. a corpus of one or two keys); shaped like the model's real part
+/// members so downstream encode/build code sees plausible keys.
+std::string FallbackKey(DriftModel model, bool part_b) {
+  switch (model) {
+    case DriftModel::kEmailProvider:
+      return part_b ? "com.aol@fallback" : "com.gmail@fallback";
+    case DriftModel::kWikiFlavor:
+      return part_b ? "List_of_fallbacks_(2020)" : "Fallback_article";
+    case DriftModel::kUrlStyle:
+      return part_b ? "http://www.fallback.com/item?id=0&ref=none"
+                    : "http://www.fallback.com/page";
+  }
+  return "fallback";
+}
+
+}  // namespace
+
+const char* DriftModelName(DriftModel model) {
+  switch (model) {
+    case DriftModel::kEmailProvider: return "email-provider";
+    case DriftModel::kWikiFlavor: return "wiki-flavor";
+    case DriftModel::kUrlStyle: return "url-style";
+  }
+  return "?";
+}
+
 DriftingWorkload::DriftingWorkload(DriftOptions options) : options_(options) {
   if (options_.num_phases < 2) options_.num_phases = 2;
   if (options_.keys_per_phase == 0) options_.keys_per_phase = 1;
   size_t corpus = options_.corpus_size ? options_.corpus_size
                                        : 2 * options_.keys_per_phase;
-  auto emails = GenerateEmails(corpus, options_.seed);
-  for (auto& k : emails) {
-    // The fig-15 provider split: host-reversed addresses start with the
-    // provider domain.
-    if (k.rfind("com.gmail@", 0) == 0 || k.rfind("com.yahoo@", 0) == 0)
-      part_a_.push_back(std::move(k));
-    else
+  auto keys = GenerateCorpus(options_.model, corpus, options_.seed);
+  for (auto& k : keys) {
+    if (InPartB(options_.model, k))
       part_b_.push_back(std::move(k));
+    else
+      part_a_.push_back(std::move(k));
   }
-  // The Zipf provider head guarantees both splits are populated for any
-  // reasonable corpus size, but keep degenerate inputs safe.
-  if (part_a_.empty()) part_a_.push_back("com.gmail@fallback");
-  if (part_b_.empty()) part_b_.push_back("com.aol@fallback");
+  // Every model's generator populates both splits for any reasonable
+  // corpus size, but keep degenerate inputs safe.
+  if (part_a_.empty()) part_a_.push_back(FallbackKey(options_.model, false));
+  if (part_b_.empty()) part_b_.push_back(FallbackKey(options_.model, true));
 }
 
 double DriftingWorkload::MixFraction(size_t phase) const {

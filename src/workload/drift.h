@@ -1,9 +1,24 @@
-// Drifting key workload (the fig-15 shift model, made gradual): the
-// Email corpus is split by provider into Email-A (gmail + yahoo) and
-// Email-B (everything else), and successive phases blend from pure A to
-// pure B. A dictionary built from a phase-0 sample therefore faces a
-// slowly shifting distribution — the scenario the dynamic dictionary
-// manager exists for.
+// Drifting key workload (the fig-15 shift model, made gradual and
+// generalized beyond the Email corpus): a corpus is split in two by a
+// model-specific partition predicate, and successive phases blend from
+// pure part A to pure part B. A dictionary built from a phase-0 sample
+// therefore faces a slowly shifting distribution — the scenario the
+// dynamic dictionary manager exists for.
+//
+// Models (each pairs a corpus generator with a partition predicate whose
+// halves have different substring statistics, so the blend actually
+// moves the compression rate):
+//   kEmailProvider — fig-15's split: host-reversed addresses at gmail or
+//                    yahoo (A) vs every other provider (B).
+//   kWikiFlavor    — plain titles (A) vs decorated ones (B): List_of_
+//                    prefixes and parenthesized disambiguations, whose
+//                    digits/punctuation shift the character mix.
+//   kUrlStyle      — path-style URLs (A) vs query-style ones carrying
+//                    "?id=...&ref=..." tails (B). The predicate is
+//                    orthogonal to the URL's host prefix, so both parts
+//                    span the whole key range — which is what lets a
+//                    sharded manager see *localized* drift when only one
+//                    range's traffic blends toward B.
 #pragma once
 
 #include <cstdint>
@@ -12,11 +27,16 @@
 
 namespace hope {
 
+enum class DriftModel { kEmailProvider, kWikiFlavor, kUrlStyle };
+
+const char* DriftModelName(DriftModel model);
+
 struct DriftOptions {
   size_t keys_per_phase = 20000;
   size_t num_phases = 5;   ///< phase 0 is pure A, the last pure B
   uint64_t seed = 42;
-  size_t corpus_size = 0;  ///< emails to generate; 0 = 2 * keys_per_phase
+  size_t corpus_size = 0;  ///< keys to generate; 0 = 2 * keys_per_phase
+  DriftModel model = DriftModel::kEmailProvider;
 };
 
 class DriftingWorkload {
@@ -24,8 +44,9 @@ class DriftingWorkload {
   explicit DriftingWorkload(DriftOptions options = {});
 
   size_t num_phases() const { return options_.num_phases; }
+  DriftModel model() const { return options_.model; }
 
-  /// Fraction of phase-`p` keys drawn from Email-B: p / (num_phases - 1).
+  /// Fraction of phase-`p` keys drawn from part B: p / (num_phases - 1).
   double MixFraction(size_t phase) const;
 
   /// Deterministic key stream for one phase (keys repeat across phases;
@@ -37,8 +58,8 @@ class DriftingWorkload {
 
  private:
   DriftOptions options_;
-  std::vector<std::string> part_a_;  ///< gmail + yahoo keys
-  std::vector<std::string> part_b_;  ///< all other providers
+  std::vector<std::string> part_a_;
+  std::vector<std::string> part_b_;
 };
 
 }  // namespace hope

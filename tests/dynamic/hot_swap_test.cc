@@ -290,6 +290,54 @@ TEST(HotSwapTest, VersionedIndexCompactsInsertLog) {
   }
 }
 
+// Regression: migration appends (Lookup hits in an old generation,
+// MigrateAll) must run log compaction like Insert appends do. A
+// read-heavy migrate workload with interleaved erases used to grow the
+// newest generation's log far past the documented 4x-live bound,
+// because only Insert ever called CompactLog.
+TEST(HotSwapTest, MigrationAppendsKeepInsertLogBounded) {
+  auto drift = MakeDrift();
+  auto phase0 = drift.Phase(0);
+  DictionaryManager mgr(BuildFrom(phase0), SmallDict(), MakeNeverPolicy(),
+                        phase0);
+  VersionedIndex<BTree> index(&mgr);
+
+  std::vector<std::string> keys(phase0.begin(), phase0.begin() + 600);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  ASSERT_GT(keys.size(), 500u);
+  for (size_t i = 0; i < keys.size(); i++) index.Insert(keys[i], i);
+
+  // Swap, then drain the old generation via lookups only, erasing each
+  // migrated entry: the newest generation sees hundreds of migration
+  // appends while its live count stays tiny — >4x the live entries, with
+  // no Insert ever running.
+  mgr.Publish(BuildFrom(drift.Phase(2)));
+  for (size_t i = 0; i < keys.size(); i++) {
+    uint64_t v = 0;
+    ASSERT_TRUE(index.Lookup(keys[i], &v));
+    EXPECT_EQ(v, i);
+    EXPECT_TRUE(index.Erase(keys[i]));
+  }
+  EXPECT_EQ(index.size(), 0u);
+  // The bound is checked at append time (live hovered around 1 during
+  // the drain, so the log tops out near the 4*1 + 64 trigger); without
+  // compaction on migration appends it would hold all ~550 keys.
+  EXPECT_LE(index.LogSize(), 100u);
+
+  // Same bound when MigrateAll does the draining.
+  for (size_t i = 0; i < keys.size(); i++) index.Insert(keys[i], i);
+  mgr.Publish(BuildFrom(drift.Phase(1)));
+  index.Refresh();
+  EXPECT_EQ(index.MigrateAll(), keys.size());
+  EXPECT_LE(index.LogSize(), 4 * index.size() + 64 + 1);
+  for (size_t i = 0; i < keys.size(); i++) {
+    uint64_t v = 0;
+    ASSERT_TRUE(index.Lookup(keys[i], &v));
+    EXPECT_EQ(v, i);
+  }
+}
+
 TEST(HotSwapTest, BackgroundRebuilderPublishesUnderDrift) {
   auto drift = MakeDrift();
   auto phase0 = drift.Phase(0);

@@ -1,0 +1,111 @@
+// Rebuild-policy predicates, in particular the factory-input clamps:
+// every factory brings degenerate parameters to the nearest valid value
+// (the way KeyCountPolicy clamps 0 -> 1) instead of producing a gate
+// that fires never, always, or on every poll.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "dynamic/rebuild_policy.h"
+
+namespace hope::dynamic {
+namespace {
+
+RebuildSignals Signals(double ewma, double baseline, size_t fill = 1000) {
+  RebuildSignals s;
+  s.ewma_cpr = ewma;
+  s.baseline_cpr = baseline;
+  s.reservoir_fill = fill;
+  s.reservoir_capacity = 4096;
+  return s;
+}
+
+TEST(RebuildPolicyTest, CompressionDropTriggersPastThreshold) {
+  auto policy = MakeCompressionDropPolicy(0.05, 64);
+  EXPECT_FALSE(policy->ShouldRebuild(Signals(2.0, 2.0)));
+  EXPECT_FALSE(policy->ShouldRebuild(Signals(1.91, 2.0)));  // -4.5%
+  EXPECT_TRUE(policy->ShouldRebuild(Signals(1.89, 2.0)));   // -5.5%
+  // No data yet (unseeded EWMA or baseline) never triggers.
+  EXPECT_FALSE(policy->ShouldRebuild(Signals(0.0, 2.0)));
+  EXPECT_FALSE(policy->ShouldRebuild(Signals(1.5, 0.0)));
+  // Reservoir below the fill floor never triggers.
+  EXPECT_FALSE(policy->ShouldRebuild(Signals(1.0, 2.0, 63)));
+  EXPECT_TRUE(policy->ShouldRebuild(Signals(1.0, 2.0, 64)));
+}
+
+TEST(RebuildPolicyTest, CompressionDropClampsDegenerateFraction) {
+  // drop_fraction >= 1 would make the gate unfireable (EWMA < 0); it
+  // clamps to 0.99 and still fires on a catastrophic drop.
+  for (double degenerate : {1.0, 2.0, 1e9}) {
+    auto policy = MakeCompressionDropPolicy(degenerate, 1);
+    EXPECT_TRUE(policy->ShouldRebuild(Signals(0.019, 2.0))) << degenerate;
+    EXPECT_FALSE(policy->ShouldRebuild(Signals(0.021, 2.0))) << degenerate;
+  }
+  // Negative and NaN clamp to 0: any drop below baseline fires, equality
+  // does not (without the clamp, a negative fraction would fire on EWMA
+  // *above* baseline too).
+  for (double degenerate : {-0.5, -1e9,
+                            std::numeric_limits<double>::quiet_NaN()}) {
+    auto policy = MakeCompressionDropPolicy(degenerate, 1);
+    EXPECT_TRUE(policy->ShouldRebuild(Signals(1.99, 2.0))) << degenerate;
+    EXPECT_FALSE(policy->ShouldRebuild(Signals(2.0, 2.0))) << degenerate;
+    EXPECT_FALSE(policy->ShouldRebuild(Signals(2.5, 2.0))) << degenerate;
+  }
+  // min_reservoir_fill 0 clamps to 1: an empty reservoir never triggers.
+  auto policy = MakeCompressionDropPolicy(0.05, 0);
+  EXPECT_FALSE(policy->ShouldRebuild(Signals(1.0, 2.0, 0)));
+  EXPECT_TRUE(policy->ShouldRebuild(Signals(1.0, 2.0, 1)));
+}
+
+TEST(RebuildPolicyTest, KeyCountClampsZeroToOne) {
+  auto policy = MakeKeyCountPolicy(0);
+  RebuildSignals s;
+  s.keys_since_rebuild = 0;
+  EXPECT_FALSE(policy->ShouldRebuild(s));
+  s.keys_since_rebuild = 1;
+  EXPECT_TRUE(policy->ShouldRebuild(s));
+}
+
+TEST(RebuildPolicyTest, PeriodicClampsDegeneratePeriods) {
+  // A zero/negative/NaN period would trigger on every poll, even with
+  // zero elapsed time; it clamps to 1ms.
+  for (double degenerate : {0.0, -5.0,
+                            std::numeric_limits<double>::quiet_NaN()}) {
+    auto policy = MakePeriodicPolicy(degenerate);
+    RebuildSignals s;
+    s.seconds_since_rebuild = 0;
+    EXPECT_FALSE(policy->ShouldRebuild(s)) << degenerate;
+    s.seconds_since_rebuild = 0.001;
+    EXPECT_TRUE(policy->ShouldRebuild(s)) << degenerate;
+  }
+  // Valid periods pass through unclamped.
+  auto policy = MakePeriodicPolicy(10.0);
+  RebuildSignals s;
+  s.seconds_since_rebuild = 9.9;
+  EXPECT_FALSE(policy->ShouldRebuild(s));
+  s.seconds_since_rebuild = 10.0;
+  EXPECT_TRUE(policy->ShouldRebuild(s));
+}
+
+TEST(RebuildPolicyTest, AnyOfAndNever) {
+  std::vector<std::unique_ptr<RebuildPolicy>> children;
+  children.push_back(MakeKeyCountPolicy(10));
+  children.push_back(MakePeriodicPolicy(100.0));
+  auto any = MakeAnyOfPolicy(std::move(children));
+  RebuildSignals s;
+  EXPECT_FALSE(any->ShouldRebuild(s));
+  s.keys_since_rebuild = 10;
+  EXPECT_TRUE(any->ShouldRebuild(s));
+  s.keys_since_rebuild = 0;
+  s.seconds_since_rebuild = 100;
+  EXPECT_TRUE(any->ShouldRebuild(s));
+
+  EXPECT_FALSE(MakeNeverPolicy()->ShouldRebuild(s));
+}
+
+}  // namespace
+}  // namespace hope::dynamic

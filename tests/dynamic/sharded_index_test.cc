@@ -1,0 +1,158 @@
+// ShardedVersionedIndex correctness: routing, per-shard generations that
+// only open where a swap happened, lazy + eager migration, and range
+// scans in global key order across shard boundaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "datasets/datasets.h"
+#include "dynamic/sharded_index.h"
+#include "dynamic/sharded_manager.h"
+
+namespace hope::dynamic {
+namespace {
+
+constexpr Scheme kScheme = Scheme::kSingleChar;
+constexpr size_t kLimit = 256;
+
+struct Fixture {
+  std::vector<std::string> keys;  // sorted, unique
+  std::unique_ptr<ShardedDictionaryManager> mgr;
+
+  explicit Fixture(size_t n = 600, size_t shards = 4) {
+    keys = GenerateEmails(n, 17);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    ShardedDictionaryManager::Options opts;
+    opts.num_shards = shards;
+    opts.shard.scheme = kScheme;
+    opts.shard.dict_size_limit = kLimit;
+    mgr = std::make_unique<ShardedDictionaryManager>(keys, opts);
+  }
+
+  /// Swap in a rebuilt dictionary on one shard (trained on that shard's
+  /// keys, like a real rebuild would be).
+  void SwapShard(size_t s) {
+    std::vector<std::string> shard_keys;
+    for (const auto& k : keys)
+      if (mgr->Route(k) == s) shard_keys.push_back(k);
+    if (shard_keys.empty()) shard_keys = keys;
+    mgr->shard(s).Publish(Hope::Build(kScheme, shard_keys, kLimit));
+  }
+};
+
+TEST(ShardedIndexTest, InsertLookupEraseRouteAcrossShards) {
+  Fixture fx;
+  ShardedVersionedIndex<BTree> index(fx.mgr.get());
+  ASSERT_EQ(index.num_shards(), fx.mgr->num_shards());
+
+  for (size_t i = 0; i < fx.keys.size(); i++) index.Insert(fx.keys[i], i);
+  EXPECT_EQ(index.size(), fx.keys.size());
+  // Entries landed in the owning shard's index.
+  size_t spread = 0;
+  for (size_t s = 0; s < index.num_shards(); s++)
+    spread += index.shard(s).size() > 0 ? 1 : 0;
+  EXPECT_GT(spread, 1u) << "keys should span multiple shards";
+
+  for (size_t i = 0; i < fx.keys.size(); i++) {
+    uint64_t v = 0;
+    ASSERT_TRUE(index.Lookup(fx.keys[i], &v)) << fx.keys[i];
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(index.Lookup("zzz.not@present", nullptr));
+
+  // Overwrite and erase route to the same shard.
+  index.Insert(fx.keys[0], 999);
+  uint64_t v = 0;
+  ASSERT_TRUE(index.Lookup(fx.keys[0], &v));
+  EXPECT_EQ(v, 999u);
+  EXPECT_TRUE(index.Erase(fx.keys[1]));
+  EXPECT_FALSE(index.Lookup(fx.keys[1], &v));
+  EXPECT_FALSE(index.Erase(fx.keys[1]));
+  EXPECT_EQ(index.size(), fx.keys.size() - 1);
+}
+
+TEST(ShardedIndexTest, SwapOpensGenerationOnlyInThatShard) {
+  Fixture fx;
+  ShardedVersionedIndex<BTree> index(fx.mgr.get());
+  for (size_t i = 0; i < fx.keys.size(); i++) index.Insert(fx.keys[i], i);
+  EXPECT_EQ(index.TotalGenerations(), index.num_shards());
+
+  const size_t swapped = 2;
+  fx.SwapShard(swapped);
+  for (size_t s = 0; s < index.num_shards(); s++) index.shard(s).Refresh();
+  EXPECT_EQ(index.TotalGenerations(), index.num_shards() + 1);
+  EXPECT_EQ(index.shard(swapped).NumGenerations(), 2u);
+  for (size_t s = 0; s < index.num_shards(); s++) {
+    if (s != swapped) {
+      EXPECT_EQ(index.shard(s).NumGenerations(), 1u) << "shard " << s;
+    }
+  }
+
+  // Lookups stay correct everywhere; hits in the swapped shard's old
+  // generation migrate lazily and eventually drain it.
+  for (size_t i = 0; i < fx.keys.size(); i++) {
+    uint64_t v = 0;
+    ASSERT_TRUE(index.Lookup(fx.keys[i], &v)) << fx.keys[i];
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_EQ(index.TotalGenerations(), index.num_shards());
+  EXPECT_EQ(index.size(), fx.keys.size());
+}
+
+TEST(ShardedIndexTest, MigrateAllDrainsEveryShard) {
+  Fixture fx;
+  ShardedVersionedIndex<BTree> index(fx.mgr.get());
+  size_t half = fx.keys.size() / 2;
+  for (size_t i = 0; i < half; i++) index.Insert(fx.keys[i], i);
+  fx.SwapShard(0);
+  fx.SwapShard(1);
+  for (size_t i = half; i < fx.keys.size(); i++) index.Insert(fx.keys[i], i);
+
+  size_t moved = index.MigrateAll();
+  EXPECT_GT(moved, 0u);
+  EXPECT_EQ(index.TotalGenerations(), index.num_shards());
+  EXPECT_EQ(index.size(), fx.keys.size());
+  for (size_t i = 0; i < fx.keys.size(); i++) {
+    uint64_t v = 0;
+    ASSERT_TRUE(index.Lookup(fx.keys[i], &v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(ShardedIndexTest, ScanWalksShardsInBoundaryOrder) {
+  Fixture fx;
+  ShardedVersionedIndex<BTree> index(fx.mgr.get());
+  for (size_t i = 0; i < fx.keys.size(); i++) index.Insert(fx.keys[i], i);
+
+  // Swap one shard so Scan has to drain it first.
+  fx.SwapShard(1);
+
+  // Full scan from below every key: values come back in global key order
+  // (fx.keys is sorted, so values must be 0..n-1 in order).
+  std::vector<uint64_t> out;
+  size_t produced = index.Scan("", fx.keys.size() + 10, &out);
+  EXPECT_EQ(produced, fx.keys.size());
+  ASSERT_EQ(out.size(), fx.keys.size());
+  for (size_t i = 0; i < out.size(); i++) EXPECT_EQ(out[i], i) << i;
+
+  // Bounded scan starting mid-corpus, crossing at least one boundary.
+  size_t start = fx.keys.size() / 3;
+  size_t count = fx.keys.size() / 2;
+  out.clear();
+  produced = index.Scan(fx.keys[start], count, &out);
+  EXPECT_EQ(produced, count);
+  ASSERT_EQ(out.size(), count);
+  for (size_t i = 0; i < out.size(); i++) EXPECT_EQ(out[i], start + i);
+
+  // Scan from past the last key produces nothing.
+  out.clear();
+  EXPECT_EQ(index.Scan(fx.keys.back() + "zzz", 10, &out), 0u);
+}
+
+}  // namespace
+}  // namespace hope::dynamic

@@ -1,0 +1,118 @@
+// DriftingWorkload across its three partition models: both parts
+// populated, phases blend deterministically from pure A to pure B, the
+// partition predicate actually separates the corpora, and degenerate
+// corpora fall back to synthetic part members instead of empty pools.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "workload/drift.h"
+
+namespace hope {
+namespace {
+
+const DriftModel kModels[] = {DriftModel::kEmailProvider,
+                              DriftModel::kWikiFlavor, DriftModel::kUrlStyle};
+
+bool InB(DriftModel model, const std::string& key) {
+  switch (model) {
+    case DriftModel::kEmailProvider:
+      return key.rfind("com.gmail@", 0) != 0 &&
+             key.rfind("com.yahoo@", 0) != 0;
+    case DriftModel::kWikiFlavor:
+      return key.rfind("List_of_", 0) == 0 ||
+             key.find('(') != std::string::npos;
+    case DriftModel::kUrlStyle:
+      return key.find('?') != std::string::npos;
+  }
+  return false;
+}
+
+TEST(DriftTest, AllModelsPartitionTheCorpus) {
+  for (DriftModel model : kModels) {
+    DriftOptions o;
+    o.model = model;
+    o.keys_per_phase = 2000;
+    DriftingWorkload drift(o);
+    EXPECT_GT(drift.part_a().size(), 100u) << DriftModelName(model);
+    EXPECT_GT(drift.part_b().size(), 100u) << DriftModelName(model);
+    for (const auto& k : drift.part_a())
+      ASSERT_FALSE(InB(model, k)) << DriftModelName(model) << ": " << k;
+    for (const auto& k : drift.part_b())
+      ASSERT_TRUE(InB(model, k)) << DriftModelName(model) << ": " << k;
+  }
+}
+
+TEST(DriftTest, PhasesBlendFromPureAToPureB) {
+  for (DriftModel model : kModels) {
+    DriftOptions o;
+    o.model = model;
+    o.keys_per_phase = 4000;
+    o.num_phases = 5;
+    DriftingWorkload drift(o);
+    EXPECT_DOUBLE_EQ(drift.MixFraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(drift.MixFraction(2), 0.5);
+    EXPECT_DOUBLE_EQ(drift.MixFraction(4), 1.0);
+    // Past-the-end phases saturate at pure B.
+    EXPECT_DOUBLE_EQ(drift.MixFraction(99), 1.0);
+
+    double prev = -1;
+    for (size_t p = 0; p < drift.num_phases(); p++) {
+      auto keys = drift.Phase(p);
+      ASSERT_EQ(keys.size(), o.keys_per_phase);
+      size_t b = 0;
+      for (const auto& k : keys) b += InB(model, k) ? 1 : 0;
+      double frac = static_cast<double>(b) / static_cast<double>(keys.size());
+      EXPECT_NEAR(frac, drift.MixFraction(p), 0.03) << DriftModelName(model);
+      EXPECT_GT(frac + 0.01, prev) << DriftModelName(model);
+      prev = frac;
+    }
+  }
+}
+
+TEST(DriftTest, PhaseStreamsAreDeterministic) {
+  DriftOptions o;
+  o.model = DriftModel::kWikiFlavor;
+  o.keys_per_phase = 500;
+  EXPECT_EQ(DriftingWorkload(o).Phase(1), DriftingWorkload(o).Phase(1));
+  DriftOptions o2 = o;
+  o2.seed = o.seed + 1;
+  EXPECT_NE(DriftingWorkload(o).Phase(1), DriftingWorkload(o2).Phase(1));
+}
+
+// A corpus too small to populate both halves of the partition triggers
+// the synthetic-fallback path; the fallback key must itself satisfy the
+// model's predicate so downstream mix accounting stays truthful.
+TEST(DriftTest, DegenerateCorpusFallsBackPerModel) {
+  for (DriftModel model : kModels) {
+    DriftOptions o;
+    o.model = model;
+    o.keys_per_phase = 100;
+    o.corpus_size = 1;  // one key: at least one part must be empty
+    DriftingWorkload drift(o);
+    ASSERT_FALSE(drift.part_a().empty()) << DriftModelName(model);
+    ASSERT_FALSE(drift.part_b().empty()) << DriftModelName(model);
+    for (const auto& k : drift.part_a())
+      EXPECT_FALSE(InB(model, k)) << DriftModelName(model) << ": " << k;
+    for (const auto& k : drift.part_b())
+      EXPECT_TRUE(InB(model, k)) << DriftModelName(model) << ": " << k;
+    // Phases still produce full, servable streams.
+    for (size_t p = 0; p < drift.num_phases(); p++)
+      EXPECT_EQ(drift.Phase(p).size(), o.keys_per_phase);
+  }
+}
+
+TEST(DriftTest, DegenerateOptionsAreClamped) {
+  DriftOptions o;
+  o.num_phases = 0;
+  o.keys_per_phase = 0;
+  DriftingWorkload drift(o);
+  EXPECT_EQ(drift.num_phases(), 2u);
+  EXPECT_EQ(drift.Phase(0).size(), 1u);
+  // num_phases=2: phase 0 is pure A, phase 1 pure B.
+  EXPECT_DOUBLE_EQ(drift.MixFraction(1), 1.0);
+}
+
+}  // namespace
+}  // namespace hope
