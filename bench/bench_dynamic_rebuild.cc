@@ -1,4 +1,5 @@
-// Dynamic dictionary manager under distribution drift, two experiments:
+// Dynamic dictionary manager under distribution drift, three
+// experiments:
 //
 // 1. Global drift (the fig-15 Email provider split made gradual): a
 //    static dictionary (built once from a phase-0 sample, the paper's
@@ -15,7 +16,18 @@
 //    shards' epochs stay at 0 — while matching or beating the global
 //    manager's final compression. Series "localized_phase"/
 //    "localized_summary" in the JSON.
+//
+// 3. Hotspot migration (URL corpus, kHotspotMigrate model): traffic
+//    walks from the lower half of the key space to the upper half. A
+//    fixed-boundary sharded manager ends with every request on its last
+//    shard; the re-balancing manager (weight-imbalance policy, versioned
+//    router, reservoir-derived boundaries) re-derives the boundaries
+//    online and spreads the hot range back across all shards, while a
+//    ShardedVersionedIndex follows the RebalancePlans and must keep
+//    lookups and cross-shard scans correct across every migration.
+//    Series "rebalance_phase"/"rebalance_summary" in the JSON.
 #include <chrono>
+#include <map>
 #include <thread>
 
 #include "bench/bench_common.h"
@@ -309,9 +321,213 @@ void RunLocalizedDrift() {
       .Num("index_migrated", static_cast<double>(migrated));
 }
 
+void RunRebalance() {
+  PrintHeader("Hotspot migration: re-balancing vs fixed-boundary shards");
+
+  DriftOptions dopt;
+  dopt.model = DriftModel::kHotspotMigrate;
+  dopt.num_phases = 5;
+  dopt.keys_per_phase = std::max<size_t>(NumKeys() / dopt.num_phases, 1000);
+  dopt.seed = 99;
+  DriftingWorkload drift(dopt);
+
+  const Scheme scheme = Scheme::kDoubleChar;
+  const size_t limit = size_t{1} << 14;
+  const size_t num_shards = 4;
+  const double kImbalanceThreshold = 1.5;
+  auto phase0 = drift.Phase(0);
+  auto sample = SampleKeys(phase0, 0.05);
+
+  // Identical shard options for both managers; the recency-biased
+  // reservoir (half-life in sampled keys) keeps the rebuild/rebalance
+  // corpus tracking the migrating hotspot.
+  auto shard_options = [&] {
+    DictionaryManager::Options mopt = ManagerOptions(scheme, limit);
+    mopt.stats.sample_every = 2;
+    mopt.stats.ewma_alpha = 0.005;
+    mopt.stats.reservoir_halflife = 512;
+    mopt.min_cpr_gain = 0.01;
+    return mopt;
+  };
+  auto policy = [] { return MakeCompressionDropPolicy(0.03, 256); };
+
+  ShardedDictionaryManager::Options sopt;
+  sopt.num_shards = num_shards;
+  sopt.shard = shard_options();
+  // Fold traffic observations in fast: the phase structure gives the
+  // EWMA only a handful of polls per phase to see a shifted mix.
+  sopt.traffic_ewma_alpha = 0.6;
+
+  ShardedDictionaryManager fixed(sample, sopt, policy);
+  ShardedDictionaryManager rebal(
+      sample, sopt, policy,
+      dynamic::MakeWeightImbalancePolicy(kImbalanceThreshold,
+                                         /*min_keys=*/2000,
+                                         /*cooldown_seconds=*/0.5,
+                                         /*consecutive_polls=*/2));
+
+  BackgroundRebuilder::Options ropt;
+  ropt.poll_interval = std::chrono::milliseconds(10);
+  BackgroundRebuilder fixed_rebuilder(&fixed, ropt);
+  BackgroundRebuilder rebal_rebuilder(&rebal, ropt);
+
+  // The index rides the re-balancing manager: its entries must follow
+  // every RebalancePlan, and lookups + cross-shard scans must stay
+  // correct across the migrations. `model` is the ground truth.
+  ShardedVersionedIndex<BTree> index(&rebal);
+  std::map<std::string, uint64_t> model;
+  size_t lookups_checked = 0, lookups_wrong = 0;
+  size_t scans_checked = 0, scans_wrong = 0;
+
+  auto check_scan = [&](const std::string& start, size_t count) {
+    std::vector<uint64_t> got;
+    index.Scan(start, count, &got);
+    std::vector<uint64_t> want;
+    for (auto it = model.lower_bound(start);
+         it != model.end() && want.size() < count; ++it)
+      want.push_back(it->second);
+    scans_checked++;
+    if (got != want) scans_wrong++;
+  };
+
+  std::printf("  %zu phases x %zu keys, %zu shards, scheme %s, imbalance "
+              "policy %.1fx\n\n",
+              drift.num_phases(), dopt.keys_per_phase, num_shards,
+              SchemeName(scheme), kImbalanceThreshold);
+  std::printf("  %-6s %7s %10s %10s %9s %9s %7s %12s\n", "Phase", "B-mix",
+              "FixedCPR", "RebalCPR", "F-spread", "R-spread", "RtrVer",
+              "ShardEpochs");
+
+  for (size_t p = 0; p < drift.num_phases(); p++) {
+    auto keys = drift.Phase(p);
+    for (size_t i = 0; i < keys.size(); i++) {
+      fixed.Encode(keys[i]);
+      rebal.Encode(keys[i]);
+      if (i % 16 == 0) {
+        index.Insert(keys[i], i);
+        model[keys[i]] = i;
+      }
+    }
+    // Bounded reaction window: rebuilds drain on demand, and a fixed tail
+    // of polls lets the traffic-weight EWMA and the rebalance hysteresis
+    // observe the phase (ShouldRebuild covers only the rebuild half).
+    for (int spin = 0;
+         spin < 200 && (fixed.ShouldRebuild() || rebal.ShouldRebuild());
+         spin++) {
+      fixed_rebuilder.Nudge();
+      rebal_rebuilder.Nudge();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    for (int spin = 0; spin < 30; spin++) {
+      fixed_rebuilder.Nudge();
+      rebal_rebuilder.Nudge();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    for (size_t i = 0; i < keys.size(); i += 64) {
+      if (i % (16 * 64) != 0) continue;  // only keys the index holds
+      uint64_t v = 0;
+      lookups_checked++;
+      auto it = model.find(keys[i]);
+      bool found = index.Lookup(keys[i], &v);
+      if (!found || it == model.end() || v != it->second) lookups_wrong++;
+    }
+    check_scan("", 128);
+    if (!model.empty()) {
+      auto mid = model.begin();
+      std::advance(mid, static_cast<long>(model.size() / 2));
+      check_scan(mid->first, 64);
+    }
+
+    double fixed_cpr = MeasureShardedCpr(fixed, keys);
+    double rebal_cpr = MeasureShardedCpr(rebal, keys);
+    double fixed_spread = StreamSpread(fixed, keys);
+    double rebal_spread = StreamSpread(rebal, keys);
+    std::printf("  %-6zu %6.0f%% %10.3f %10.3f %9.2f %9.2f %7llu %12s\n", p,
+                100 * drift.MixFraction(p), fixed_cpr, rebal_cpr,
+                fixed_spread, rebal_spread,
+                static_cast<unsigned long long>(rebal.router_version()),
+                EpochsString(rebal.Epochs()).c_str());
+    std::fflush(stdout);
+    Report()
+        .Str("series", "rebalance_phase")
+        .Num("phase", static_cast<double>(p))
+        .Num("mix_fraction_b", drift.MixFraction(p))
+        .Num("fixed_cpr", fixed_cpr)
+        .Num("rebal_cpr", rebal_cpr)
+        .Num("fixed_spread", fixed_spread)
+        .Num("rebal_spread", rebal_spread)
+        .Num("router_version", static_cast<double>(rebal.router_version()))
+        .Str("rebal_shard_epochs", EpochsString(rebal.Epochs()));
+  }
+  // Settle passes: the hotspot stops moving (the blend saturates at pure
+  // B past the last phase), so the re-deriving router gets to converge —
+  // the steady state a live system would reach once a migration ends.
+  // The rebalance poll is driven synchronously here: convergence is the
+  // acceptance signal and must not hinge on how often a loaded machine
+  // schedules the background worker.
+  auto final_keys = drift.Phase(drift.num_phases());
+  for (int round = 0; round < 6; round++) {
+    if (StreamSpread(rebal, final_keys) <= kImbalanceThreshold) break;
+    for (const auto& k : final_keys) {
+      fixed.Encode(k);
+      rebal.Encode(k);
+    }
+    fixed.RebuildPending();
+    rebal.RebuildPending();
+    // Past the policy's cooldown, then enough polls to clear hysteresis.
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    for (int poll = 0; poll < 3; poll++) rebal.PollRebalance();
+  }
+  fixed_rebuilder.Stop();
+  rebal_rebuilder.Stop();
+
+  double fixed_final = MeasureShardedCpr(fixed, final_keys);
+  double rebal_final = MeasureShardedCpr(rebal, final_keys);
+  double fixed_spread = StreamSpread(fixed, final_keys);
+  double rebal_spread = StreamSpread(rebal, final_keys);
+  index.MigrateAll();  // drain generations so a final full check is flat
+  size_t migrated = index.entries_rebalanced();
+  bool balanced = rebal_spread <= kImbalanceThreshold;
+
+  std::printf("\n  final: fixed %.3fx spread %.2f vs re-balanced %.3fx "
+              "spread %.2f (%+.1f%% CPR), router version %llu -> %s\n",
+              fixed_final, fixed_spread, rebal_final, rebal_spread,
+              100.0 * (rebal_final / fixed_final - 1.0),
+              static_cast<unsigned long long>(rebal.router_version()),
+              balanced ? "traffic re-balanced" : "NOT re-balanced");
+  std::printf("  index: %zu/%zu lookups and %zu/%zu scans correct across "
+              "%llu migrations (%zu entries moved between shards)\n",
+              lookups_checked - lookups_wrong, lookups_checked,
+              scans_checked - scans_wrong, scans_checked,
+              static_cast<unsigned long long>(rebal.rebalances_published()),
+              migrated);
+  Report()
+      .Str("series", "rebalance_summary")
+      .Num("num_shards", static_cast<double>(num_shards))
+      .Num("imbalance_threshold", kImbalanceThreshold)
+      .Num("fixed_cpr_final", fixed_final)
+      .Num("rebal_cpr_final", rebal_final)
+      .Num("rebal_gain_percent", 100.0 * (rebal_final / fixed_final - 1.0))
+      .Num("fixed_spread_final", fixed_spread)
+      .Num("rebal_spread_final", rebal_spread)
+      .Num("router_version", static_cast<double>(rebal.router_version()))
+      .Num("rebalances", static_cast<double>(rebal.rebalances_published()))
+      .Num("rebalances_noop", static_cast<double>(rebal.rebalances_noop()))
+      .Num("spread_under_threshold", balanced ? 1 : 0)
+      .Num("fixed_rebuilds", static_cast<double>(fixed.rebuilds_published()))
+      .Num("rebal_rebuilds", static_cast<double>(rebal.rebuilds_published()))
+      .Num("index_lookups_checked", static_cast<double>(lookups_checked))
+      .Num("index_lookups_wrong", static_cast<double>(lookups_wrong))
+      .Num("index_scans_checked", static_cast<double>(scans_checked))
+      .Num("index_scans_wrong", static_cast<double>(scans_wrong))
+      .Num("index_migrated", static_cast<double>(migrated));
+}
+
 void Run() {
   RunGlobalDrift();
   RunLocalizedDrift();
+  RunRebalance();
 }
 
 }  // namespace

@@ -17,14 +17,20 @@ std::vector<DictionaryManager*> AllShards(ShardedDictionaryManager* sharded) {
 }  // namespace
 
 BackgroundRebuilder::BackgroundRebuilder(
-    std::vector<DictionaryManager*> managers, Options options)
+    std::vector<DictionaryManager*> managers,
+    std::vector<ShardedDictionaryManager*> sharded, Options options)
     : managers_(std::move(managers)),
+      sharded_(std::move(sharded)),
       options_(options),
       worker_([this] { Loop(); }) {}
 
+BackgroundRebuilder::BackgroundRebuilder(
+    std::vector<DictionaryManager*> managers, Options options)
+    : BackgroundRebuilder(std::move(managers), {}, options) {}
+
 BackgroundRebuilder::BackgroundRebuilder(ShardedDictionaryManager* sharded,
                                          Options options)
-    : BackgroundRebuilder(AllShards(sharded), options) {}
+    : BackgroundRebuilder(AllShards(sharded), {sharded}, options) {}
 
 BackgroundRebuilder::~BackgroundRebuilder() { Stop(); }
 
@@ -42,6 +48,7 @@ void BackgroundRebuilder::Stop() {
     if (stop_) return;
     stop_ = true;
   }
+  stop_requested_.store(true, std::memory_order_relaxed);
   cv_.notify_one();
   if (worker_.joinable()) worker_.join();
 }
@@ -59,10 +66,19 @@ void BackgroundRebuilder::Loop() {
     // RebuildNow re-checks each policy under the manager's own mutex (the
     // authoritative, race-free evaluation), so no pre-check here. Shards
     // whose policy is quiet return kNotTriggered in microseconds, so one
-    // drifted shard never starves the others of polling.
+    // drifted shard never starves the others of polling. The stop flag is
+    // re-checked between managers: with many shards (or a shard mid-
+    // build) Stop() waits for at most one manager's step, not the sweep.
     for (DictionaryManager* manager : managers_) {
+      if (stop_requested_.load(std::memory_order_relaxed)) break;
       if (manager->RebuildNow() == DictionaryManager::RebuildResult::kRebuilt)
         rebuilds_.fetch_add(1);
+    }
+    // Rebalance rides the same loop: traffic weights fold in once per
+    // cycle and the router re-derives when the policy trips.
+    for (ShardedDictionaryManager* sharded : sharded_) {
+      if (stop_requested_.load(std::memory_order_relaxed)) break;
+      if (sharded->PollRebalance()) rebalances_.fetch_add(1);
     }
     lock.lock();
   }

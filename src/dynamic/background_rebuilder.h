@@ -3,7 +3,13 @@
 // when staleness is detected, runs the (potentially expensive) build +
 // validate + publish cycle so encoders never pay for it. A
 // ShardedDictionaryManager hands all its shards to a single rebuilder,
-// so N shards cost one polling thread, not N.
+// so N shards cost one polling thread, not N — and the same worker loop
+// polls the sharded manager's rebalance policy (PollRebalance), so
+// router re-derivation also happens off the encode path.
+//
+// Stop() takes effect between managers, not just between sweeps: a long
+// multi-shard poll (or a shard mid-build) delays shutdown by at most one
+// manager's step, not the whole sweep.
 #pragma once
 
 #include <atomic>
@@ -40,7 +46,8 @@ class BackgroundRebuilder {
       : BackgroundRebuilder(std::move(managers), Options{}) {}
   BackgroundRebuilder(std::vector<DictionaryManager*> managers,
                       Options options);
-  /// Polls every shard of `sharded` with one shared worker loop.
+  /// Polls every shard of `sharded` — and its rebalance policy — with
+  /// one shared worker loop.
   explicit BackgroundRebuilder(ShardedDictionaryManager* sharded)
       : BackgroundRebuilder(sharded, Options{}) {}
   BackgroundRebuilder(ShardedDictionaryManager* sharded, Options options);
@@ -58,20 +65,31 @@ class BackgroundRebuilder {
 
   size_t num_managers() const { return managers_.size(); }
   uint64_t rebuilds_completed() const { return rebuilds_.load(); }
+  uint64_t rebalances_completed() const { return rebalances_.load(); }
   uint64_t cycles() const { return cycles_.load(); }
 
  private:
+  BackgroundRebuilder(std::vector<DictionaryManager*> managers,
+                      std::vector<ShardedDictionaryManager*> sharded,
+                      Options options);
+
   void Loop();
 
   const std::vector<DictionaryManager*> managers_;
+  /// Sharded managers whose rebalance policy this worker also polls.
+  const std::vector<ShardedDictionaryManager*> sharded_;
   const Options options_;
 
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
   bool nudged_ = false;
+  /// Mirror of stop_ readable without mu_: the sweep checks it between
+  /// managers so Stop() never waits out a long multi-shard poll.
+  std::atomic<bool> stop_requested_{false};
 
   std::atomic<uint64_t> rebuilds_{0};
+  std::atomic<uint64_t> rebalances_{0};
   std::atomic<uint64_t> cycles_{0};
   std::thread worker_;
 };

@@ -151,9 +151,12 @@ DictionaryManager::RebuildResult DictionaryManager::RebuildNow(bool force) {
   return RebuildResult::kRebuilt;
 }
 
-uint64_t DictionaryManager::Publish(std::unique_ptr<Hope> candidate) {
+uint64_t DictionaryManager::Publish(
+    std::unique_ptr<Hope> candidate,
+    const std::vector<std::string>* baseline_keys) {
   std::lock_guard<std::mutex> lock(rebuild_mu_);
-  std::vector<std::string> corpus = collector_->ReservoirSnapshot();
+  std::vector<std::string> corpus =
+      baseline_keys ? *baseline_keys : collector_->ReservoirSnapshot();
   // With no traffic observed yet there is nothing to measure the
   // candidate on; carry the previous baseline forward rather than storing
   // 0, which would unseed the EWMA and permanently disable the

@@ -115,8 +115,11 @@ class DictionaryManager {
 
   /// Installs an externally built candidate unconditionally (validation
   /// belongs to the RebuildNow path), attaching the stats collector and
-  /// bumping the epoch. Returns the new epoch.
-  uint64_t Publish(std::unique_ptr<Hope> candidate);
+  /// bumping the epoch. Returns the new epoch. The fresh baseline CPR is
+  /// measured on `baseline_keys` when given (e.g. the corpus the caller
+  /// built the candidate from), else on the reservoir.
+  uint64_t Publish(std::unique_ptr<Hope> candidate,
+                   const std::vector<std::string>* baseline_keys = nullptr);
 
   /// Lifetime counters (relaxed reads; exact only when rebuilds quiesce).
   uint64_t rebuilds_published() const { return published_.load(); }

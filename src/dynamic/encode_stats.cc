@@ -1,6 +1,7 @@
 #include "dynamic/encode_stats.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace hope::dynamic {
 
@@ -10,10 +11,21 @@ EncodeStatsCollector::EncodeStatsCollector(Options options)
         o.reservoir_size = std::max<size_t>(1, o.reservoir_size);
         o.sample_every = std::max<size_t>(1, o.sample_every);
         o.ewma_alpha = std::clamp(o.ewma_alpha, 1e-6, 1.0);
+        if (std::isnan(o.reservoir_halflife) || o.reservoir_halflife < 0)
+          o.reservoir_halflife = 0;
         return o;
       }()),
       rebuild_time_(std::chrono::steady_clock::now()) {
   reservoir_.reserve(options_.reservoir_size);
+  if (options_.reservoir_halflife > 0) {
+    // Each sample replaces a uniformly random slot with probability p, so
+    // a resident key survives one sample with 1 - p/C; choose p so that
+    // after H samples survival is 1/2: p = C * (1 - 2^(-1/H)), capped at
+    // one replacement per sample.
+    replace_prob_ = std::min(
+        1.0, static_cast<double>(options_.reservoir_size) *
+                 (1.0 - std::exp2(-1.0 / options_.reservoir_halflife)));
+  }
 }
 
 void EncodeStatsCollector::OnEncode(std::string_view key, size_t bit_len) {
@@ -32,6 +44,15 @@ void EncodeStatsCollector::OnEncode(std::string_view key, size_t bit_len) {
   }
   if (reservoir_.size() < options_.reservoir_size) {
     reservoir_.emplace_back(key);
+  } else if (replace_prob_ > 0) {
+    // Recency-biased mode: fixed replacement probability, so resident
+    // keys decay exponentially with the configured half-life instead of
+    // Algorithm R's 1/i slowdown.
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    if (coin(rng_) < replace_prob_) {
+      std::uniform_int_distribution<uint64_t> slot(0, reservoir_.size() - 1);
+      reservoir_[slot(rng_)].assign(key.data(), key.size());
+    }
   } else {
     // Algorithm R: the i-th sampled key replaces a random slot with
     // probability capacity / i, keeping the reservoir uniform.
@@ -75,6 +96,16 @@ size_t EncodeStatsCollector::ReservoirFill() const {
 std::vector<std::string> EncodeStatsCollector::ReservoirSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return reservoir_;
+}
+
+void EncodeStatsCollector::SeedReservoir(std::vector<std::string> keys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (keys.size() > options_.reservoir_size)
+    keys.resize(options_.reservoir_size);
+  reservoir_ = std::move(keys);
+  // Restart the sampling stream at the seeded contents, exactly like the
+  // post-swap restart in MarkRebuild.
+  sampled_ = reservoir_.size();
 }
 
 void EncodeStatsCollector::MarkRebuild(double fresh_cpr) {

@@ -40,6 +40,16 @@ class EncodeStatsCollector : public EncodeObserver {
     size_t reservoir_size = 4096;  ///< keys retained for rebuilds
     size_t sample_every = 8;       ///< observe every k-th encode (>= 1)
     double ewma_alpha = 0.02;      ///< weight of each observed key's CPR
+    /// 0 (default): uniform reservoir sampling (Vitter's Algorithm R)
+    /// over the stream since the last swap. > 0: recency-biased
+    /// sampling — once the reservoir is full, each sampled key replaces
+    /// a uniformly random slot with a fixed probability chosen so a
+    /// resident key's survival halves every `reservoir_halflife`
+    /// sampled keys. The rebuild/rebalance corpus then tracks fast
+    /// drifts without shrinking the reservoir. Half-lives much smaller
+    /// than the capacity saturate at one replacement per sample (the
+    /// fastest possible turnover). NaN/negative disable (uniform).
+    double reservoir_halflife = 0;
   };
 
   // (Delegation instead of a defaulted Options argument: GCC rejects a
@@ -66,6 +76,13 @@ class EncodeStatsCollector : public EncodeObserver {
   /// Copies the current reservoir contents (rebuild corpus).
   std::vector<std::string> ReservoirSnapshot() const;
 
+  /// Replaces the reservoir contents (truncated to capacity) and
+  /// restarts the sampling stream. Used by the sharded manager's
+  /// rebalance: when a shard's key range changes, its sampled stream
+  /// history no longer describes the range it owns, so the new range's
+  /// slice of the rebalance corpus is seeded in its place.
+  void SeedReservoir(std::vector<std::string> keys);
+
   /// Called by the manager when a new dictionary version is published:
   /// re-seeds the EWMA at the fresh dictionary's measured rate, zeroes
   /// the since-rebuild counters, and restarts the reservoir's sampling
@@ -75,6 +92,9 @@ class EncodeStatsCollector : public EncodeObserver {
 
  private:
   const Options options_;
+  /// Per-sample probability of replacing a reservoir slot in the
+  /// recency-biased mode; 0 when Options::reservoir_halflife disables it.
+  double replace_prob_ = 0;
   std::atomic<uint64_t> observed_{0};
 
   mutable std::mutex mu_;

@@ -1,6 +1,6 @@
 // ShardedVersionedIndex<Tree>: the index counterpart of the
 // ShardedDictionaryManager. One VersionedIndex per shard; inserts,
-// lookups and erases route through the ShardRouter to the shard that
+// lookups and erases route through the RouterVersion to the shard that
 // owns the key's range, so a dictionary swap in shard i only opens a new
 // generation in shard i's index — the other shards keep serving out of
 // their single generation with no migration work.
@@ -12,8 +12,19 @@
 // make sense within one generation's encoding) and walks shards in
 // boundary order.
 //
+// Re-balancing: the index pins its own RouterVersion snapshot and keeps
+// routing through it — staying correct — while the manager publishes new
+// versions underneath. SyncRouter() (run automatically at the top of
+// every mutating/reading call) catches the index up one plan at a time:
+// ApplyRebalance() extracts each moved range from its old owner in key
+// order and re-inserts it into the new owner, where the keys are
+// re-encoded under that shard's dictionary. The cross-shard Scan
+// ordering invariant (shard i's keys precede shard i+1's) holds before
+// and after every applied plan because the migration physically moves
+// exactly the keys whose owner changed.
+//
 // Single-writer like VersionedIndex: one thread mutates the index while
-// the shard managers swap dictionaries underneath it.
+// the shard managers swap dictionaries (and the router) underneath it.
 //
 // Tree must provide: Insert(string_view, uint64_t),
 // Lookup(string_view, uint64_t*) const, Erase(string_view), size(), and
@@ -23,6 +34,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dynamic/sharded_manager.h"
@@ -33,9 +45,10 @@ namespace hope::dynamic {
 template <typename Tree>
 class ShardedVersionedIndex {
  public:
-  /// `manager` must outlive the index. Adopts every shard's current epoch.
+  /// `manager` must outlive the index. Adopts every shard's current epoch
+  /// and the manager's current router version.
   explicit ShardedVersionedIndex(ShardedDictionaryManager* manager)
-      : manager_(manager) {
+      : manager_(manager), router_(manager->router()) {
     shards_.reserve(manager->num_shards());
     for (size_t i = 0; i < manager->num_shards(); i++)
       shards_.push_back(
@@ -43,18 +56,24 @@ class ShardedVersionedIndex {
   }
 
   void Insert(const std::string& key, uint64_t value) {
+    SyncRouter();
     ShardFor(key).Insert(key, value);
   }
 
   bool Lookup(const std::string& key, uint64_t* value) {
+    SyncRouter();
     return ShardFor(key).Lookup(key, value);
   }
 
-  bool Erase(const std::string& key) { return ShardFor(key).Erase(key); }
+  bool Erase(const std::string& key) {
+    SyncRouter();
+    return ShardFor(key).Erase(key);
+  }
 
   /// Drains every shard's old generations. Returns total entries moved;
   /// afterwards every shard has a single generation.
   size_t MigrateAll() {
+    SyncRouter();
     size_t moved = 0;
     for (auto& shard : shards_) moved += shard->MigrateAll();
     return moved;
@@ -66,8 +85,9 @@ class ShardedVersionedIndex {
   /// MigrateAll() before tree() scans). Returns entries produced.
   size_t Scan(const std::string& start, size_t count,
               std::vector<uint64_t>* out) {
+    SyncRouter();
     size_t produced = 0;
-    const size_t first = manager_->Route(start);
+    const size_t first = router_->Route(start);
     for (size_t s = first; s < shards_.size() && produced < count; s++) {
       VersionedIndex<Tree>& shard = *shards_[s];
       shard.MigrateAll();
@@ -80,6 +100,55 @@ class ShardedVersionedIndex {
     }
     return produced;
   }
+
+  /// Applies every rebalance plan the manager published since this
+  /// index's router version, in order. Returns entries migrated between
+  /// shards. Called automatically by Insert/Lookup/Erase/Scan/
+  /// MigrateAll; explicit calls just apply pending plans eagerly.
+  size_t SyncRouter() {
+    if (router_->version() == manager_->router_version()) return 0;
+    size_t moved = 0;
+    for (const auto& plan : manager_->PlansSince(router_->version()))
+      moved += ApplyRebalance(*plan);
+    return moved;
+  }
+
+  /// Applies one plan: for each moved range, extracts the live entries
+  /// from the old owner (ordered by original key) and re-inserts them
+  /// into the new owner, re-encoding under that shard's current
+  /// dictionary. The plan must take the index's current router version
+  /// to its successor (SyncRouter feeds plans sequentially); other plans
+  /// are ignored. Returns entries migrated.
+  size_t ApplyRebalance(const RebalancePlan& plan) {
+    if (!plan.to || !plan.from ||
+        plan.from->version() != router_->version())
+      return 0;
+    size_t moved = 0;
+    std::vector<std::pair<std::string, uint64_t>> entries;
+    for (const RebalancePlan::Move& mv : plan.moves) {
+      entries.clear();
+      shards_[mv.from_shard]->ExtractRange(
+          mv.begin, mv.bounded ? &mv.end : nullptr, &entries);
+      // InsertMigrated, not Insert: migration re-encodes are maintenance,
+      // and must not feed the destination's collector as fake traffic.
+      for (auto& [key, value] : entries)
+        shards_[mv.to_shard]->InsertMigrated(key, value);
+      moved += entries.size();
+    }
+    router_ = plan.to;
+    plans_applied_++;
+    entries_rebalanced_ += moved;
+    return moved;
+  }
+
+  /// Lifetime counters: plans applied and entries moved between shards
+  /// by ApplyRebalance (not generation drains within a shard).
+  uint64_t plans_applied() const { return plans_applied_; }
+  uint64_t entries_rebalanced() const { return entries_rebalanced_; }
+
+  /// The router version this index currently routes through (trails the
+  /// manager's until the next SyncRouter()).
+  uint64_t router_version() const { return router_->version(); }
 
   size_t size() const {
     size_t n = 0;
@@ -101,11 +170,14 @@ class ShardedVersionedIndex {
 
  private:
   VersionedIndex<Tree>& ShardFor(const std::string& key) {
-    return *shards_[manager_->Route(key)];
+    return *shards_[router_->Route(key)];
   }
 
   ShardedDictionaryManager* manager_;
+  std::shared_ptr<const RouterVersion> router_;  ///< the index's snapshot
   std::vector<std::unique_ptr<VersionedIndex<Tree>>> shards_;
+  uint64_t plans_applied_ = 0;
+  uint64_t entries_rebalanced_ = 0;
 };
 
 }  // namespace hope::dynamic

@@ -5,7 +5,8 @@
 
 namespace hope::dynamic {
 
-ShardRouter::ShardRouter(std::vector<std::string> sample, size_t num_shards) {
+RouterVersion::RouterVersion(std::vector<std::string> sample,
+                             size_t num_shards) {
   if (num_shards < 1) num_shards = 1;
   if (sample.empty() || num_shards == 1) return;
   std::sort(sample.begin(), sample.end());
@@ -23,32 +24,124 @@ ShardRouter::ShardRouter(std::vector<std::string> sample, size_t num_shards) {
   }
 }
 
+std::vector<std::string> DeriveWeightedBoundaries(
+    std::vector<std::pair<std::string, double>> weighted, size_t num_ranges) {
+  if (num_ranges < 2 || weighted.empty()) return {};
+  std::sort(weighted.begin(), weighted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Merge duplicate keys so one hot key is a single cut candidate whose
+  // weight is its full traffic share.
+  size_t w = 0;
+  for (size_t r = 1; r < weighted.size(); r++) {
+    if (weighted[r].first == weighted[w].first) {
+      weighted[w].second += weighted[r].second;
+    } else if (++w != r) {  // guard the self-move when nothing merged yet
+      weighted[w] = std::move(weighted[r]);
+    }
+  }
+  weighted.resize(w + 1);
+
+  double total = 0;
+  for (const auto& [key, weight] : weighted) total += weight;
+  if (!(total > 0)) return {};
+
+  std::vector<std::string> boundaries;
+  boundaries.reserve(num_ranges - 1);
+  size_t j = 0;
+  double cum = weighted[0].second;
+  for (size_t i = 1; i < num_ranges; i++) {
+    double target = static_cast<double>(i) * total /
+                    static_cast<double>(num_ranges);
+    // The boundary is the first key whose cumulative weight strictly
+    // exceeds the target (matches the unweighted quantile rule: uniform
+    // weights reproduce sample[i * n / N]).
+    while (j + 1 < weighted.size() && cum <= target)
+      cum += weighted[++j].second;
+    const std::string& b = weighted[j].first;
+    if ((boundaries.empty() && b > weighted.front().first) ||
+        (!boundaries.empty() && b > boundaries.back()))
+      boundaries.push_back(b);
+  }
+  return boundaries;
+}
+
+RebalancePlan DiffRouters(std::shared_ptr<const RouterVersion> from,
+                          std::shared_ptr<const RouterVersion> to) {
+  RebalancePlan plan;
+  plan.from = from;
+  plan.to = to;
+
+  // Elementary intervals between consecutive merged boundaries: within
+  // each, ownership is constant under both routers, so routing the
+  // interval's first key decides the whole interval.
+  std::vector<std::string> cuts;
+  cuts.reserve(from->boundaries().size() + to->boundaries().size());
+  std::merge(from->boundaries().begin(), from->boundaries().end(),
+             to->boundaries().begin(), to->boundaries().end(),
+             std::back_inserter(cuts));
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  // Crossing a cut always changes at least one router's owner (every cut
+  // is a boundary of one of them), so each changed interval is its own
+  // move — no two adjacent intervals share a from->to mapping.
+  auto add = [&](const std::string& begin, const std::string* end) {
+    size_t f = from->Route(begin);
+    size_t t = to->Route(begin);
+    if (f == t) return;
+    plan.moves.push_back(
+        {f, t, begin, end ? *end : std::string(), end != nullptr});
+  };
+
+  std::string prev;  // "" is below every boundary: the global minimum
+  for (const std::string& cut : cuts) {
+    add(prev, &cut);
+    prev = cut;
+  }
+  add(prev, nullptr);
+  return plan;
+}
+
 ShardedDictionaryManager::ShardedDictionaryManager(
     const std::vector<std::string>& sample, Options options,
-    PolicyFactory policy_factory)
-    : router_(sample, options.num_shards) {
+    PolicyFactory policy_factory,
+    std::unique_ptr<RebalancePolicy> rebalance_policy)
+    : options_([&] {
+        Options o = options;
+        o.traffic_ewma_alpha = std::clamp(o.traffic_ewma_alpha, 1e-6, 1.0);
+        o.min_rebalance_corpus = std::max<size_t>(o.min_rebalance_corpus, 2);
+        return o;
+      }()),
+      rebalance_policy_(std::move(rebalance_policy)),
+      last_rebalance_(std::chrono::steady_clock::now()) {
   if (sample.empty())
     throw std::invalid_argument("sharded manager needs a non-empty sample");
 
-  std::vector<std::vector<std::string>> partitions(router_.num_shards());
-  for (const std::string& key : sample)
-    partitions[router_.Route(key)].push_back(key);
+  versions_.push_back(
+      std::make_shared<const RouterVersion>(sample, options_.num_shards));
+  router_ptr_.store(versions_.back().get(), std::memory_order_release);
 
-  shards_.reserve(router_.num_shards());
+  const std::shared_ptr<const RouterVersion>& router = versions_.back();
+  std::vector<std::vector<std::string>> partitions(router->num_ranges());
+  for (const std::string& key : sample)
+    partitions[router->Route(key)].push_back(key);
+
+  shards_.reserve(router->num_ranges());
   for (auto& partition : partitions) {
     // Tiny partitions (skewed samples, collapsed boundaries) train on the
     // whole sample so every shard starts with a usable dictionary; the
     // shard's baseline CPR still comes from its own keys.
     const std::vector<std::string>& corpus =
-        partition.size() >= options.min_shard_sample ? partition : sample;
-    auto initial = Hope::Build(options.shard.scheme, corpus,
-                               options.shard.dict_size_limit);
+        partition.size() >= options_.min_shard_sample ? partition : sample;
+    auto initial = Hope::Build(options_.shard.scheme, corpus,
+                               options_.shard.dict_size_limit);
     const std::vector<std::string>& baseline =
         partition.empty() ? sample : partition;
     shards_.push_back(std::make_unique<DictionaryManager>(
-        std::move(initial), options.shard,
+        std::move(initial), options_.shard,
         policy_factory ? policy_factory() : MakeNeverPolicy(), baseline));
   }
+  weights_.assign(shards_.size(), 1.0 / static_cast<double>(shards_.size()));
+  last_observed_.assign(shards_.size(), 0);
 }
 
 std::vector<uint64_t> ShardedDictionaryManager::Epochs() const {
@@ -70,6 +163,189 @@ size_t ShardedDictionaryManager::RebuildPending() {
     if (shard->RebuildNow() == DictionaryManager::RebuildResult::kRebuilt)
       published++;
   return published;
+}
+
+void ShardedDictionaryManager::UpdateTrafficWeights() {
+  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  std::vector<uint64_t> deltas(shards_.size());
+  uint64_t total = 0;
+  for (size_t s = 0; s < shards_.size(); s++) {
+    uint64_t observed = shards_[s]->stats().KeysObserved();
+    deltas[s] = observed - last_observed_[s];
+    last_observed_[s] = observed;
+    total += deltas[s];
+  }
+  // No traffic since the last poll: keep the weights (folding in a 0/0
+  // share would invent data).
+  if (total == 0) return;
+  for (size_t s = 0; s < shards_.size(); s++) {
+    double share =
+        static_cast<double>(deltas[s]) / static_cast<double>(total);
+    weights_[s] += options_.traffic_ewma_alpha * (share - weights_[s]);
+  }
+}
+
+std::vector<double> ShardedDictionaryManager::TrafficWeights() const {
+  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  return weights_;
+}
+
+double ShardedDictionaryManager::WeightImbalanceLocked() const {
+  double sum = 0, max = 0;
+  for (double w : weights_) {
+    sum += w;
+    max = std::max(max, w);
+  }
+  if (!(sum > 0)) return 1.0;
+  return max / (sum / static_cast<double>(weights_.size()));
+}
+
+double ShardedDictionaryManager::WeightImbalance() const {
+  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  return WeightImbalanceLocked();
+}
+
+std::shared_ptr<const RebalancePlan>
+ShardedDictionaryManager::PollRebalance() {
+  UpdateTrafficWeights();
+  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  if (!rebalance_policy_) return nullptr;
+
+  RebalanceSignals signals;
+  signals.weights = weights_;
+  signals.max_over_mean = WeightImbalanceLocked();
+  uint64_t observed_total = 0;
+  for (uint64_t o : last_observed_) observed_total += o;
+  signals.keys_since_rebalance = observed_total - observed_at_rebalance_;
+  signals.seconds_since_rebalance =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    last_rebalance_)
+          .count();
+  signals.router_version = versions_.back()->version();
+
+  if (!rebalance_policy_->ShouldRebalance(signals)) return nullptr;
+  return RebalanceLocked();
+}
+
+std::shared_ptr<const RebalancePlan> ShardedDictionaryManager::RebalanceNow(
+    bool force) {
+  if (!force) return PollRebalance();
+  // Fold in the latest traffic before deriving: a forced rebalance with
+  // stale weights would underweight the hot shard's reservoir.
+  UpdateTrafficWeights();
+  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  return RebalanceLocked();
+}
+
+std::shared_ptr<const RebalancePlan>
+ShardedDictionaryManager::RebalanceLocked() {
+  std::shared_ptr<const RouterVersion> current = versions_.back();
+
+  // The rebalance corpus is the union of the per-shard reservoirs, each
+  // shard's keys weighted by its traffic share: a reservoir holds a
+  // fixed-size sample of its shard's stream, so per-key weight w_s/|R_s|
+  // makes the union reflect traffic, not reservoir capacity.
+  std::vector<std::pair<std::string, double>> weighted;
+  for (size_t s = 0; s < shards_.size(); s++) {
+    std::vector<std::string> reservoir =
+        shards_[s]->stats().ReservoirSnapshot();
+    if (reservoir.empty()) continue;
+    double per_key = std::max(weights_[s], 1e-6) /
+                     static_cast<double>(reservoir.size());
+    for (std::string& key : reservoir)
+      weighted.emplace_back(std::move(key), per_key);
+  }
+  if (weighted.size() < options_.min_rebalance_corpus) {
+    rebalance_noops_.fetch_add(1);
+    return nullptr;
+  }
+
+  // Keep the plain keys: the retrain step partitions them by the new
+  // boundaries (DeriveWeightedBoundaries consumes the pairs).
+  std::vector<std::string> corpus;
+  if (options_.retrain_moved_shards) {
+    corpus.reserve(weighted.size());
+    for (const auto& [key, weight] : weighted) corpus.push_back(key);
+  }
+
+  std::vector<std::string> boundaries =
+      DeriveWeightedBoundaries(std::move(weighted), shards_.size());
+  if (boundaries == current->boundaries()) {
+    rebalance_noops_.fetch_add(1);
+    return nullptr;
+  }
+
+  auto next = std::make_shared<const RouterVersion>(current->version() + 1,
+                                                    std::move(boundaries));
+  auto plan = std::make_shared<const RebalancePlan>(DiffRouters(current, next));
+
+  // Retrain BEFORE publishing: the new version becomes visible (via the
+  // wait-free router_version()) only once fully prepared, so an index
+  // that sees it and calls PlansSince()/router() never waits out the
+  // dictionary builds on rebalance_mu_. Shards whose range changed get a
+  // dictionary trained on their new range's slice of the corpus;
+  // everyone else keeps dictionary + epoch.
+  if (options_.retrain_moved_shards && !plan->moves.empty()) {
+    std::vector<bool> affected(shards_.size(), false);
+    for (const RebalancePlan::Move& mv : plan->moves) {
+      affected[mv.from_shard] = true;
+      affected[mv.to_shard] = true;
+    }
+    std::vector<std::vector<std::string>> parts(shards_.size());
+    for (std::string& key : corpus)
+      parts[next->Route(key)].push_back(std::move(key));
+    for (size_t s = 0; s < shards_.size(); s++) {
+      if (!affected[s]) continue;
+      if (parts[s].size() >= options_.min_shard_sample) {
+        try {
+          shards_[s]->Publish(Hope::Build(options_.shard.scheme, parts[s],
+                                          options_.shard.dict_size_limit),
+                              &parts[s]);
+        } catch (const std::exception&) {
+          // Keep the old dictionary; the shard's own rebuild policy will
+          // adapt it once the migrated traffic arrives.
+        }
+      }
+      // The corpus migrates with the routing: a moved shard's sampled
+      // stream history describes keys it no longer owns, so its
+      // reservoir restarts from the new range's slice (possibly empty —
+      // it refills as the migrated traffic arrives). Seed only a quarter
+      // of the capacity: the slice is already one derivation old, and a
+      // full-capacity seed would dominate the next derivation too —
+      // back-to-back rebalances would then feed on their own output
+      // instead of fresh traffic.
+      size_t seed_cap = std::max<size_t>(
+          1, shards_[s]->stats().reservoir_capacity() / 4);
+      if (parts[s].size() > seed_cap) parts[s].resize(seed_cap);
+      shards_[s]->stats().SeedReservoir(std::move(parts[s]));
+    }
+  }
+
+  plans_.push_back(plan);
+  versions_.push_back(next);
+  router_ptr_.store(next.get(), std::memory_order_release);
+  rebalances_.fetch_add(1);
+
+  // Reset the hysteresis baseline: the new boundaries equalize expected
+  // load, so the skew EWMA starts over from balanced (keeping the old
+  // weights would immediately re-trigger the policy on stale skew).
+  weights_.assign(shards_.size(), 1.0 / static_cast<double>(shards_.size()));
+  uint64_t observed_total = 0;
+  for (size_t s = 0; s < shards_.size(); s++) {
+    last_observed_[s] = shards_[s]->stats().KeysObserved();
+    observed_total += last_observed_[s];
+  }
+  observed_at_rebalance_ = observed_total;
+  last_rebalance_ = std::chrono::steady_clock::now();
+  return plan;
+}
+
+std::vector<std::shared_ptr<const RebalancePlan>>
+ShardedDictionaryManager::PlansSince(uint64_t since_version) const {
+  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  // plans_[k] takes router version k to k+1.
+  if (since_version >= plans_.size()) return {};
+  return {plans_.begin() + static_cast<long>(since_version), plans_.end()};
 }
 
 uint64_t ShardedDictionaryManager::rebuilds_published() const {

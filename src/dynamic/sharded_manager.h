@@ -1,51 +1,85 @@
-// Per-key-range sharding of the dynamic dictionary manager.
+// Per-key-range sharding of the dynamic dictionary manager, with online
+// shard re-balancing.
 //
 // A single global DictionaryManager forces a whole-corpus rebuild even
 // when only one key region drifted (the fig-15 experiment drifts one
 // email-provider region while the rest of the keyspace stays stable).
 // Sharding localizes maintenance to what actually changed:
 //
-//   ShardRouter      — N-1 range boundaries derived from the build sample
-//                      (equal-weight quantiles over the sorted keys);
+//   RouterVersion    — an immutable set of N-1 range boundaries plus a
+//                      version number. The initial version derives
+//                      equal-weight quantiles from the build sample;
+//                      later versions are re-derived from live traffic.
 //                      Route(key) is a binary search.
 //   ShardedDictionaryManager
 //                    — one DictionaryManager per range, each with its own
 //                      epoch counter, stats collector, and rebuild
 //                      policy, so drift in one range triggers a rebuild
-//                      of only that shard's dictionary.
+//                      of only that shard's dictionary. The current
+//                      RouterVersion is published through an atomic
+//                      pointer whose pointees are retained for the
+//                      manager's lifetime (the versioned-publication
+//                      idea of DictionaryManager, with retention instead
+//                      of refcounting so the read side is a single
+//                      wait-free pointer load), so Route()/Acquire()
+//                      never block while the boundaries move.
+//   RebalancePolicy (rebalance_policy.h)
+//                    — decides, from per-shard encode-count EWMA traffic
+//                      weights, when the load skew warrants re-deriving
+//                      boundaries; RebalanceNow() computes equal-weight
+//                      boundaries from the union of the per-shard
+//                      reservoirs and publishes the next RouterVersion
+//                      together with a RebalancePlan describing which key
+//                      ranges change owner.
 //   BackgroundRebuilder (background_rebuilder.h)
-//                    — a single shared worker loop polls every shard.
+//                    — a single shared worker loop polls every shard's
+//                      rebuild policy and the manager's rebalance policy.
 //
-// Shards never exchange keys: a key's shard is fixed by the router for
-// the manager's lifetime, so per-shard epochs advance independently and
-// a reader holding shard i's snapshot is unaffected by shard j's swap.
-// ShardedVersionedIndex (sharded_index.h) builds the index counterpart
-// on top of this.
+// A rebalance moves only routing, never dictionaries: shards that keep
+// their range keep their epochs and dictionaries untouched, and a reader
+// that routed through the previous RouterVersion keeps encoding through
+// the shard it picked (every shard dictionary encodes every key; only
+// compression quality is range-tuned). Index entries do have to follow
+// their new owner — ShardedVersionedIndex::ApplyRebalance (sharded
+// index.h) consumes the RebalancePlan and migrates the moved ranges.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "dynamic/dictionary_manager.h"
+#include "dynamic/rebalance_policy.h"
 
 namespace hope::dynamic {
 
-/// Maps keys to shard indices via range boundaries derived from a build
-/// sample: boundary i is the sorted sample's (i+1)/N quantile, so each
-/// shard covers an equal share of the sample's weight. Immutable after
-/// construction; Route() is safe to call concurrently.
-class ShardRouter {
+/// An immutable, versioned set of range boundaries mapping keys to shard
+/// indices. Version 0 derives equal-weight quantiles from a build
+/// sample; re-balanced versions are built from explicit boundaries.
+/// Immutable after construction, so a shared_ptr<const RouterVersion>
+/// snapshot can be read concurrently with a router swap.
+class RouterVersion {
  public:
   /// Derives min(num_shards, distinct quantile keys + 1) ranges from the
-  /// sample. `num_shards` is clamped to >= 1; duplicate quantile keys
-  /// collapse (a sample with one distinct key yields a single shard).
-  /// An empty sample yields a single shard covering everything.
-  ShardRouter(std::vector<std::string> sample, size_t num_shards);
+  /// sample: boundary i is the sorted sample's (i+1)/N quantile, so each
+  /// shard covers an equal share of the sample's weight. `num_shards` is
+  /// clamped to >= 1; duplicate quantile keys collapse (a sample with one
+  /// distinct key yields a single range). An empty sample yields a single
+  /// range covering everything.
+  RouterVersion(std::vector<std::string> sample, size_t num_shards);
+
+  /// A re-derived router: `boundaries` must be sorted and strictly
+  /// increasing (the manager's boundary derivation guarantees this).
+  RouterVersion(uint64_t version, std::vector<std::string> boundaries)
+      : version_(version), boundaries_(std::move(boundaries)) {}
 
   /// Shard index for a key: the number of boundaries <= key. Keys below
   /// every boundary go to shard 0; a key equal to boundary i belongs to
@@ -59,15 +93,55 @@ class ShardRouter {
     return static_cast<size_t>(it - boundaries_.begin());
   }
 
-  size_t num_shards() const { return boundaries_.size() + 1; }
+  /// Monotonically increasing across publishes; 0 = built from sample.
+  uint64_t version() const { return version_; }
+
+  size_t num_ranges() const { return boundaries_.size() + 1; }
 
   /// Sorted, strictly increasing; boundaries()[i] is the first key of
-  /// shard i+1. Size num_shards() - 1.
+  /// shard i+1. Size num_ranges() - 1.
   const std::vector<std::string>& boundaries() const { return boundaries_; }
 
  private:
+  uint64_t version_ = 0;
   std::vector<std::string> boundaries_;
 };
+
+/// The key ranges that change owner between two consecutive router
+/// versions. Produced by ShardedDictionaryManager::RebalanceNow() and
+/// consumed by ShardedVersionedIndex::ApplyRebalance(), which migrates
+/// the moved entries. Shards not named in any move keep their range (and
+/// their dictionaries and epochs) untouched.
+struct RebalancePlan {
+  struct Move {
+    size_t from_shard = 0;
+    size_t to_shard = 0;
+    std::string begin;   ///< inclusive first key of the moved range
+    std::string end;     ///< exclusive end; meaningful only when bounded
+    bool bounded = true; ///< false: the range extends to +infinity
+  };
+
+  std::shared_ptr<const RouterVersion> from;  ///< router before the swap
+  std::shared_ptr<const RouterVersion> to;    ///< router after the swap
+  std::vector<Move> moves;                    ///< in ascending key order
+
+  bool empty() const { return moves.empty(); }
+};
+
+/// Equal-weight boundary derivation over a weighted key multiset: cuts
+/// `num_ranges` ranges so each holds ~1/num_ranges of the total weight.
+/// Duplicate keys merge their weight; boundaries are strictly increasing
+/// and never equal to the smallest key (shard 0 must own a non-empty
+/// range), so fewer than num_ranges - 1 boundaries come back when the
+/// key set cannot support them. Exposed for tests.
+std::vector<std::string> DeriveWeightedBoundaries(
+    std::vector<std::pair<std::string, double>> weighted, size_t num_ranges);
+
+/// Diffs two routers into the elementary key ranges whose owner changes
+/// (ranges between consecutive merged boundaries, ascending). Exposed
+/// for tests.
+RebalancePlan DiffRouters(std::shared_ptr<const RouterVersion> from,
+                          std::shared_ptr<const RouterVersion> to);
 
 /// A DictionaryManager per key range. Each shard's dictionary is built
 /// from the sample keys routed to it (falling back to the whole sample
@@ -75,6 +149,13 @@ class ShardRouter {
 /// own EncodeStatsCollector and RebuildPolicy, so rebuild decisions are
 /// per-range: traffic drifting inside shard i trips shard i's policy and
 /// leaves every other shard's epoch untouched.
+///
+/// The shard count is fixed at construction; what moves under load is
+/// the routing. PollRebalance() (called by BackgroundRebuilder's worker)
+/// folds per-shard encode counts into EWMA traffic weights, asks the
+/// RebalancePolicy whether the skew warrants action, and on trigger
+/// publishes a re-derived RouterVersion plus the RebalancePlan an index
+/// needs to migrate the moved ranges.
 class ShardedDictionaryManager {
  public:
   /// Fresh policy per shard (policies are stateless predicates today, but
@@ -89,36 +170,73 @@ class ShardedDictionaryManager {
     /// initial dictionary on the whole sample instead (a handful of keys
     /// would overfit); its baseline still comes from its own partition.
     size_t min_shard_sample = 64;
+    /// Weight of each PollRebalance() traffic observation when folding
+    /// per-shard encode-count shares into the EWMA weights.
+    double traffic_ewma_alpha = 0.3;
+    /// RebalanceNow() refuses to re-derive boundaries from fewer than
+    /// this many reservoir keys (union over shards): a handful of keys
+    /// would anchor boundaries on noise.
+    size_t min_rebalance_corpus = 64;
+    /// After a rebalance, shards whose range changed (they appear in a
+    /// plan move) get a dictionary retrained on their new range's slice
+    /// of the rebalance corpus — their old dictionary was tuned to keys
+    /// they no longer own. Shards that keep their range keep their
+    /// dictionary and epoch untouched either way. Slices smaller than
+    /// min_shard_sample skip the retrain (the next policy-triggered
+    /// rebuild adapts them once traffic arrives).
+    bool retrain_moved_shards = true;
   };
 
   /// Builds the router and every shard's initial dictionary from
   /// `sample` (must be non-empty). Throws std::invalid_argument on an
-  /// empty sample and propagates Hope::Build failures.
-  ShardedDictionaryManager(const std::vector<std::string>& sample,
-                           Options options,
-                           PolicyFactory policy_factory = nullptr);
+  /// empty sample and propagates Hope::Build failures. A null
+  /// `rebalance_policy` disables policy-triggered rebalancing
+  /// (RebalanceNow(force=true) still works).
+  ShardedDictionaryManager(
+      const std::vector<std::string>& sample, Options options,
+      PolicyFactory policy_factory = nullptr,
+      std::unique_ptr<RebalancePolicy> rebalance_policy = nullptr);
 
   ShardedDictionaryManager(const ShardedDictionaryManager&) = delete;
   ShardedDictionaryManager& operator=(const ShardedDictionaryManager&) = delete;
 
-  const ShardRouter& router() const { return router_; }
+  /// Shared-ownership snapshot of the current router version (immutable;
+  /// stays valid for as long as the caller holds it, even past the
+  /// manager). Takes the rebalance mutex — use Route()/router_version()
+  /// on hot paths.
+  std::shared_ptr<const RouterVersion> router() const {
+    std::lock_guard<std::mutex> lock(rebalance_mu_);
+    return versions_.back();
+  }
+  uint64_t router_version() const {
+    return router_ptr_.load(std::memory_order_acquire)->version();
+  }
+
   size_t num_shards() const { return shards_.size(); }
-  size_t Route(std::string_view key) const { return router_.Route(key); }
+
+  /// Wait-free: one atomic pointer load. Every published RouterVersion
+  /// is retained for the manager's lifetime (a handful of boundary
+  /// strings per rebalance), so a reader mid-Route() never races
+  /// reclamation — publication is a plain pointer store, not a
+  /// shared_ptr swap.
+  size_t Route(std::string_view key) const {
+    return router_ptr_.load(std::memory_order_acquire)->Route(key);
+  }
 
   DictionaryManager& shard(size_t i) { return *shards_[i]; }
   const DictionaryManager& shard(size_t i) const { return *shards_[i]; }
   DictionaryManager& ShardFor(std::string_view key) {
-    return *shards_[router_.Route(key)];
+    return *shards_[Route(key)];
   }
 
   /// Lock-free snapshot of the owning shard's current version.
   DictSnapshot Acquire(std::string_view key) const {
-    return shards_[router_.Route(key)]->Acquire();
+    return shards_[Route(key)]->Acquire();
   }
 
   /// Encode through the owning shard (feeds that shard's collector).
   std::string Encode(std::string_view key, size_t* bit_len = nullptr) const {
-    return shards_[router_.Route(key)]->Encode(key, bit_len);
+    return shards_[Route(key)]->Encode(key, bit_len);
   }
 
   /// Per-shard epochs in boundary order (diagnostics / bench output).
@@ -133,13 +251,75 @@ class ShardedDictionaryManager {
   /// the per-shard managers directly.
   size_t RebuildPending();
 
+  /// Folds the per-shard encode counts observed since the previous call
+  /// into the EWMA traffic weights. Called by PollRebalance(); exposed
+  /// for tests and manual polling.
+  void UpdateTrafficWeights();
+
+  /// Current EWMA traffic shares in boundary order (sum ~1).
+  std::vector<double> TrafficWeights() const;
+
+  /// max/mean of the current traffic weights (1.0 = balanced).
+  double WeightImbalance() const;
+
+  /// One worker-loop step: updates the traffic weights, evaluates the
+  /// rebalance policy, and runs RebalanceNow() on trigger. Returns the
+  /// published plan, or null when the policy stayed quiet or the
+  /// re-derivation was a no-op.
+  std::shared_ptr<const RebalancePlan> PollRebalance();
+
+  /// Re-derives equal-weight boundaries from the union of the per-shard
+  /// reservoirs (each shard's keys weighted by its traffic share), diffs
+  /// them against the current router, and — when anything moves —
+  /// publishes the next RouterVersion and returns the plan. Both paths
+  /// fold the latest traffic into the weights first. Returns null when
+  /// `force` is false and the policy declines, when the reservoirs hold
+  /// fewer than Options::min_rebalance_corpus keys, or when the
+  /// re-derived boundaries equal the current ones. Serialized
+  /// internally; readers are never blocked.
+  std::shared_ptr<const RebalancePlan> RebalanceNow(bool force = false);
+
+  /// Plans published after router version `since_version`, oldest first
+  /// (plans_[k] takes version k to k+1, so an index at version v applies
+  /// PlansSince(v) in order to catch up).
+  std::vector<std::shared_ptr<const RebalancePlan>> PlansSince(
+      uint64_t since_version) const;
+
   /// Sums over shards (each counter is itself relaxed).
   uint64_t rebuilds_published() const;
   uint64_t rebuilds_rejected() const;
 
+  /// Router publishes since construction (== router_version()).
+  uint64_t rebalances_published() const { return rebalances_.load(); }
+
+  /// Triggered rebalances that published nothing: the corpus was too
+  /// small, or the re-derived boundaries matched the current ones (a
+  /// stale-corpus symptom when paired with persistent imbalance).
+  uint64_t rebalances_noop() const { return rebalance_noops_.load(); }
+
  private:
-  ShardRouter router_;
+  std::shared_ptr<const RebalancePlan> RebalanceLocked();
+  double WeightImbalanceLocked() const;  ///< requires rebalance_mu_
+
+  const Options options_;
+  /// Hot-path router: readers load the raw pointer wait-free. The
+  /// pointees are owned by versions_ and never freed before destruction.
+  std::atomic<const RouterVersion*> router_ptr_;
   std::vector<std::unique_ptr<DictionaryManager>> shards_;
+
+  std::unique_ptr<RebalancePolicy> rebalance_policy_;
+  mutable std::mutex rebalance_mu_;  ///< versions, weights, plans, Rebalance
+  /// Every router version ever published, oldest first (versions_.back()
+  /// is current). Retained for the manager's lifetime so router_ptr_
+  /// readers never race reclamation; one entry per rebalance.
+  std::vector<std::shared_ptr<const RouterVersion>> versions_;
+  std::vector<double> weights_;          ///< EWMA traffic shares
+  std::vector<uint64_t> last_observed_;  ///< per-shard KeysObserved marks
+  uint64_t observed_at_rebalance_ = 0;   ///< total encodes at last publish
+  std::chrono::steady_clock::time_point last_rebalance_;
+  std::vector<std::shared_ptr<const RebalancePlan>> plans_;
+  std::atomic<uint64_t> rebalances_{0};
+  std::atomic<uint64_t> rebalance_noops_{0};
 };
 
 }  // namespace hope::dynamic

@@ -21,11 +21,13 @@
 // Lookup(string_view, uint64_t*) const, Erase(string_view), size().
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "dynamic/dictionary_manager.h"
@@ -56,6 +58,21 @@ class VersionedIndex {
       gens_[g]->tree.Erase(gens_[g]->ProbeEncode(key));
     Generation& newest = *gens_.back();
     newest.tree.Insert(newest.Encode(key), value);
+    newest.log.push_back(key);
+    CompactLog(newest);
+  }
+
+  /// Migration insert (cross-shard rebalance): same shape as Insert but
+  /// every encode goes through the observer-free probe — bulk-moving
+  /// thousands of entries through the serving encode would flood the
+  /// destination shard's stats collector with phantom traffic (EWMA,
+  /// reservoir, and the rebalance policy's own traffic weights).
+  void InsertMigrated(const std::string& key, uint64_t value) {
+    Refresh();
+    for (size_t g = 0; g + 1 < gens_.size(); g++)
+      gens_[g]->tree.Erase(gens_[g]->ProbeEncode(key));
+    Generation& newest = *gens_.back();
+    newest.tree.Insert(newest.ProbeEncode(key), value);
     newest.log.push_back(key);
     CompactLog(newest);
   }
@@ -126,6 +143,40 @@ class VersionedIndex {
     }
     gens_.erase(gens_.begin(), gens_.end() - 1);
     return moved;
+  }
+
+  /// Removes every live entry whose original key is in [begin, end) —
+  /// `end == nullptr` means unbounded above — and appends the
+  /// {original key, value} pairs to `out` in ascending key order. Drains
+  /// old generations first, so the extraction walks one tree + log pair.
+  /// This is the migration source for cross-shard re-balancing: the
+  /// caller re-encodes the extracted keys under the destination shard's
+  /// dictionary by inserting them there.
+  size_t ExtractRange(const std::string& begin, const std::string* end,
+                      std::vector<std::pair<std::string, uint64_t>>* out) {
+    MigrateAll();
+    Generation& gen = *gens_.back();
+    const size_t before = out->size();
+    // The log is append-only (duplicates, erased keys); visit each
+    // distinct key once and keep only live out-of-range keys in the log.
+    std::unordered_set<std::string> seen;
+    std::vector<std::string> kept;
+    kept.reserve(gen.log.size());
+    for (std::string& key : gen.log) {
+      if (!seen.insert(key).second) continue;
+      std::string enc = gen.ProbeEncode(key);
+      uint64_t v = 0;
+      if (!gen.tree.Lookup(enc, &v)) continue;
+      if (key >= begin && (!end || key < *end)) {
+        gen.tree.Erase(enc);
+        out->emplace_back(std::move(key), v);
+      } else {
+        kept.push_back(std::move(key));
+      }
+    }
+    gen.log = std::move(kept);
+    std::sort(out->begin() + static_cast<long>(before), out->end());
+    return out->size() - before;
   }
 
   size_t size() const {

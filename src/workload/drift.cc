@@ -1,6 +1,7 @@
 #include "workload/drift.h"
 
 #include <algorithm>
+#include <iterator>
 #include <random>
 
 #include "datasets/datasets.h"
@@ -15,6 +16,7 @@ std::vector<std::string> GenerateCorpus(DriftModel model, size_t n,
     case DriftModel::kEmailProvider: return GenerateEmails(n, seed);
     case DriftModel::kWikiFlavor: return GenerateWikiTitles(n, seed);
     case DriftModel::kUrlStyle: return GenerateUrls(n, seed);
+    case DriftModel::kHotspotMigrate: return GenerateUrls(n, seed);
   }
   return {};
 }
@@ -35,6 +37,10 @@ bool InPartB(DriftModel model, const std::string& key) {
     case DriftModel::kUrlStyle:
       // A = path-style URLs, B = query-style tails.
       return key.find('?') != std::string::npos;
+    case DriftModel::kHotspotMigrate:
+      // Positional split handled in the constructor (the predicate needs
+      // the corpus median); never reached here.
+      return false;
   }
   return false;
 }
@@ -51,6 +57,10 @@ std::string FallbackKey(DriftModel model, bool part_b) {
     case DriftModel::kUrlStyle:
       return part_b ? "http://www.fallback.com/item?id=0&ref=none"
                     : "http://www.fallback.com/page";
+    case DriftModel::kHotspotMigrate:
+      // The split is positional; '!' sorts below and '~' above any
+      // alphanumeric host, so the fallbacks straddle every real URL.
+      return part_b ? "http://~fallback/page" : "http://!fallback/page";
   }
   return "fallback";
 }
@@ -62,6 +72,7 @@ const char* DriftModelName(DriftModel model) {
     case DriftModel::kEmailProvider: return "email-provider";
     case DriftModel::kWikiFlavor: return "wiki-flavor";
     case DriftModel::kUrlStyle: return "url-style";
+    case DriftModel::kHotspotMigrate: return "hotspot-migrate";
   }
   return "?";
 }
@@ -72,11 +83,23 @@ DriftingWorkload::DriftingWorkload(DriftOptions options) : options_(options) {
   size_t corpus = options_.corpus_size ? options_.corpus_size
                                        : 2 * options_.keys_per_phase;
   auto keys = GenerateCorpus(options_.model, corpus, options_.seed);
-  for (auto& k : keys) {
-    if (InPartB(options_.model, k))
-      part_b_.push_back(std::move(k));
-    else
-      part_a_.push_back(std::move(k));
+  if (options_.model == DriftModel::kHotspotMigrate) {
+    // Positional split at the median: A = the lower half of the key
+    // space, B = the upper half, so the blend walks a hotspot across
+    // the key range instead of changing the keys' shape.
+    std::sort(keys.begin(), keys.end());
+    size_t mid = keys.size() / 2;
+    part_a_.assign(std::make_move_iterator(keys.begin()),
+                   std::make_move_iterator(keys.begin() + mid));
+    part_b_.assign(std::make_move_iterator(keys.begin() + mid),
+                   std::make_move_iterator(keys.end()));
+  } else {
+    for (auto& k : keys) {
+      if (InPartB(options_.model, k))
+        part_b_.push_back(std::move(k));
+      else
+        part_a_.push_back(std::move(k));
+    }
   }
   // Every model's generator populates both splits for any reasonable
   // corpus size, but keep degenerate inputs safe.

@@ -19,6 +19,15 @@
 //                    span the whole key range — which is what lets a
 //                    sharded manager see *localized* drift when only one
 //                    range's traffic blends toward B.
+//   kHotspotMigrate— the partition is *positional*, not syntactic: the
+//                    sorted URL corpus is split at its median, A = the
+//                    lower half of the key space, B = the upper half.
+//                    The blend therefore migrates a traffic hotspot
+//                    across the key range — the workload that skews a
+//                    fixed-boundary router (RouterVersion boundaries
+//                    derived from phase-0 traffic leave the final phases
+//                    piled onto the last shard) and that online
+//                    re-balancing exists to absorb.
 #pragma once
 
 #include <cstdint>
@@ -27,7 +36,12 @@
 
 namespace hope {
 
-enum class DriftModel { kEmailProvider, kWikiFlavor, kUrlStyle };
+enum class DriftModel {
+  kEmailProvider,
+  kWikiFlavor,
+  kUrlStyle,
+  kHotspotMigrate,
+};
 
 const char* DriftModelName(DriftModel model);
 

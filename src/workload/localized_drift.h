@@ -95,6 +95,24 @@ inline double MeasureShardedCpr(
                                static_cast<double>(compressed);
 }
 
+/// max/mean of a stream's routed per-shard counts under a manager's
+/// current router: 1.0 = perfectly balanced, N = every request on one of
+/// N shards. The spread metric the rebalance bench, CLI demo, and docs
+/// all quote.
+inline double StreamSpread(const dynamic::ShardedDictionaryManager& mgr,
+                           const std::vector<std::string>& keys) {
+  std::vector<size_t> counts(mgr.num_shards(), 0);
+  for (const auto& k : keys) counts[mgr.Route(k)]++;
+  size_t max = 0, sum = 0;
+  for (size_t c : counts) {
+    max = std::max(max, c);
+    sum += c;
+  }
+  if (sum == 0) return 1.0;
+  return static_cast<double>(max) /
+         (static_cast<double>(sum) / static_cast<double>(counts.size()));
+}
+
 /// "0/1/0/0"-style per-shard epoch list for reports.
 inline std::string EpochsString(const std::vector<uint64_t>& epochs) {
   std::string s;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <string>
 
@@ -108,6 +109,63 @@ TEST(EncodeStatsTest, MarkRebuildRestartsReservoirReplacementRate) {
   for (const auto& k : c.ReservoirSnapshot())
     if (k.rfind("new", 0) == 0) fresh++;
   EXPECT_GT(fresh, 25u);
+}
+
+// The recency-biased reservoir (reservoir_halflife > 0) keeps its size
+// but decays old contents exponentially, so after a distribution flip
+// the rebuild/rebalance corpus is dominated by the new distribution long
+// before Algorithm R's 1/i replacement rate would get there.
+TEST(EncodeStatsTest, RecencyBiasedReservoirTracksADistributionFlip) {
+  auto opts = EveryKey(256, 0.1);
+  opts.reservoir_halflife = 128;  // survival halves every 128 samples
+
+  EncodeStatsCollector decayed(opts);
+  EncodeStatsCollector uniform(EveryKey(256, 0.1));
+
+  // Phase 1: 2000 keys of distribution A; phase 2: 1000 of B. Under
+  // uniform sampling B's expected share is 1000/3000; under the decaying
+  // reservoir, A's survival after 1000 B-samples is (1/2)^(1000/128),
+  // under half a percent.
+  for (int i = 0; i < 2000; i++) {
+    decayed.OnEncode("aaa" + std::to_string(i), 8);
+    uniform.OnEncode("aaa" + std::to_string(i), 8);
+  }
+  for (int i = 0; i < 1000; i++) {
+    decayed.OnEncode("bbb" + std::to_string(i), 8);
+    uniform.OnEncode("bbb" + std::to_string(i), 8);
+  }
+
+  auto count_b = [](const EncodeStatsCollector& c) {
+    size_t b = 0;
+    for (const auto& k : c.ReservoirSnapshot())
+      if (k.rfind("bbb", 0) == 0) b++;
+    return b;
+  };
+  size_t decayed_b = count_b(decayed);
+  size_t uniform_b = count_b(uniform);
+  ASSERT_EQ(decayed.ReservoirFill(), 256u);
+  // Recent keys dominate the decayed reservoir...
+  EXPECT_GT(decayed_b, 230u) << "decayed reservoir still holds old keys";
+  // ...while the uniform one stays stream-proportional (loose bounds so
+  // the RNG draw isn't pinned).
+  EXPECT_GT(uniform_b, 40u);
+  EXPECT_LT(uniform_b, 140u);
+}
+
+TEST(EncodeStatsTest, DegenerateHalflifeFallsBackToUniform) {
+  auto nan_opts = EveryKey(64, 0.1);
+  nan_opts.reservoir_halflife = std::nan("");
+  auto neg_opts = EveryKey(64, 0.1);
+  neg_opts.reservoir_halflife = -5;
+  for (auto& opts : {nan_opts, neg_opts}) {
+    EncodeStatsCollector c(opts);
+    for (int i = 0; i < 500; i++) c.OnEncode("k" + std::to_string(i), 8);
+    // Uniform behaviour: early keys survive at capacity/stream rate.
+    size_t early = 0;
+    for (const auto& k : c.ReservoirSnapshot())
+      if (std::stoi(k.substr(1)) < 250) early++;
+    EXPECT_GT(early, 10u);
+  }
 }
 
 TEST(EncodeStatsTest, DegenerateOptionsAreClamped) {

@@ -1,0 +1,75 @@
+// BackgroundRebuilder shutdown latency: Stop() takes effect between
+// managers inside a sweep, so a long multi-shard poll delays shutdown by
+// at most one manager's step — not the whole sweep. Regression for the
+// many-shard case where each policy evaluation costs real time.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dynamic/background_rebuilder.h"
+#include "dynamic/dictionary_manager.h"
+
+namespace hope::dynamic {
+namespace {
+
+/// A policy whose evaluation takes real wall time, standing in for any
+/// slow per-shard poll step (big signals assembly, slow storage, an
+/// actual rebuild). Never triggers, so sweeps are pure policy time.
+class SlowPolicy final : public RebuildPolicy {
+ public:
+  explicit SlowPolicy(std::chrono::milliseconds delay) : delay_(delay) {}
+  bool ShouldRebuild(const RebuildSignals&) const override {
+    std::this_thread::sleep_for(delay_);
+    return false;
+  }
+  const char* Name() const override { return "slow"; }
+
+ private:
+  const std::chrono::milliseconds delay_;
+};
+
+TEST(RebuilderShutdownTest, StopDoesNotWaitOutAMultiShardSweep) {
+  // 24 managers x 60ms of policy time = a ~1.4s sweep. With the stop
+  // flag checked between managers, Stop() must return after at most one
+  // manager's step plus scheduling noise.
+  constexpr int kManagers = 24;
+  constexpr auto kPolicyDelay = std::chrono::milliseconds(60);
+
+  std::vector<std::string> sample;
+  for (int i = 0; i < 64; i++) sample.push_back("key" + std::to_string(i));
+
+  std::vector<std::unique_ptr<DictionaryManager>> owned;
+  std::vector<DictionaryManager*> managers;
+  DictionaryManager::Options mopt;
+  mopt.scheme = Scheme::kSingleChar;
+  mopt.dict_size_limit = 256;
+  for (int i = 0; i < kManagers; i++) {
+    owned.push_back(std::make_unique<DictionaryManager>(
+        Hope::Build(Scheme::kSingleChar, sample, 256), mopt,
+        std::make_unique<SlowPolicy>(kPolicyDelay), sample));
+    managers.push_back(owned.back().get());
+  }
+
+  BackgroundRebuilder::Options ropt;
+  ropt.poll_interval = std::chrono::milliseconds(1);
+  BackgroundRebuilder rebuilder(managers, ropt);
+  // Let the worker get well into a sweep before stopping.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  auto start = std::chrono::steady_clock::now();
+  rebuilder.Stop();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  // Full-sweep latency would be ~1.3s+ even ignoring overhead; one
+  // manager's step is 60ms. 700ms splits them with margin for loaded CI
+  // machines and sanitizer slowdown (sleeps don't scale under TSan).
+  EXPECT_LT(elapsed.count(), 700) << "Stop() waited out the sweep";
+}
+
+}  // namespace
+}  // namespace hope::dynamic

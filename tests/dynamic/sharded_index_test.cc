@@ -154,5 +154,58 @@ TEST(ShardedIndexTest, ScanWalksShardsInBoundaryOrder) {
   EXPECT_EQ(index.Scan(fx.keys.back() + "zzz", 10, &out), 0u);
 }
 
+// Edge cases around the boundary walk: start keys above the last
+// boundary, shards with no entries mid-range, and counts that span every
+// shard.
+TEST(ShardedIndexTest, ScanEdgeCases) {
+  Fixture fx;
+  ShardedVersionedIndex<BTree> index(fx.mgr.get());
+  auto router = fx.mgr->router();  // pin the version; boundaries() refs it
+  const auto& boundaries = router->boundaries();
+  ASSERT_GE(boundaries.size(), 2u);
+
+  // Populate every shard EXCEPT one mid-range shard (shard 1 stays
+  // empty) so the scan has to step over it without producing anything.
+  std::vector<std::string> inserted;
+  for (size_t i = 0; i < fx.keys.size(); i++) {
+    if (fx.mgr->Route(fx.keys[i]) == 1) continue;
+    index.Insert(fx.keys[i], i);
+    inserted.push_back(fx.keys[i]);
+  }
+  ASSERT_LT(inserted.size(), fx.keys.size());
+
+  // Full scan spanning all shards, count larger than everything: global
+  // key order with the empty shard skipped.
+  std::vector<uint64_t> out;
+  size_t produced = index.Scan("", fx.keys.size() * 2, &out);
+  EXPECT_EQ(produced, inserted.size());
+  ASSERT_EQ(out.size(), inserted.size());
+  for (size_t i = 0; i < out.size(); i++)
+    EXPECT_EQ(fx.keys[out[i]], inserted[i]) << i;
+
+  // Start key exactly at the last boundary: only the last shard serves.
+  out.clear();
+  produced = index.Scan(boundaries.back(), fx.keys.size(), &out);
+  size_t expected_tail = 0;
+  for (const auto& k : inserted)
+    if (k >= boundaries.back()) expected_tail++;
+  EXPECT_EQ(produced, expected_tail);
+
+  // Start key above every inserted key but below infinity: nothing.
+  out.clear();
+  EXPECT_EQ(index.Scan(fx.keys.back() + "~", 5, &out), 0u);
+
+  // A count of zero touches nothing.
+  out.clear();
+  EXPECT_EQ(index.Scan("", 0, &out), 0u);
+  EXPECT_TRUE(out.empty());
+
+  // A count that lands exactly on a shard boundary stops there.
+  size_t first_shard_size = index.shard(0).size();
+  ASSERT_GT(first_shard_size, 0u);
+  out.clear();
+  EXPECT_EQ(index.Scan("", first_shard_size, &out), first_shard_size);
+}
+
 }  // namespace
 }  // namespace hope::dynamic

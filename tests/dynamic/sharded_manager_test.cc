@@ -1,4 +1,4 @@
-// ShardRouter boundary derivation and routing, and the per-shard
+// RouterVersion boundary derivation and routing, and the per-shard
 // independence of the ShardedDictionaryManager: drift confined to one
 // shard's key range rebuilds that shard only, and one shared
 // BackgroundRebuilder polls every shard.
@@ -31,10 +31,11 @@ std::vector<std::string> NumberedKeys(size_t n) {
   return keys;
 }
 
-TEST(ShardRouterTest, EqualWeightQuantileBoundaries) {
+TEST(RouterVersionTest, EqualWeightQuantileBoundaries) {
   auto sample = NumberedKeys(100);
-  ShardRouter router(sample, 4);
-  ASSERT_EQ(router.num_shards(), 4u);
+  RouterVersion router(sample, 4);
+  ASSERT_EQ(router.num_ranges(), 4u);
+  EXPECT_EQ(router.version(), 0u);
   ASSERT_EQ(router.boundaries().size(), 3u);
   // Quantiles of the sorted sample at 25/50/75.
   EXPECT_EQ(router.boundaries()[0], "key0025");
@@ -42,13 +43,13 @@ TEST(ShardRouterTest, EqualWeightQuantileBoundaries) {
   EXPECT_EQ(router.boundaries()[2], "key0075");
 
   // Each shard owns an equal share of the sample.
-  std::vector<size_t> counts(router.num_shards(), 0);
+  std::vector<size_t> counts(router.num_ranges(), 0);
   for (const auto& k : sample) counts[router.Route(k)]++;
   for (size_t c : counts) EXPECT_EQ(c, 25u);
 }
 
-TEST(ShardRouterTest, RoutingIsMonotoneAndBoundaryInclusive) {
-  ShardRouter router(NumberedKeys(100), 4);
+TEST(RouterVersionTest, RoutingIsMonotoneAndBoundaryInclusive) {
+  RouterVersion router(NumberedKeys(100), 4);
   // A boundary key starts its own shard.
   EXPECT_EQ(router.Route("key0025"), 1u);
   EXPECT_EQ(router.Route("key0024"), 0u);
@@ -67,21 +68,21 @@ TEST(ShardRouterTest, RoutingIsMonotoneAndBoundaryInclusive) {
   }
 }
 
-TEST(ShardRouterTest, DegenerateSamplesCollapseShards) {
+TEST(RouterVersionTest, DegenerateSamplesCollapseShards) {
   // One distinct key: boundaries collapse to a single shard.
   std::vector<std::string> same(50, "dup");
-  EXPECT_EQ(ShardRouter(same, 8).num_shards(), 1u);
+  EXPECT_EQ(RouterVersion(same, 8).num_ranges(), 1u);
   // Empty sample: single shard covering everything.
-  EXPECT_EQ(ShardRouter({}, 8).num_shards(), 1u);
+  EXPECT_EQ(RouterVersion({}, 8).num_ranges(), 1u);
   // num_shards 0 clamps to 1.
-  EXPECT_EQ(ShardRouter(NumberedKeys(10), 0).num_shards(), 1u);
+  EXPECT_EQ(RouterVersion(NumberedKeys(10), 0).num_ranges(), 1u);
   // Two distinct values cannot support more than two ranges.
   std::vector<std::string> two;
   for (int i = 0; i < 50; i++) two.push_back(i % 2 ? "bbb" : "aaa");
-  ShardRouter router(two, 8);
-  EXPECT_LE(router.num_shards(), 2u);
-  EXPECT_LT(router.Route("aaa"), router.num_shards());
-  EXPECT_LT(router.Route("bbb"), router.num_shards());
+  RouterVersion router(two, 8);
+  EXPECT_LE(router.num_ranges(), 2u);
+  EXPECT_LT(router.Route("aaa"), router.num_ranges());
+  EXPECT_LT(router.Route("bbb"), router.num_ranges());
 }
 
 TEST(ShardedManagerTest, BuildsPerShardDictionariesWithOwnBaselines) {

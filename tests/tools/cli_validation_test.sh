@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Exit-code contract of hope_cli argument validation (documented in the
+# CLI header: 0 ok, 1 runtime error, 2 usage error). Probes the cheap
+# paths only — selftest/drift runs are covered by hope_cli_smoke.
+set -u
+
+cli="$1"
+fail=0
+
+expect() {
+  local want="$1"
+  shift
+  "$cli" "$@" >/dev/null 2>&1
+  local got=$?
+  if [[ "$got" -ne "$want" ]]; then
+    echo "FAIL: hope_cli $* -> exit $got (want $want)"
+    fail=1
+  fi
+}
+
+# drift shards argument: 0, negative, non-numeric, trailing junk and
+# absurd values are usage errors.
+expect 2 drift double-char 100 0
+expect 2 drift double-char 100 -3
+expect 2 drift double-char 100 abc
+expect 2 drift double-char 100 12x
+expect 2 drift double-char 100 257
+expect 2 drift double-char 100 99999999999999999999
+# keys_per_phase validation predates this PR; keep it covered.
+expect 2 drift double-char 0
+expect 2 drift double-char -5
+# mode argument: unknown modes, or a mode without a sharded demo.
+expect 2 drift double-char 100 4 bogus-mode
+expect 2 drift double-char 100 1 rebalance
+expect 2 drift double-char 100 1 localized
+# bad scheme / subcommand / missing args.
+expect 2 drift bogus-scheme
+expect 2 bogus-subcommand
+expect 2 build double-char only-two-args
+# help is success, and prints the drift modes.
+expect 0 --help
+expect 0 help
+if ! "$cli" --help 2>/dev/null | grep -q rebalance; then
+  echo "FAIL: --help does not mention the rebalance demo"
+  fail=1
+fi
+
+exit "$fail"

@@ -4,6 +4,7 @@
 // corpora fall back to synthetic part members instead of empty pools.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,10 @@ bool InB(DriftModel model, const std::string& key) {
              key.find('(') != std::string::npos;
     case DriftModel::kUrlStyle:
       return key.find('?') != std::string::npos;
+    case DriftModel::kHotspotMigrate:
+      // Positional split; covered by the HotspotMigrate tests below, not
+      // the syntactic-predicate loops (kModels excludes it).
+      return false;
   }
   return false;
 }
@@ -69,6 +74,51 @@ TEST(DriftTest, PhasesBlendFromPureAToPureB) {
       prev = frac;
     }
   }
+}
+
+// The hotspot-migration model splits the sorted corpus at its median:
+// part A is the lower half of the key space, part B the upper half, so
+// the blend walks a traffic hotspot across the key range.
+TEST(DriftTest, HotspotMigrateSplitsPositionallyAtTheMedian) {
+  DriftOptions o;
+  o.model = DriftModel::kHotspotMigrate;
+  o.keys_per_phase = 2000;
+  DriftingWorkload drift(o);
+  ASSERT_GT(drift.part_a().size(), 100u);
+  ASSERT_GT(drift.part_b().size(), 100u);
+  // Within one key of each other: an odd corpus puts the extra in B.
+  EXPECT_LE(drift.part_b().size() - drift.part_a().size(), 1u);
+
+  // Every part-A key sorts strictly below every part-B key.
+  std::string a_max = *std::max_element(drift.part_a().begin(),
+                                        drift.part_a().end());
+  std::string b_min = *std::min_element(drift.part_b().begin(),
+                                        drift.part_b().end());
+  EXPECT_LT(a_max, b_min);
+
+  // The blend moves traffic from the lower half to the upper half.
+  for (size_t p = 0; p < drift.num_phases(); p++) {
+    auto keys = drift.Phase(p);
+    size_t upper = 0;
+    for (const auto& k : keys) upper += k >= b_min ? 1 : 0;
+    double frac =
+        static_cast<double>(upper) / static_cast<double>(keys.size());
+    EXPECT_NEAR(frac, drift.MixFraction(p), 0.03);
+  }
+}
+
+TEST(DriftTest, HotspotMigrateDegenerateCorpusStaysServable) {
+  DriftOptions o;
+  o.model = DriftModel::kHotspotMigrate;
+  o.keys_per_phase = 100;
+  o.corpus_size = 1;  // one key: the lower half is empty pre-fallback
+  DriftingWorkload drift(o);
+  ASSERT_FALSE(drift.part_a().empty());
+  ASSERT_FALSE(drift.part_b().empty());
+  // The fallback preserves the positional invariant: A sorts below B.
+  EXPECT_LT(drift.part_a().front(), drift.part_b().back());
+  for (size_t p = 0; p < drift.num_phases(); p++)
+    EXPECT_EQ(drift.Phase(p).size(), o.keys_per_phase);
 }
 
 TEST(DriftTest, PhaseStreamsAreDeterministic) {

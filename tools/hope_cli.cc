@@ -15,14 +15,21 @@
 //       Builds every scheme on a synthetic sample, round-trips
 //       encode/decode (including through serialize/deserialize), and
 //       exits non-zero on any mismatch. Used as the CI smoke test.
-//   hope_cli drift [scheme] [keys_per_phase] [shards]
+//   hope_cli drift [scheme] [keys_per_phase] [shards] [mode]
 //       Demo of the dynamic dictionary manager: runs a drifting Email
 //       workload and prints static vs managed compression per phase.
-//       With shards >= 2, runs a *localized* URL drift (only one shard's
-//       key range shifts) through a ShardedDictionaryManager instead and
-//       prints per-shard epochs — only the drifted shard's should move.
+//       With shards >= 2, runs a sharded demo instead; mode picks it:
+//         localized (default) — URL drift confined to one shard's key
+//             range; only that shard's epoch should move.
+//         rebalance — a traffic hotspot migrates across the key range;
+//             the weight-imbalance policy re-derives the router
+//             boundaries online (per-phase spread + router version).
+//       The shards argument must be 2..256 (0, negative, non-numeric
+//       and absurd values are usage errors).
 //   hope_cli version
 //       Prints the library version and the dynamic-subsystem features.
+//   hope_cli --help | help
+//       Prints usage and exits 0.
 //
 // Exit codes: 0 success, 1 runtime error (bad file, failed decode,
 // selftest mismatch), 2 usage error.
@@ -51,19 +58,29 @@ namespace {
 using hope::Hope;
 using hope::Scheme;
 
-int Usage() {
-  std::fprintf(stderr,
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
                "usage: hope_cli build <scheme> <keys.txt> <dict.hope> "
                "[dict_size]\n"
                "       hope_cli encode <dict.hope>   (keys on stdin)\n"
                "       hope_cli decode <dict.hope>   (bitlen+hex on stdin)\n"
                "       hope_cli stats  <dict.hope> [keys.txt]\n"
                "       hope_cli selftest\n"
-               "       hope_cli drift  [scheme] [keys_per_phase] [shards]\n"
+               "       hope_cli drift  [scheme] [keys_per_phase] [shards] "
+               "[localized|rebalance]\n"
                "       hope_cli version\n"
+               "       hope_cli --help\n"
                "schemes: single-char double-char alm 3-grams 4-grams "
                "alm-improved\n"
+               "drift: shards in 2..256 selects the sharded demo; mode\n"
+               "  localized confines URL drift to one shard (default),\n"
+               "  rebalance migrates a hotspot across the key range and\n"
+               "  lets the versioned router re-derive its boundaries.\n"
                "exit codes: 0 ok, 1 runtime error, 2 usage error\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
 }
 
@@ -331,6 +348,76 @@ int CmdDriftSharded(Scheme scheme, size_t keys_per_phase, size_t shards) {
   return 0;
 }
 
+// Rebalance demo: a traffic hotspot migrates across the key range while
+// a ShardedDictionaryManager re-derives its router boundaries online
+// (weight-imbalance policy + versioned router hot-swap). Prints the
+// per-phase stream spread (max/mean routed traffic) and router version;
+// a fixed-boundary manager would end at spread == shards.
+int CmdDriftRebalance(Scheme scheme, size_t keys_per_phase, size_t shards) {
+  hope::DriftOptions dopt;
+  dopt.model = hope::DriftModel::kHotspotMigrate;
+  dopt.num_phases = 5;
+  dopt.keys_per_phase = keys_per_phase;
+  hope::DriftingWorkload drift(dopt);
+  auto phase0 = drift.Phase(0);
+
+  const double threshold = 1.5;
+  hope::dynamic::ShardedDictionaryManager::Options sopt;
+  sopt.num_shards = shards;
+  sopt.shard.scheme = scheme;
+  sopt.shard.dict_size_limit = size_t{1} << 14;
+  sopt.shard.stats.sample_every = 2;
+  sopt.shard.stats.ewma_alpha = 0.005;
+  sopt.shard.stats.reservoir_halflife = 512;
+  sopt.shard.min_cpr_gain = 0.01;
+  sopt.traffic_ewma_alpha = 0.6;
+  hope::dynamic::ShardedDictionaryManager mgr(
+      hope::SampleKeys(phase0, 0.05), sopt,
+      [] { return hope::dynamic::MakeCompressionDropPolicy(0.03, 256); },
+      hope::dynamic::MakeWeightImbalancePolicy(
+          threshold, /*min_keys=*/keys_per_phase / 2,
+          /*cooldown_seconds=*/0.5, /*consecutive_polls=*/2));
+  hope::dynamic::BackgroundRebuilder rebuilder(&mgr);
+
+  std::printf("hotspot migration, %s, %zu shards, %zu phases x %zu keys, "
+              "imbalance policy %.1fx\n",
+              hope::SchemeName(scheme), mgr.num_shards(), drift.num_phases(),
+              keys_per_phase, threshold);
+  std::printf("%-6s %7s %12s %8s %7s  %s\n", "phase", "B-mix", "sharded-cpr",
+              "spread", "rtr-ver", "shard-epochs");
+  auto serve = [&](size_t p, const char* label) {
+    auto keys = drift.Phase(p);
+    for (const auto& k : keys) mgr.Encode(k);
+    for (int spin = 0; spin < 30; spin++) {
+      rebuilder.Nudge();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    double s = hope::StreamSpread(mgr, keys);
+    std::printf("%-6s %6.0f%% %12.3f %8.2f %7llu  %s\n", label,
+                100 * drift.MixFraction(p), hope::MeasureShardedCpr(mgr, keys),
+                s, static_cast<unsigned long long>(mgr.router_version()),
+                hope::EpochsString(mgr.Epochs()).c_str());
+    std::fflush(stdout);
+    return s;
+  };
+  for (size_t p = 0; p < drift.num_phases(); p++)
+    serve(p, std::to_string(p).c_str());
+  // Settle rounds: the blend saturates past the last phase (the hotspot
+  // stops moving), so the router gets to converge under the threshold.
+  double final_spread =
+      hope::StreamSpread(mgr, drift.Phase(drift.num_phases()));
+  for (int round = 0; round < 4 && final_spread > threshold; round++)
+    final_spread = serve(drift.num_phases(), "settle");
+  rebuilder.Stop();
+  std::printf("router version %llu, final spread %.2f -> %s\n",
+              static_cast<unsigned long long>(mgr.router_version()),
+              final_spread,
+              mgr.router_version() > 0 && final_spread <= threshold
+                  ? "re-balanced"
+                  : "not re-balanced");
+  return 0;
+}
+
 // Demo of the dynamic subsystem: drifting Email workload, static vs
 // managed dictionary, background rebuilds, per-phase report.
 int CmdDrift(int argc, char** argv) {
@@ -340,8 +427,21 @@ int CmdDrift(int argc, char** argv) {
   if (argc > 3 && !ParseCount(argv[3], size_t{1} << 32, &keys_per_phase))
     return Usage();
   size_t shards = 1;
-  if (argc > 4 && !ParseCount(argv[4], 1024, &shards)) return Usage();
-  if (shards > 1) return CmdDriftSharded(scheme, keys_per_phase, shards);
+  // 256 caps the demo at something a terminal table can show; beyond it
+  // (and 0, negatives, junk) is a usage error with exit code 2.
+  if (argc > 4 && !ParseCount(argv[4], 256, &shards)) return Usage();
+  bool rebalance = false;
+  if (argc > 5) {
+    if (!std::strcmp(argv[5], "rebalance")) {
+      rebalance = true;
+    } else if (std::strcmp(argv[5], "localized") != 0) {
+      return Usage();
+    }
+    if (shards < 2) return Usage();  // modes only exist for sharded demos
+  }
+  if (shards > 1)
+    return rebalance ? CmdDriftRebalance(scheme, keys_per_phase, shards)
+                     : CmdDriftSharded(scheme, keys_per_phase, shards);
 
   hope::DriftOptions dopt;
   dopt.num_phases = 5;
@@ -393,8 +493,11 @@ int CmdVersion() {
   std::printf("hope %s\n", hope::kVersion);
   std::printf("dynamic: sharded dictionary manager (per-key-range shards, "
               "independent epochs),\n"
-              "         versioned + sharded index, shared background "
-              "rebuilder\n");
+              "         online shard re-balancing (versioned router, "
+              "weight-imbalance policy,\n"
+              "         cross-shard key migration), versioned + sharded "
+              "index, shared\n"
+              "         background rebuilder\n");
   return 0;
 }
 
@@ -402,6 +505,10 @@ int CmdVersion() {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  if (!std::strcmp(argv[1], "--help") || !std::strcmp(argv[1], "help")) {
+    PrintUsage(stdout);
+    return 0;
+  }
   if (!std::strcmp(argv[1], "build")) return CmdBuild(argc, argv);
   if (!std::strcmp(argv[1], "encode")) return CmdEncode(argc, argv);
   if (!std::strcmp(argv[1], "decode")) return CmdDecode(argc, argv);
