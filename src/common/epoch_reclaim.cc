@@ -1,0 +1,246 @@
+#include "common/epoch_reclaim.h"
+
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace hope::ebr {
+
+namespace {
+
+/// Epochs start above 2 so `tag <= G - 2` never underflows.
+constexpr uint64_t kFirstEpoch = 2;
+
+struct Retired {
+  uint64_t tag;
+  std::function<void()> deleter;
+};
+
+}  // namespace
+
+struct EpochReclaimer::Slot {
+  /// Epoch this thread is pinned at; 0 = not inside a guard.
+  std::atomic<uint64_t> epoch{0};
+  /// Claimed by a live thread. Released (and later recycled) on thread
+  /// exit, so the slot list is bounded by peak reader concurrency, not
+  /// by the number of threads ever seen.
+  std::atomic<bool> owned{false};
+  /// Guard nesting depth; touched only by the owning thread.
+  uint32_t depth = 0;
+  Slot* next = nullptr;  ///< append-only intrusive list
+};
+
+struct EpochReclaimer::State {
+  std::atomic<uint64_t> global_epoch{kFirstEpoch};
+  std::atomic<Slot*> slots{nullptr};
+
+  std::mutex mu;  ///< serializes retire/advance/reclaim
+  std::vector<Retired> limbo;
+
+  std::atomic<uint64_t> retired{0};
+  std::atomic<uint64_t> reclaimed{0};
+
+  ~State() {
+    // The reclaimer's destructor drained, so limbo is empty unless the
+    // process is tearing down with readers leaked mid-guard; run what's
+    // left rather than leak it.
+    for (Retired& r : limbo) r.deleter();
+    Slot* slot = slots.load(std::memory_order_acquire);
+    while (slot) {
+      Slot* next = slot->next;
+      delete slot;
+      slot = next;
+    }
+  }
+
+  /// Advances the epoch iff every pinned slot is pinned at the current
+  /// one. Requires mu.
+  bool TryAdvanceLocked() {
+    uint64_t g = global_epoch.load(std::memory_order_seq_cst);
+    for (Slot* slot = slots.load(std::memory_order_acquire); slot;
+         slot = slot->next) {
+      uint64_t e = slot->epoch.load(std::memory_order_seq_cst);
+      if (e != 0 && e != g) return false;  // a reader lags behind
+    }
+    global_epoch.store(g + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Moves every limbo entry whose grace period has passed into `out`.
+  /// Requires mu; the caller runs the deleters outside it.
+  void CollectLocked(std::vector<Retired>* out) {
+    uint64_t g = global_epoch.load(std::memory_order_seq_cst);
+    size_t kept = 0;
+    for (Retired& r : limbo) {
+      if (r.tag + 2 <= g) {
+        out->push_back(std::move(r));
+      } else {
+        limbo[kept++] = std::move(r);
+      }
+    }
+    limbo.resize(kept);
+  }
+};
+
+namespace {
+
+/// Per-thread slot cache: one claimed slot per reclaimer this thread has
+/// pinned. weak_ptr keeps thread exit safe when a test-scoped reclaimer
+/// died first.
+struct TlsSlots {
+  struct Entry {
+    EpochReclaimer::State* key;
+    std::weak_ptr<EpochReclaimer::State> state;
+    EpochReclaimer::Slot* slot;
+  };
+  std::vector<Entry> entries;
+
+  ~TlsSlots() {
+    for (Entry& e : entries)
+      if (auto alive = e.state.lock())
+        e.slot->owned.store(false, std::memory_order_release);
+  }
+};
+
+thread_local TlsSlots tls_slots;
+
+EpochReclaimer::Slot* SlotFor(const std::shared_ptr<EpochReclaimer::State>& state) {
+  auto& entries = tls_slots.entries;
+  for (size_t i = 0; i < entries.size(); i++) {
+    if (entries[i].key == state.get()) {
+      // Same address could be a recycled allocation; the weak_ptr is the
+      // identity check.
+      if (auto alive = entries[i].state.lock(); alive == state)
+        return entries[i].slot;
+    }
+    if (entries[i].state.expired()) {
+      entries[i] = entries.back();
+      entries.pop_back();
+      i--;
+    }
+  }
+
+  // First guard against this reclaimer on this thread: recycle a slot a
+  // finished thread released, else append a fresh one.
+  EpochReclaimer::Slot* slot = nullptr;
+  for (EpochReclaimer::Slot* s =
+           state->slots.load(std::memory_order_acquire);
+       s; s = s->next) {
+    bool expected = false;
+    if (s->owned.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+      slot = s;
+      break;
+    }
+  }
+  if (!slot) {
+    slot = new EpochReclaimer::Slot;
+    slot->owned.store(true, std::memory_order_relaxed);
+    slot->next = state->slots.load(std::memory_order_relaxed);
+    while (!state->slots.compare_exchange_weak(slot->next, slot,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+  slot->depth = 0;
+  entries.push_back({state.get(), state, slot});
+  return slot;
+}
+
+}  // namespace
+
+EpochReclaimer::EpochReclaimer() : state_(std::make_shared<State>()) {}
+
+EpochReclaimer::~EpochReclaimer() { Drain(); }
+
+EpochReclaimer::Guard::Guard(const EpochReclaimer& reclaimer)
+    : slot_(SlotFor(reclaimer.state_)) {
+  if (slot_->depth++ > 0) return;  // nested: already pinned
+  State& st = *reclaimer.state_;
+  uint64_t e = st.global_epoch.load(std::memory_order_seq_cst);
+  slot_->epoch.store(e, std::memory_order_seq_cst);
+  // One refresh if an advance raced the pin. A still-stale pin is safe —
+  // it only parks the epoch until this guard exits — so a single retry
+  // keeps the pin wait-free.
+  uint64_t e2 = st.global_epoch.load(std::memory_order_seq_cst);
+  if (e2 != e) slot_->epoch.store(e2, std::memory_order_seq_cst);
+}
+
+EpochReclaimer::Guard::~Guard() {
+  if (--slot_->depth > 0) return;  // nested: outermost unpins
+  slot_->epoch.store(0, std::memory_order_release);
+}
+
+void EpochReclaimer::Retire(void* ptr, void (*deleter)(void*)) {
+  Retire([ptr, deleter] { deleter(ptr); });
+}
+
+void EpochReclaimer::Retire(std::function<void()> deleter) {
+  State& st = *state_;
+  std::vector<Retired> freeable;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.limbo.push_back(
+        {st.global_epoch.load(std::memory_order_seq_cst),
+         std::move(deleter)});
+    st.retired.fetch_add(1, std::memory_order_relaxed);
+    // Two advance attempts so a quiet reclaimer still ages this batch to
+    // freeable on the next retire; pinned readers veto harmlessly.
+    st.TryAdvanceLocked();
+    st.TryAdvanceLocked();
+    st.CollectLocked(&freeable);
+  }
+  // Deleters run outside mu: they may be arbitrarily heavy (dictionary
+  // teardown) and must not extend the writer critical section.
+  for (Retired& r : freeable) r.deleter();
+  st.reclaimed.fetch_add(freeable.size(), std::memory_order_relaxed);
+}
+
+size_t EpochReclaimer::TryReclaim() {
+  State& st = *state_;
+  std::vector<Retired> freeable;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (st.limbo.empty()) return 0;
+    st.TryAdvanceLocked();
+    st.TryAdvanceLocked();
+    st.CollectLocked(&freeable);
+  }
+  for (Retired& r : freeable) r.deleter();
+  st.reclaimed.fetch_add(freeable.size(), std::memory_order_relaxed);
+  return freeable.size();
+}
+
+void EpochReclaimer::Drain() {
+  State& st = *state_;
+  while (true) {
+    std::vector<Retired> freeable;
+    size_t remaining = 0;
+    {
+      std::lock_guard<std::mutex> lock(st.mu);
+      st.TryAdvanceLocked();
+      st.TryAdvanceLocked();
+      st.CollectLocked(&freeable);
+      remaining = st.limbo.size();
+    }
+    for (Retired& r : freeable) r.deleter();
+    st.reclaimed.fetch_add(freeable.size(), std::memory_order_relaxed);
+    if (remaining == 0) return;
+    std::this_thread::yield();  // readers still pinned; wait them out
+  }
+}
+
+uint64_t EpochReclaimer::retired() const {
+  return state_->retired.load(std::memory_order_relaxed);
+}
+
+uint64_t EpochReclaimer::reclaimed() const {
+  return state_->reclaimed.load(std::memory_order_relaxed);
+}
+
+uint64_t EpochReclaimer::global_epoch() const {
+  return state_->global_epoch.load(std::memory_order_seq_cst);
+}
+
+}  // namespace hope::ebr

@@ -1,0 +1,136 @@
+// Epoch-based reclamation (EBR) for read-mostly hot-swap publication.
+//
+// The dynamic layer publishes immutable versions (dictionary Versions,
+// RouterVersions) through a single atomic raw pointer: readers load the
+// pointer wait-free, writers swap in a successor and must not free the
+// predecessor while any reader still dereferences it. shared_ptr solved
+// lifetime but not the hot path (libstdc++-12's atomic<shared_ptr>
+// _Sp_atomic futex protocol trips TSan under publish/acquire
+// contention), and retain-forever leaks on long-running servers. EBR is
+// the standard lock-free fix (cf. RCU grace periods and the epoch
+// managers of the Bw-tree line): readers pin the global epoch for the
+// duration of each access, writers retire superseded objects, and a
+// retired object is freed only after the epoch has advanced twice past
+// its retire epoch — by which point every reader that could have seen it
+// has unpinned.
+//
+// Protocol (3-epoch EBR, Fraser-style):
+//   - Each reader thread owns a slot with an atomic pinned-epoch field
+//     (0 = not in a guard). Guard construction stores the current global
+//     epoch into the slot (seq_cst); destruction stores 0. Guards nest:
+//     only the outermost pair pins/unpins.
+//   - Retire(ptr, deleter) tags the object with the current global epoch
+//     and pushes it onto the limbo list.
+//   - The epoch advances G -> G+1 only when every pinned slot is pinned
+//     at G. Objects tagged <= G-2 are freed: any reader that could hold
+//     one was pinned at its tag epoch or earlier, and two advances prove
+//     all such readers have since unpinned.
+//
+// Memory-order contract for the protected pointer: publish with
+// memory_order_seq_cst stores and read (inside a Guard) with seq_cst
+// loads. The guard's pin is a seq_cst store, so in the single total
+// order either the writer's slot scan sees the pin (and refuses to
+// advance past it) or the reader's pointer load is ordered after the
+// swap (and sees the successor, never the retired pointer).
+//
+// Readers are wait-free: a pin is one slot lookup plus two seq_cst
+// atomics (plus one refresh store when an advance races the pin - the
+// stale pin would merely stall reclamation, never break safety).
+// Writers serialize on a mutex; Retire is O(slots) for the advance scan.
+// A thread's slot is claimed on its first Guard against a reclaimer and
+// recycled when the thread exits; slots are never unlinked, so the scan
+// is bounded by the peak number of concurrent reader threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace hope::ebr {
+
+class EpochReclaimer {
+ public:
+  EpochReclaimer();
+  /// Drains: retires nothing new, waits for every in-flight guard to
+  /// exit, and runs every pending deleter. Guards and Retire calls
+  /// against a destroyed reclaimer are undefined (callers own that
+  /// ordering; the dynamic managers drain in their own destructors
+  /// first, so their readers never reach a dead reclaimer).
+  ~EpochReclaimer();
+
+  EpochReclaimer(const EpochReclaimer&) = delete;
+  EpochReclaimer& operator=(const EpochReclaimer&) = delete;
+
+  struct Slot;   ///< opaque per-thread epoch slot (internal)
+  struct State;  ///< opaque shared reclaimer state (internal)
+
+  /// RAII epoch pin. While alive, no object retired at or after the
+  /// guard's pin epoch is freed, so a raw pointer loaded from an atomic
+  /// (seq_cst) inside the guard stays valid until the guard exits.
+  /// Copy what must outlive the guard (e.g. bump a shared_ptr) before
+  /// exiting. Guards nest freely within a thread.
+  class Guard {
+   public:
+    explicit Guard(const EpochReclaimer& reclaimer);
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Slot* slot_;
+  };
+
+  /// Defers `deleter(ptr)` until every reader that could hold `ptr` has
+  /// unpinned. The object must already be unreachable from the published
+  /// pointer (swap first, then retire). Never blocks readers; runs any
+  /// newly safe deleters before returning.
+  ///
+  /// Teardown exception: a final retire may leave the pointer published
+  /// for stragglers already pinned (their pins predate the retire tag
+  /// and block the free), but then the CALLER must guarantee no new
+  /// reader pins afterwards — a pin taken after the grace period has
+  /// elapsed does not resurrect protection for an already-freeable
+  /// object. The dynamic managers get this from their own lifetime
+  /// contract (no calls into a dying object).
+  void Retire(void* ptr, void (*deleter)(void*));
+
+  /// Generalized retire: defers an arbitrary thunk (e.g. releasing a
+  /// shared_ptr reference) until the grace period passes.
+  void Retire(std::function<void()> deleter);
+
+  /// Convenience: Retire(ptr, delete-as-T).
+  template <typename T>
+  void RetireDelete(const T* ptr) {
+    Retire(const_cast<T*>(ptr),
+           [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// One advance-and-reclaim attempt (writers call this implicitly on
+  /// every Retire; pollers call it so an idle period still frees the
+  /// limbo list). Returns the number of objects freed.
+  size_t TryReclaim();
+
+  /// Blocks until the limbo list is empty: repeatedly advances the epoch
+  /// and frees, yielding while readers hold pins. Calling Drain from a
+  /// thread that itself holds a Guard on this reclaimer deadlocks.
+  void Drain();
+
+  /// Lifetime counters (relaxed; exact once writers quiesce).
+  uint64_t retired() const;
+  uint64_t reclaimed() const;
+  /// Objects retired but not yet freed — the live-garbage bound the
+  /// stress tests assert stays flat across thousands of publishes.
+  uint64_t pending() const { return retired() - reclaimed(); }
+
+  /// Current global epoch (diagnostics/tests).
+  uint64_t global_epoch() const;
+
+ private:
+  /// State is shared so a thread exiting after the reclaimer is gone can
+  /// still release its slot through a weak_ptr without touching freed
+  /// memory.
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace hope::ebr

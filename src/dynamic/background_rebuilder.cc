@@ -80,6 +80,20 @@ void BackgroundRebuilder::Loop() {
       if (stop_requested_.load(std::memory_order_relaxed)) break;
       if (sharded->PollRebalance()) rebalances_.fetch_add(1);
     }
+    // Epoch reclamation rides it too: retired versions age out only when
+    // the epoch advances, and publishes are the only other advance site,
+    // so an idle manager would otherwise park its limbo list until the
+    // next publish. One TryReclaim per reclaimer per cycle keeps the
+    // live-garbage bound flat regardless of publish cadence. (This is
+    // also where the worker thread's epoch slot gets registered, on its
+    // first guard-free scan — TryReclaim never pins, so the worker can
+    // never hold the epoch back.)
+    if (!stop_requested_.load(std::memory_order_relaxed)) {
+      for (DictionaryManager* manager : managers_)
+        reclaims_.fetch_add(manager->reclaimer().TryReclaim());
+      for (ShardedDictionaryManager* sharded : sharded_)
+        reclaims_.fetch_add(sharded->reclaimer().TryReclaim());
+    }
     lock.lock();
   }
 }

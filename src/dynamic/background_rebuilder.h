@@ -66,6 +66,9 @@ class BackgroundRebuilder {
   size_t num_managers() const { return managers_.size(); }
   uint64_t rebuilds_completed() const { return rebuilds_.load(); }
   uint64_t rebalances_completed() const { return rebalances_.load(); }
+  /// Retired versions freed by this worker's per-cycle TryReclaim polls
+  /// (publishes also reclaim inline; this counts only the poll's share).
+  uint64_t versions_reclaimed() const { return reclaims_.load(); }
   uint64_t cycles() const { return cycles_.load(); }
 
  private:
@@ -90,6 +93,7 @@ class BackgroundRebuilder {
 
   std::atomic<uint64_t> rebuilds_{0};
   std::atomic<uint64_t> rebalances_{0};
+  std::atomic<uint64_t> reclaims_{0};
   std::atomic<uint64_t> cycles_{0};
   std::thread worker_;
 };

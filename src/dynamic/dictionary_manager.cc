@@ -69,10 +69,26 @@ DictionaryManager::DictionaryManager(std::unique_ptr<Hope> initial,
     baseline_cpr_.store(baseline);
   }
   collector_->MarkRebuild(baseline);
-  auto v = std::make_shared<Version>();
-  v->epoch = 0;
-  v->hope = WrapVersion(std::move(initial));
-  current_.store(std::move(v));
+  current_.store(new Version{0, WrapVersion(std::move(initial))},
+                 std::memory_order_seq_cst);
+}
+
+DictionaryManager::~DictionaryManager() {
+  // Retire the final version and wait out the grace period. Guarantee:
+  // a reader already pinned when this retire runs (it entered Acquire()
+  // before destruction began) is safe — its pin predates the retire
+  // tag, so the second epoch advance (and therefore the free) waits for
+  // its guard to exit, and the pointer deliberately stays published so
+  // a pinned reader that has not yet loaded current_ still finds a
+  // valid Version (a nullptr store would turn that window into a null
+  // deref). This is the documented exception to Retire()'s
+  // unreachability precondition: an Acquire() that BEGINS after
+  // destruction has started is a use of a dying object and undefined
+  // like any other such call — the drain cannot and does not protect
+  // it. Drain also frees versions retired by earlier publishes whose
+  // grace period had not yet passed.
+  reclaimer_.RetireDelete(current_.load(std::memory_order_seq_cst));
+  reclaimer_.Drain();
 }
 
 std::shared_ptr<const Hope> DictionaryManager::WrapVersion(
@@ -86,7 +102,11 @@ std::shared_ptr<const Hope> DictionaryManager::WrapVersion(
 }
 
 DictSnapshot DictionaryManager::Acquire() const {
-  std::shared_ptr<const Version> v = current_.load();
+  // The guard pins the epoch across the raw load AND the shared_ptr
+  // copy: the Version cannot be freed until the guard exits, and the
+  // copied Hope handle keeps the snapshot valid indefinitely after.
+  ebr::EpochReclaimer::Guard guard(reclaimer_);
+  const Version* v = current_.load(std::memory_order_seq_cst);
   return DictSnapshot{v->epoch, v->hope};
 }
 
@@ -168,11 +188,15 @@ uint64_t DictionaryManager::Publish(
 
 uint64_t DictionaryManager::PublishLocked(std::unique_ptr<Hope> candidate,
                                           double fresh_cpr) {
-  auto v = std::make_shared<Version>();
-  v->epoch = current_.load()->epoch + 1;
-  v->hope = WrapVersion(std::move(candidate));
-  uint64_t epoch = v->epoch;
-  current_.store(std::move(v));
+  // rebuild_mu_ is held, so the relaxed epoch read cannot race another
+  // publish; swap first, then retire — the predecessor must be
+  // unreachable before it enters the limbo list.
+  uint64_t epoch =
+      current_.load(std::memory_order_relaxed)->epoch + 1;
+  const Version* old = current_.exchange(
+      new Version{epoch, WrapVersion(std::move(candidate))},
+      std::memory_order_seq_cst);
+  reclaimer_.RetireDelete(old);
   baseline_cpr_.store(fresh_cpr);
   collector_->MarkRebuild(fresh_cpr);
   published_.fetch_add(1);

@@ -12,9 +12,20 @@
 // the manager's destruction: versions are immutable and reference-counted
 // (each one also pins the stats collector its observer hook points at),
 // so a reader that acquired epoch N can keep encoding/decoding with it
-// while epoch N+1 (or N+5) is live. The current version is held in a
-// std::atomic<std::shared_ptr>, so Acquire() never blocks behind a
-// rebuild or publish.
+// while epoch N+1 (or N+5) is live.
+//
+// The current version is published through a plain atomic<const
+// Version*> protected by epoch-based reclamation (common/epoch_reclaim
+// .h): Acquire() pins an ebr::Guard, loads the pointer wait-free, and
+// copies the refcounted Hope handle out before unpinning; Publish swaps
+// the pointer and Retire()s the predecessor, which is freed once every
+// reader pinned at or before the swap has exited. (atomic<shared_ptr>
+// solved lifetime but libstdc++-12's _Sp_atomic futex protocol trips
+// TSan under publish/acquire contention, and retaining raw pointers
+// forever — the router layer's first workaround — leaks on exactly the
+// long-running servers this layer targets.) Teardown drains the
+// reclaimer, so destruction waits out in-flight readers instead of
+// freeing a Version under them.
 #pragma once
 
 #include <atomic>
@@ -25,6 +36,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/epoch_reclaim.h"
 #include "dynamic/encode_stats.h"
 #include "dynamic/rebuild_policy.h"
 #include "hope/hope.h"
@@ -79,10 +91,23 @@ class DictionaryManager {
   DictionaryManager(const DictionaryManager&) = delete;
   DictionaryManager& operator=(const DictionaryManager&) = delete;
 
-  /// Lock-free reader snapshot of the current version.
+  /// Retires the final version and drains the reclaimer: destruction
+  /// blocks until every Acquire() that was already inside its guard
+  /// when teardown began has exited, so those readers never touch a
+  /// freed Version. (An Acquire() that starts after destruction has
+  /// begun is undefined, as for any method on a dying object.)
+  /// Snapshots already returned stay valid — they own the Hope via
+  /// shared_ptr, not the guard.
+  ~DictionaryManager();
+
+  /// Wait-free reader snapshot of the current version (an epoch-guarded
+  /// pointer load plus a refcount bump).
   DictSnapshot Acquire() const;
 
-  uint64_t epoch() const { return current_.load()->epoch; }
+  uint64_t epoch() const {
+    ebr::EpochReclaimer::Guard guard(reclaimer_);
+    return current_.load(std::memory_order_seq_cst)->epoch;
+  }
 
   /// Convenience: encode through the current version (feeds the stats
   /// collector via the observer hook).
@@ -126,6 +151,11 @@ class DictionaryManager {
   uint64_t rebuilds_rejected() const { return rejected_.load(); }
   double baseline_cpr() const { return baseline_cpr_.load(); }
 
+  /// The manager's version reclaimer: retired/reclaimed counters bound
+  /// the live-garbage Version count, and pollers (BackgroundRebuilder)
+  /// call TryReclaim() so idle periods still free the limbo list.
+  ebr::EpochReclaimer& reclaimer() const { return reclaimer_; }
+
  private:
   struct Version {
     uint64_t epoch;
@@ -143,7 +173,12 @@ class DictionaryManager {
   std::unique_ptr<RebuildPolicy> policy_;
   std::shared_ptr<EncodeStatsCollector> collector_;
 
-  std::atomic<std::shared_ptr<const Version>> current_;
+  /// Grace periods for current_'s pointees (mutable: pinning a read
+  /// guard mutates reclaimer state even on const paths).
+  mutable ebr::EpochReclaimer reclaimer_;
+  /// Hot-path publication point. Readers load it inside an ebr::Guard;
+  /// PublishLocked swaps it and retires the predecessor.
+  std::atomic<const Version*> current_;
   std::mutex rebuild_mu_;  ///< serializes RebuildNow/Publish
   /// Rejection-backoff deadline, steady_clock nanoseconds since epoch
   /// (atomic so lockless ShouldRebuild()/InBackoff() can read it).

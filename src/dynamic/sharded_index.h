@@ -23,6 +23,13 @@
 // and after every applied plan because the migration physically moves
 // exactly the keys whose owner changed.
 //
+// The index registers with the manager (RegisterIndex) so the plan
+// history it still needs is never pruned, and reports each applied plan
+// (UpdateIndexVersion) so history it no longer needs can be. If
+// PlansSince ever reports a pruned gap anyway (possible only for
+// consumers that bypass registration), Resync() rebuilds routing from
+// scratch instead of silently replaying from the gap.
+//
 // Single-writer like VersionedIndex: one thread mutates the index while
 // the shard managers swap dictionaries (and the router) underneath it.
 //
@@ -46,14 +53,24 @@ template <typename Tree>
 class ShardedVersionedIndex {
  public:
   /// `manager` must outlive the index. Adopts every shard's current epoch
-  /// and the manager's current router version.
+  /// and the manager's current router version, and registers as a plan
+  /// consumer so the history between that version and the manager's is
+  /// retained until applied here.
   explicit ShardedVersionedIndex(ShardedDictionaryManager* manager)
-      : manager_(manager), router_(manager->router()) {
+      : manager_(manager) {
+    auto reg = manager->RegisterIndex();
+    registration_id_ = reg.id;
+    router_ = std::move(reg.router);
     shards_.reserve(manager->num_shards());
     for (size_t i = 0; i < manager->num_shards(); i++)
       shards_.push_back(
           std::make_unique<VersionedIndex<Tree>>(&manager->shard(i)));
   }
+
+  ~ShardedVersionedIndex() { manager_->DeregisterIndex(registration_id_); }
+
+  ShardedVersionedIndex(const ShardedVersionedIndex&) = delete;
+  ShardedVersionedIndex& operator=(const ShardedVersionedIndex&) = delete;
 
   void Insert(const std::string& key, uint64_t value) {
     SyncRouter();
@@ -107,9 +124,46 @@ class ShardedVersionedIndex {
   /// MigrateAll; explicit calls just apply pending plans eagerly.
   size_t SyncRouter() {
     if (router_->version() == manager_->router_version()) return 0;
+    auto plans = manager_->PlansSince(router_->version());
+    // Registration makes a pruned gap unreachable on this path, but the
+    // contract is explicit: nullopt means the incremental history is
+    // gone, and the only correct recovery is a full re-route.
+    if (!plans) return Resync();
     size_t moved = 0;
-    for (const auto& plan : manager_->PlansSince(router_->version()))
-      moved += ApplyRebalance(*plan);
+    for (const auto& plan : *plans) moved += ApplyRebalance(*plan);
+    return moved;
+  }
+
+  /// Full catch-up without plan history: drains every shard, extracts
+  /// all entries, and re-inserts each through the manager's current
+  /// router. O(total entries) — the incremental plan replay is the fast
+  /// path; this is the recovery path for a pruned history gap.
+  size_t Resync() {
+    std::shared_ptr<const RouterVersion> target = manager_->router();
+    size_t moved = 0;
+    // Two phases — extract everything, then insert: an entry moving to
+    // a not-yet-drained shard would otherwise be extracted and
+    // re-encoded a second time when the loop reached its destination.
+    std::vector<std::vector<std::pair<std::string, uint64_t>>> rebinned(
+        shards_.size());
+    std::vector<std::pair<std::string, uint64_t>> entries;
+    for (size_t s = 0; s < shards_.size(); s++) {
+      entries.clear();
+      // "" is <= every key, so the unbounded extract empties the shard.
+      shards_[s]->ExtractRange(std::string(), nullptr, &entries);
+      for (auto& [key, value] : entries) {
+        size_t owner = target->Route(key);
+        if (owner != s) moved++;
+        rebinned[owner].emplace_back(std::move(key), value);
+      }
+    }
+    for (size_t s = 0; s < shards_.size(); s++)
+      for (auto& [key, value] : rebinned[s])
+        shards_[s]->InsertMigrated(key, value);
+    router_ = std::move(target);
+    manager_->UpdateIndexVersion(registration_id_, router_->version());
+    resyncs_++;
+    entries_rebalanced_ += moved;
     return moved;
   }
 
@@ -138,6 +192,9 @@ class ShardedVersionedIndex {
     router_ = plan.to;
     plans_applied_++;
     entries_rebalanced_ += moved;
+    // Release the pin on the plan just applied so the manager can prune
+    // it once every other registered index has also advanced past it.
+    manager_->UpdateIndexVersion(registration_id_, router_->version());
     return moved;
   }
 
@@ -145,6 +202,8 @@ class ShardedVersionedIndex {
   /// by ApplyRebalance (not generation drains within a shard).
   uint64_t plans_applied() const { return plans_applied_; }
   uint64_t entries_rebalanced() const { return entries_rebalanced_; }
+  /// Full re-routes taken because the plan history was pruned.
+  uint64_t resyncs() const { return resyncs_; }
 
   /// The router version this index currently routes through (trails the
   /// manager's until the next SyncRouter()).
@@ -175,9 +234,11 @@ class ShardedVersionedIndex {
 
   ShardedDictionaryManager* manager_;
   std::shared_ptr<const RouterVersion> router_;  ///< the index's snapshot
+  uint64_t registration_id_ = 0;  ///< plan-history pin (RegisterIndex)
   std::vector<std::unique_ptr<VersionedIndex<Tree>>> shards_;
   uint64_t plans_applied_ = 0;
   uint64_t entries_rebalanced_ = 0;
+  uint64_t resyncs_ = 0;
 };
 
 }  // namespace hope::dynamic

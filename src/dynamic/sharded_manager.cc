@@ -116,11 +116,11 @@ ShardedDictionaryManager::ShardedDictionaryManager(
   if (sample.empty())
     throw std::invalid_argument("sharded manager needs a non-empty sample");
 
-  versions_.push_back(
-      std::make_shared<const RouterVersion>(sample, options_.num_shards));
-  router_ptr_.store(versions_.back().get(), std::memory_order_release);
+  current_router_ =
+      std::make_shared<const RouterVersion>(sample, options_.num_shards);
+  router_ptr_.store(current_router_.get(), std::memory_order_seq_cst);
 
-  const std::shared_ptr<const RouterVersion>& router = versions_.back();
+  const std::shared_ptr<const RouterVersion>& router = current_router_;
   std::vector<std::vector<std::string>> partitions(router->num_ranges());
   for (const std::string& key : sample)
     partitions[router->Route(key)].push_back(key);
@@ -142,6 +142,23 @@ ShardedDictionaryManager::ShardedDictionaryManager(
   }
   weights_.assign(shards_.size(), 1.0 / static_cast<double>(shards_.size()));
   last_observed_.assign(shards_.size(), 0);
+}
+
+ShardedDictionaryManager::~ShardedDictionaryManager() {
+  // Hand the manager's reference on the final router to the reclaimer
+  // and wait out the grace period. Same teardown contract as
+  // ~DictionaryManager: a reader pinned before this retire runs blocks
+  // the free until its guard exits (the raw pointer stays published so
+  // such a reader still finds a valid version), while a Route() that
+  // BEGINS after destruction has started is a use of a dying object and
+  // undefined regardless. Index snapshots holding the version keep it
+  // alive past the drain.
+  {
+    std::lock_guard<std::mutex> lock(rebalance_mu_);
+    reclaimer_.Retire(
+        [keep = std::move(current_router_)]() mutable { keep.reset(); });
+  }
+  reclaimer_.Drain();
 }
 
 std::vector<uint64_t> ShardedDictionaryManager::Epochs() const {
@@ -221,7 +238,7 @@ ShardedDictionaryManager::PollRebalance() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     last_rebalance_)
           .count();
-  signals.router_version = versions_.back()->version();
+  signals.router_version = current_router_->version();
 
   if (!rebalance_policy_->ShouldRebalance(signals)) return nullptr;
   return RebalanceLocked();
@@ -239,7 +256,7 @@ std::shared_ptr<const RebalancePlan> ShardedDictionaryManager::RebalanceNow(
 
 std::shared_ptr<const RebalancePlan>
 ShardedDictionaryManager::RebalanceLocked() {
-  std::shared_ptr<const RouterVersion> current = versions_.back();
+  std::shared_ptr<const RouterVersion> current = current_router_;
 
   // The rebalance corpus is the union of the per-shard reservoirs, each
   // shard's keys weighted by its traffic share: a reservoir holds a
@@ -322,9 +339,16 @@ ShardedDictionaryManager::RebalanceLocked() {
   }
 
   plans_.push_back(plan);
-  versions_.push_back(next);
-  router_ptr_.store(next.get(), std::memory_order_release);
+  current_router_ = next;
+  router_ptr_.store(next.get(), std::memory_order_seq_cst);
+  // Swap first, retire second: the manager's reference on the
+  // superseded version is released only after every reader pinned at or
+  // before the swap exits. The plan's from/to handles (and any index
+  // snapshot) keep the pointee alive beyond the grace period for
+  // shared_ptr holders, who need no guard.
+  reclaimer_.Retire([keep = std::move(current)]() mutable { keep.reset(); });
   rebalances_.fetch_add(1);
+  PrunePlansLocked();
 
   // Reset the hysteresis baseline: the new boundaries equalize expected
   // load, so the skew EWMA starts over from balanced (keeping the old
@@ -340,12 +364,61 @@ ShardedDictionaryManager::RebalanceLocked() {
   return plan;
 }
 
-std::vector<std::shared_ptr<const RebalancePlan>>
+std::optional<std::vector<std::shared_ptr<const RebalancePlan>>>
 ShardedDictionaryManager::PlansSince(uint64_t since_version) const {
   std::lock_guard<std::mutex> lock(rebalance_mu_);
-  // plans_[k] takes router version k to k+1.
-  if (since_version >= plans_.size()) return {};
-  return {plans_.begin() + static_cast<long>(since_version), plans_.end()};
+  // plans_[k] takes router version plans_base_ + k to plans_base_ + k+1.
+  if (since_version < plans_base_) return std::nullopt;  // pruned gap
+  size_t offset = static_cast<size_t>(since_version - plans_base_);
+  if (offset >= plans_.size())
+    return std::vector<std::shared_ptr<const RebalancePlan>>{};
+  return std::vector<std::shared_ptr<const RebalancePlan>>(
+      plans_.begin() + static_cast<long>(offset), plans_.end());
+}
+
+ShardedDictionaryManager::IndexRegistration
+ShardedDictionaryManager::RegisterIndex() {
+  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  // Pin and snapshot under one lock hold: a rebalance publishing between
+  // the two could otherwise prune the very plan the new index needs
+  // first.
+  IndexRegistration reg;
+  reg.id = next_index_id_++;
+  reg.router = current_router_;
+  index_versions_.emplace(reg.id, reg.router->version());
+  return reg;
+}
+
+void ShardedDictionaryManager::UpdateIndexVersion(uint64_t id,
+                                                  uint64_t version) {
+  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  auto it = index_versions_.find(id);
+  if (it == index_versions_.end()) return;
+  it->second = std::max(it->second, version);
+  PrunePlansLocked();
+}
+
+void ShardedDictionaryManager::DeregisterIndex(uint64_t id) {
+  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  if (index_versions_.erase(id) == 0) return;
+  PrunePlansLocked();
+}
+
+void ShardedDictionaryManager::PrunePlansLocked() {
+  uint64_t min_pinned = current_router_->version();
+  for (const auto& [id, version] : index_versions_)
+    min_pinned = std::min(min_pinned, version);
+  if (min_pinned <= plans_base_) return;
+  size_t drop = std::min(static_cast<size_t>(min_pinned - plans_base_),
+                         plans_.size());
+  // Dropping a plan releases its from/to RouterVersion references
+  // directly — plans are only ever reached through shared_ptr, never
+  // through the guarded raw pointer, so no grace period is needed here.
+  // The superseded RouterVersion's raw-reader grace is handled by the
+  // Retire at publish time.
+  plans_.erase(plans_.begin(), plans_.begin() + static_cast<long>(drop));
+  plans_base_ += drop;
+  plans_pruned_.fetch_add(drop);
 }
 
 uint64_t ShardedDictionaryManager::rebuilds_published() const {

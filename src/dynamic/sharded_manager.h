@@ -16,13 +16,16 @@
 //                      epoch counter, stats collector, and rebuild
 //                      policy, so drift in one range triggers a rebuild
 //                      of only that shard's dictionary. The current
-//                      RouterVersion is published through an atomic
-//                      pointer whose pointees are retained for the
-//                      manager's lifetime (the versioned-publication
-//                      idea of DictionaryManager, with retention instead
-//                      of refcounting so the read side is a single
-//                      wait-free pointer load), so Route()/Acquire()
-//                      never block while the boundaries move.
+//                      RouterVersion is published through an atomic raw
+//                      pointer under epoch-based reclamation (common/
+//                      epoch_reclaim.h): Route()/router_version() pin an
+//                      ebr::Guard around a wait-free pointer load, and a
+//                      rebalance retires the superseded version, which
+//                      is freed once the grace period passes AND every
+//                      shared_ptr holder (plans, lagging indexes) lets
+//                      go — instead of the old retain-forever list that
+//                      leaked a version per rebalance for the manager's
+//                      lifetime.
 //   RebalancePolicy (rebalance_policy.h)
 //                    — decides, from per-shard encode-count EWMA traffic
 //                      weights, when the load skew warrants re-deriving
@@ -48,14 +51,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/epoch_reclaim.h"
 #include "dynamic/dictionary_manager.h"
 #include "dynamic/rebalance_policy.h"
 
@@ -200,27 +207,34 @@ class ShardedDictionaryManager {
   ShardedDictionaryManager(const ShardedDictionaryManager&) = delete;
   ShardedDictionaryManager& operator=(const ShardedDictionaryManager&) = delete;
 
+  /// Retires the final router version and drains the reclaimer, so
+  /// destruction waits out in-flight Route() readers. Registered
+  /// indexes must deregister first (they must not outlive the manager).
+  ~ShardedDictionaryManager();
+
   /// Shared-ownership snapshot of the current router version (immutable;
   /// stays valid for as long as the caller holds it, even past the
   /// manager). Takes the rebalance mutex — use Route()/router_version()
   /// on hot paths.
   std::shared_ptr<const RouterVersion> router() const {
     std::lock_guard<std::mutex> lock(rebalance_mu_);
-    return versions_.back();
+    return current_router_;
   }
   uint64_t router_version() const {
-    return router_ptr_.load(std::memory_order_acquire)->version();
+    ebr::EpochReclaimer::Guard guard(reclaimer_);
+    return router_ptr_.load(std::memory_order_seq_cst)->version();
   }
 
   size_t num_shards() const { return shards_.size(); }
 
-  /// Wait-free: one atomic pointer load. Every published RouterVersion
-  /// is retained for the manager's lifetime (a handful of boundary
-  /// strings per rebalance), so a reader mid-Route() never races
-  /// reclamation — publication is a plain pointer store, not a
-  /// shared_ptr swap.
+  /// Wait-free: an epoch-guarded atomic pointer load. The guard pins the
+  /// RouterVersion across the binary search; a rebalance publishing
+  /// concurrently retires the superseded version, which is freed only
+  /// after every pinned reader exits (and every plan/index shared_ptr
+  /// holder releases it).
   size_t Route(std::string_view key) const {
-    return router_ptr_.load(std::memory_order_acquire)->Route(key);
+    ebr::EpochReclaimer::Guard guard(reclaimer_);
+    return router_ptr_.load(std::memory_order_seq_cst)->Route(key);
   }
 
   DictionaryManager& shard(size_t i) { return *shards_[i]; }
@@ -279,11 +293,59 @@ class ShardedDictionaryManager {
   /// internally; readers are never blocked.
   std::shared_ptr<const RebalancePlan> RebalanceNow(bool force = false);
 
+  /// A registered index's pin on the plan history: plans taking the
+  /// router from `router->version()` onward are retained until the index
+  /// advances (UpdateIndexVersion) or deregisters. `router` is the
+  /// version current at registration, captured under the same lock so no
+  /// plan can be published-and-pruned between the two.
+  struct IndexRegistration {
+    uint64_t id = 0;
+    std::shared_ptr<const RouterVersion> router;
+  };
+
+  /// Registers a consumer of the plan history (a ShardedVersionedIndex),
+  /// pinned at the current router version.
+  IndexRegistration RegisterIndex();
+
+  /// Records that index `id` has applied every plan up to `version`
+  /// (its router snapshot's version). Plans no index still needs are
+  /// pruned.
+  void UpdateIndexVersion(uint64_t id, uint64_t version);
+
+  /// Drops the pin. Unknown ids are ignored.
+  void DeregisterIndex(uint64_t id);
+
   /// Plans published after router version `since_version`, oldest first
-  /// (plans_[k] takes version k to k+1, so an index at version v applies
-  /// PlansSince(v) in order to catch up).
-  std::vector<std::shared_ptr<const RebalancePlan>> PlansSince(
+  /// (the plan at history index k takes version k to k+1, so an index at
+  /// version v applies *PlansSince(v) in order to catch up). Returns
+  /// std::nullopt when `since_version` predates the pruned history
+  /// floor: the caller cannot catch up incrementally and must do a full
+  /// resync — silently replaying from the gap would mis-route every key
+  /// whose move was in a pruned plan. Registered indexes never see the
+  /// sentinel (their pin blocks pruning).
+  std::optional<std::vector<std::shared_ptr<const RebalancePlan>>> PlansSince(
       uint64_t since_version) const;
+
+  /// Oldest router version the retained plan history can take forward
+  /// (PlansSince(v) succeeds iff v >= plans_floor()).
+  uint64_t plans_floor() const {
+    std::lock_guard<std::mutex> lock(rebalance_mu_);
+    return plans_base_;
+  }
+
+  /// Currently retained plans (bounded by the laggiest registered
+  /// index, not by manager lifetime).
+  size_t plans_retained() const {
+    std::lock_guard<std::mutex> lock(rebalance_mu_);
+    return plans_.size();
+  }
+
+  /// Plans dropped by pruning since construction.
+  uint64_t plans_pruned() const { return plans_pruned_.load(); }
+
+  /// Grace periods for superseded RouterVersions (retired/reclaimed
+  /// counters; TryReclaim for idle-period polling).
+  ebr::EpochReclaimer& reclaimer() const { return reclaimer_; }
 
   /// Sums over shards (each counter is itself relaxed).
   uint64_t rebuilds_published() const;
@@ -300,24 +362,41 @@ class ShardedDictionaryManager {
  private:
   std::shared_ptr<const RebalancePlan> RebalanceLocked();
   double WeightImbalanceLocked() const;  ///< requires rebalance_mu_
+  /// Drops plans below the minimum version any registered index still
+  /// needs (or below the current version when none is registered).
+  /// Requires rebalance_mu_.
+  void PrunePlansLocked();
 
   const Options options_;
-  /// Hot-path router: readers load the raw pointer wait-free. The
-  /// pointees are owned by versions_ and never freed before destruction.
+  /// Grace periods for router_ptr_'s pointees (mutable: read guards pin
+  /// it on const paths).
+  mutable ebr::EpochReclaimer reclaimer_;
+  /// Hot-path router: readers load the raw pointer inside an ebr::Guard.
+  /// The pointee is co-owned by current_router_ (and any plans/indexes
+  /// holding it); on supersession the manager's reference is released
+  /// through Retire, i.e. only after the grace period.
   std::atomic<const RouterVersion*> router_ptr_;
   std::vector<std::unique_ptr<DictionaryManager>> shards_;
 
   std::unique_ptr<RebalancePolicy> rebalance_policy_;
-  mutable std::mutex rebalance_mu_;  ///< versions, weights, plans, Rebalance
-  /// Every router version ever published, oldest first (versions_.back()
-  /// is current). Retained for the manager's lifetime so router_ptr_
-  /// readers never race reclamation; one entry per rebalance.
-  std::vector<std::shared_ptr<const RouterVersion>> versions_;
+  mutable std::mutex rebalance_mu_;  ///< router, weights, plans, Rebalance
+  /// The current router version (the only one the manager itself owns;
+  /// superseded versions live on exactly as long as plans or index
+  /// snapshots reference them, plus the EBR grace period).
+  std::shared_ptr<const RouterVersion> current_router_;
   std::vector<double> weights_;          ///< EWMA traffic shares
   std::vector<uint64_t> last_observed_;  ///< per-shard KeysObserved marks
   uint64_t observed_at_rebalance_ = 0;   ///< total encodes at last publish
   std::chrono::steady_clock::time_point last_rebalance_;
-  std::vector<std::shared_ptr<const RebalancePlan>> plans_;
+  /// Retained plan history, oldest first: plans_[k] takes router version
+  /// plans_base_ + k to plans_base_ + k + 1. Pruned against the
+  /// registered-index pins, so it is bounded by the laggiest consumer.
+  std::deque<std::shared_ptr<const RebalancePlan>> plans_;
+  uint64_t plans_base_ = 0;  ///< version plans_.front() starts from
+  /// Registered plan consumers: id -> last applied router version.
+  std::unordered_map<uint64_t, uint64_t> index_versions_;
+  uint64_t next_index_id_ = 1;
+  std::atomic<uint64_t> plans_pruned_{0};
   std::atomic<uint64_t> rebalances_{0};
   std::atomic<uint64_t> rebalance_noops_{0};
 };

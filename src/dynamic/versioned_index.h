@@ -44,10 +44,14 @@ class VersionedIndex {
 
   /// Adopts the manager's current epoch if it moved since the last call;
   /// inserts and lookups call this themselves, so explicit calls are only
-  /// needed to pick up a swap eagerly.
+  /// needed to pick up a swap eagerly. One Acquire() serves both the
+  /// epoch comparison and the adopted snapshot — a single reader guard
+  /// per refresh, and no TOCTOU window between a separate epoch() probe
+  /// and the acquisition.
   void Refresh() {
-    if (manager_->epoch() != gens_.back()->dict.epoch)
-      gens_.push_back(std::make_unique<Generation>(manager_->Acquire()));
+    DictSnapshot snap = manager_->Acquire();
+    if (snap.epoch != gens_.back()->dict.epoch)
+      gens_.push_back(std::make_unique<Generation>(std::move(snap)));
   }
 
   void Insert(const std::string& key, uint64_t value) {

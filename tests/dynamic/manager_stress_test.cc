@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/epoch_reclaim.h"
 #include "datasets/datasets.h"
 #include "dynamic/background_rebuilder.h"
 #include "dynamic/dictionary_manager.h"
@@ -168,6 +169,115 @@ TEST(ManagerStressTest, BackgroundRebuilderRacesReadersAndFeeders) {
   EXPECT_GE(mgr.rebuilds_published(), 3u);
   EXPECT_GE(mgr.epoch(), 3u);
   EXPECT_GE(rebuilder.rebuilds_completed(), 3u);
+}
+
+// Teardown race regression (previously only publish-vs-acquire was
+// stressed): the manager is destroyed while reader threads are still
+// round-tripping through snapshots they acquired moments earlier. The
+// destructor retires the final version and drains the reclaimer, so a
+// reader whose Acquire() was in flight when teardown began finishes its
+// guard before any Version is freed, and the snapshots themselves stay
+// valid past destruction via their shared_ptr. ASan/TSan turn any
+// drain bug here into a hard failure.
+TEST(ManagerStressTest, DestructionDrainsWhileSnapshotsAreInUse) {
+  DriftOptions dopt;
+  dopt.keys_per_phase = 500;
+  dopt.num_phases = 2;
+  DriftingWorkload drift(dopt);
+  auto phase0 = drift.Phase(0);
+
+  auto opts = StressOptions();
+  opts.scheme = Scheme::kSingleChar;
+  auto mgr = std::make_unique<DictionaryManager>(
+      Hope::Build(Scheme::kSingleChar, SampleKeys(phase0, 0.2),
+                  size_t{1} << 12),
+      opts, MakeNeverPolicy(), phase0);
+
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop_acquiring{false};
+  std::atomic<bool> stop_all{false};
+  std::atomic<int> readers_detached{0};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; r++) {
+    readers.emplace_back([&, r] {
+      auto keys = drift.Phase(static_cast<size_t>(r) % drift.num_phases());
+      size_t i = 0;
+      // Phase 1: hammer Acquire() until teardown is requested. The last
+      // snapshot is kept for phase 2 (the initial one guarantees a live
+      // snapshot even if this thread is scheduled late).
+      DictSnapshot snap = mgr->Acquire();
+      while (!stop_acquiring.load(std::memory_order_acquire)) {
+        snap = mgr->Acquire();
+        std::this_thread::yield();
+      }
+      readers_detached.fetch_add(1);
+      // Phase 2: the manager is being destroyed RIGHT NOW on the main
+      // thread; the held snapshot must keep round-tripping regardless.
+      while (!stop_all.load(std::memory_order_acquire)) {
+        const std::string& key = keys[i++ % keys.size()];
+        size_t bits = 0;
+        std::string enc = snap.hope->Encode(key, &bits);
+        if (snap.hope->Decode(enc, bits) != key) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+
+  // Publish a stream of versions under the readers, then tear down the
+  // manager the instant the readers stop issuing new Acquires — their
+  // final guards and held snapshots race the destructor's drain.
+  for (int s = 1; s <= 8; s++) {
+    auto corpus = drift.Phase(static_cast<size_t>(s) % drift.num_phases());
+    mgr->Publish(Hope::Build(Scheme::kSingleChar, SampleKeys(corpus, 0.2),
+                             size_t{1} << 12));
+  }
+  stop_acquiring.store(true, std::memory_order_release);
+  while (readers_detached.load() < kReaders) std::this_thread::yield();
+  mgr.reset();  // destructor: retire final version + Drain()
+  stop_all.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Deterministic half of the teardown fix: a version whose grace period
+// had not passed when the destructor ran (a reader was pinned across
+// its retirement) is still freed by the destructor's drain — observed
+// through the underlying Hope's weak reference expiring.
+TEST(ManagerStressTest, DestructorFreesRetiresBlockedByPinnedReaders) {
+  DriftOptions dopt;
+  dopt.keys_per_phase = 300;
+  dopt.num_phases = 2;
+  DriftingWorkload drift(dopt);
+  auto phase0 = drift.Phase(0);
+
+  auto opts = StressOptions();
+  opts.scheme = Scheme::kSingleChar;
+  auto mgr = std::make_unique<DictionaryManager>(
+      Hope::Build(Scheme::kSingleChar, SampleKeys(phase0, 0.3),
+                  size_t{1} << 12),
+      opts, MakeNeverPolicy(), phase0);
+
+  std::weak_ptr<const Hope> old_version;
+  {
+    DictSnapshot snap = mgr->Acquire();
+    old_version = snap.hope;
+  }
+  {
+    // Pin a guard across the publish: the epoch cannot advance, so the
+    // superseded epoch-0 Version stays in limbo past the publish.
+    ebr::EpochReclaimer::Guard pin(mgr->reclaimer());
+    mgr->Publish(Hope::Build(Scheme::kSingleChar, SampleKeys(phase0, 0.3),
+                             size_t{1} << 12));
+    EXPECT_EQ(mgr->reclaimer().pending(), 1u);
+  }
+  EXPECT_FALSE(old_version.expired());  // still parked in limbo
+
+  mgr.reset();  // drain must free it (and the final version)
+  EXPECT_TRUE(old_version.expired());
 }
 
 }  // namespace

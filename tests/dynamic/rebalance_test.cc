@@ -208,6 +208,12 @@ TEST(ShardedManagerRebalanceTest, ForcedRebalanceRederivesBoundaries) {
   auto before = mgr.router();
   EXPECT_EQ(before->version(), 0u);
 
+  // Pin the plan history at v0 the way a lagging index would; without
+  // any registered consumer the publish would prune its own plan
+  // immediately.
+  auto reg = mgr.RegisterIndex();
+  EXPECT_EQ(reg.router->version(), 0u);
+
   // Hot traffic confined to the top quarter; the reservoirs of the cold
   // shards stay empty, so the re-derived boundaries live inside the hot
   // range.
@@ -229,11 +235,23 @@ TEST(ShardedManagerRebalanceTest, ForcedRebalanceRederivesBoundaries) {
   for (size_t s = 0; s < mgr.num_shards(); s++)
     EXPECT_EQ(mgr.shard(s).epoch(), 0u) << s;
 
-  // The plan history replays for a lagging index.
+  // The plan history replays for the registered consumer still at v0.
   auto plans = mgr.PlansSince(0);
-  ASSERT_EQ(plans.size(), 1u);
-  EXPECT_EQ(plans[0], plan);
-  EXPECT_TRUE(mgr.PlansSince(1).empty());
+  ASSERT_TRUE(plans.has_value());
+  ASSERT_EQ(plans->size(), 1u);
+  EXPECT_EQ((*plans)[0], plan);
+  ASSERT_TRUE(mgr.PlansSince(1).has_value());
+  EXPECT_TRUE(mgr.PlansSince(1)->empty());
+
+  // Advancing the consumer releases the pin: the plan is pruned, and a
+  // later PlansSince(0) reports the gap explicitly instead of silently
+  // replaying across it.
+  mgr.UpdateIndexVersion(reg.id, 1);
+  EXPECT_EQ(mgr.plans_retained(), 0u);
+  EXPECT_EQ(mgr.plans_floor(), 1u);
+  EXPECT_EQ(mgr.plans_pruned(), 1u);
+  EXPECT_FALSE(mgr.PlansSince(0).has_value());
+  mgr.DeregisterIndex(reg.id);
 
   // Weights reset to balanced after the publish (hysteresis baseline).
   EXPECT_DOUBLE_EQ(mgr.WeightImbalance(), 1.0);
@@ -310,14 +328,12 @@ TEST(ShardedManagerRebalanceTest, NoOpWhenCorpusTooSmall) {
   EXPECT_EQ(mgr.router_version(), 0u);
 }
 
-// Readers keep routing lock-free through a router snapshot while the
-// writer publishes re-derived versions (the TSan angle of the swap).
-// Retrain is off: this test swaps the ROUTER every ~2ms, and with
-// retrain each swap would also Publish() dictionaries at a pace that
-// trips libstdc++-12's _Sp_atomic/TSan incompatibility inside the
-// dictionary layer's atomic<shared_ptr> (a toolchain false positive;
-// publish-vs-acquire concurrency is covered by the hot-swap stress
-// tests at realistic pacing).
+// Readers keep routing wait-free through the epoch-guarded router
+// pointer while the writer publishes re-derived versions (the TSan
+// angle of the swap, now exercising the EBR retire path instead of the
+// old retain-forever workaround). Retrain stays off so each swap is a
+// pure router publish — no Hope::Build per 2ms cycle — and the test
+// stresses swap frequency, not build throughput.
 TEST(ShardedManagerRebalanceTest, RouteAndAcquireStaySafeAcrossSwaps) {
   auto sample = NumberedKeys(200);
   auto opts = SmallShardOptions(4);
@@ -358,6 +374,14 @@ TEST(ShardedManagerRebalanceTest, RouteAndAcquireStaySafeAcrossSwaps) {
   for (auto& t : readers) t.join();
   EXPECT_GT(reads.load(), 0u);
   EXPECT_EQ(mgr.router_version(), swaps);
+
+  // Every superseded router was retired (not retained forever), and with
+  // the readers gone a couple of reclaim polls free all of them — the
+  // manager owns only the live version.
+  EXPECT_EQ(mgr.reclaimer().retired(), swaps);
+  for (int i = 0; i < 10 && mgr.reclaimer().pending() > 0; i++)
+    mgr.reclaimer().TryReclaim();
+  EXPECT_EQ(mgr.reclaimer().reclaimed(), swaps);
 }
 
 struct IndexFixture {
@@ -456,6 +480,42 @@ TEST(ShardedIndexRebalanceTest, ScanStaysOrderedImmediatelyAfterMigration) {
   produced = index.Scan(fx.keys[40], 30, &out);
   ASSERT_EQ(produced, 30u);
   for (size_t i = 0; i < out.size(); i++) EXPECT_EQ(out[i], 40 + i) << i;
+}
+
+// The recovery path behind the PlansSince sentinel: when incremental
+// plan history is unavailable, Resync() re-routes every entry through
+// the manager's current router and lands on the same state the plan
+// replay would have produced.
+TEST(ShardedIndexRebalanceTest, ResyncRebuildsRoutingWithoutPlanHistory) {
+  IndexFixture fx;
+  ShardedVersionedIndex<BTree> index(fx.mgr.get());
+  for (size_t i = 0; i < fx.keys.size(); i++) index.Insert(fx.keys[i], i);
+
+  // Two stacked rebalances the index has not applied.
+  ASSERT_NE(fx.SkewAndRebalance(75, 100), nullptr);
+  ASSERT_NE(fx.SkewAndRebalance(0, 25), nullptr);
+  EXPECT_EQ(index.router_version(), 0u);
+
+  size_t moved = index.Resync();
+  EXPECT_EQ(index.router_version(), 2u);
+  EXPECT_EQ(index.resyncs(), 1u);
+  EXPECT_GT(moved, 0u);
+  EXPECT_EQ(index.size(), fx.keys.size());
+
+  // Every key lives in the shard the current router names, so lookups
+  // and ordered cross-shard scans behave exactly as after a plan-by-
+  // plan catch-up.
+  uint64_t v = 0;
+  for (size_t i = 0; i < fx.keys.size(); i++) {
+    ASSERT_TRUE(index.Lookup(fx.keys[i], &v)) << fx.keys[i];
+    EXPECT_EQ(v, i);
+  }
+  std::vector<uint64_t> out;
+  ASSERT_EQ(index.Scan("", fx.keys.size(), &out), fx.keys.size());
+  for (size_t i = 0; i < out.size(); i++) EXPECT_EQ(out[i], i) << i;
+
+  // The resync reported its version, releasing the plan pins.
+  EXPECT_EQ(fx.mgr->plans_retained(), 0u);
 }
 
 TEST(VersionedIndexTest, ExtractRangeRemovesAndReturnsOrderedEntries) {

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Exit-code and detection contract of tools/bench_diff.py (documented in
+# its module docstring: 0 no regressions, 1 regressions, 2 usage /
+# malformed input). Exercises file-vs-file and dir-vs-dir modes against
+# synthesized reports shaped like bench_common.h JsonReport output.
+set -u
+
+diff_tool="$1"
+python="${2:-python3}"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+fail=0
+
+expect() {
+  local want="$1"
+  shift
+  "$python" "$diff_tool" "$@" >/dev/null 2>&1
+  local got=$?
+  if [[ "$got" -ne "$want" ]]; then
+    echo "FAIL: bench_diff $* -> exit $got (want $want)"
+    fail=1
+  fi
+}
+
+base="$work/base.json"
+cat > "$base" <<'EOF'
+{
+  "bench": "dynamic_rebuild",
+  "keys": 1000,
+  "rows": [
+    {"series": "phase", "phase": 0, "managed_cpr": 2.0, "epoch": 0},
+    {"series": "phase", "phase": 1, "managed_cpr": 1.9, "epoch": 1},
+    {"series": "summary", "managed_cpr_final": 1.9, "rebal_spread": 1.1,
+     "ns_per_char_b1": 10.0, "rebuilds": 4}
+  ]
+}
+EOF
+
+# Identical results: clean pass.
+cp "$base" "$work/same.json"
+expect 0 "$base" "$work/same.json"
+
+# CPR drop beyond 5%: regression.
+sed 's/"managed_cpr_final": 1.9/"managed_cpr_final": 1.7/' "$base" \
+  > "$work/cpr_drop.json"
+expect 1 "$base" "$work/cpr_drop.json"
+
+# CPR drop within the default 5% gate: pass.
+sed 's/"managed_cpr_final": 1.9/"managed_cpr_final": 1.85/' "$base" \
+  > "$work/cpr_small.json"
+expect 0 "$base" "$work/cpr_small.json"
+# ...but a tightened gate catches it.
+expect 1 "$base" "$work/cpr_small.json" --cpr-threshold 0.01
+
+# Latency up 50% (default gate 25%): regression; CPR improving does not
+# mask it.
+sed -e 's/"ns_per_char_b1": 10.0/"ns_per_char_b1": 15.0/' \
+    -e 's/"managed_cpr_final": 1.9/"managed_cpr_final": 2.5/' "$base" \
+  > "$work/lat_up.json"
+expect 1 "$base" "$work/lat_up.json"
+# A loose latency gate lets it through; inf disables the family
+# entirely (the cross-machine CI mode) without touching the spread gate.
+expect 0 "$base" "$work/lat_up.json" --latency-threshold 0.6
+expect 0 "$base" "$work/lat_up.json" --latency-threshold inf
+sed 's/"rebal_spread": 1.1/"rebal_spread": 2.0/' "$work/lat_up.json" \
+  > "$work/lat_inf_spread_up.json"
+expect 1 "$base" "$work/lat_inf_spread_up.json" --latency-threshold inf
+
+# Spread (load imbalance) counts as lower-is-better.
+sed 's/"rebal_spread": 1.1/"rebal_spread": 2.0/' "$base" \
+  > "$work/spread_up.json"
+expect 1 "$base" "$work/spread_up.json"
+
+# Non-metric counters (epoch, rebuilds) never gate.
+sed 's/"rebuilds": 4/"rebuilds": 9/' "$base" > "$work/counts.json"
+expect 0 "$base" "$work/counts.json"
+
+# Improvements never gate.
+sed 's/"managed_cpr_final": 1.9/"managed_cpr_final": 2.4/' "$base" \
+  > "$work/better.json"
+expect 0 "$base" "$work/better.json"
+
+# Directory mode: shared files compared, one-sided files only noted.
+mkdir -p "$work/a" "$work/b"
+cp "$base" "$work/a/BENCH_dynamic.json"
+cp "$work/cpr_drop.json" "$work/b/BENCH_dynamic.json"
+cp "$base" "$work/a/BENCH_only_in_baseline.json"
+expect 1 "$work/a" "$work/b"
+cp "$base" "$work/b/BENCH_dynamic.json"
+expect 0 "$work/a" "$work/b"
+
+# Volatile descriptive strings (shard_epochs-style) are not identity:
+# a row whose epoch string shifted still matches, so a CPR drop in it
+# is still caught...
+base_epochs="$work/base_epochs.json"
+cat > "$base_epochs" <<'EOF'
+{
+  "bench": "dynamic_rebuild",
+  "keys": 1000,
+  "rows": [
+    {"series": "rebalance_phase", "phase": 1, "rebal_cpr": 2.0,
+     "rebal_shard_epochs": "0/0/3/0"}
+  ]
+}
+EOF
+sed -e 's|"0/0/3/0"|"0/0/2/0"|' -e 's/"rebal_cpr": 2.0/"rebal_cpr": 1.5/' \
+  "$base_epochs" > "$work/epochs_shift.json"
+expect 1 "$base_epochs" "$work/epochs_shift.json"
+# ...and an epoch-string shift alone never gates.
+sed 's|"0/0/3/0"|"0/0/2/0"|' "$base_epochs" > "$work/epochs_only.json"
+expect 0 "$base_epochs" "$work/epochs_only.json"
+
+# A different run configuration (keys / full_scale) is skipped loudly,
+# never reported as a perf regression.
+sed -e 's/"keys": 1000/"keys": 50/' \
+    -e 's/"managed_cpr_final": 1.9/"managed_cpr_final": 1.0/' "$base" \
+  > "$work/other_config.json"
+expect 0 "$base" "$work/other_config.json"
+
+# Malformed input and bad usage.
+echo '{"rows": "nope"}' > "$work/broken.json"
+expect 2 "$base" "$work/broken.json"
+expect 2 "$base" "$work/does_not_exist.json"
+expect 2 "$base" "$work/a"           # file vs dir
+expect 2 "$base" "$work/same.json" --cpr-threshold -1
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "bench_diff_test FAILED"
+  exit 1
+fi
+echo "bench_diff_test OK"

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Bench trend diffing: compare two BENCH_*.json results and fail on
+regressions beyond a threshold.
+
+Usage:
+  bench_diff.py BASELINE CANDIDATE [--cpr-threshold F] [--latency-threshold F]
+
+BASELINE and CANDIDATE are either two JSON files produced by the bench
+binaries' --json mode (bench/bench_common.h JsonReport: {"bench": ...,
+"rows": [...]}), or two directories, in which case every BENCH_*.json
+present in BOTH is compared (files only in one side are reported but do
+not fail the run — new benches appear, retired ones disappear).
+
+Rows are matched across files by a fixed whitelist of identity fields
+(series / scheme / phase / shard counts); volatile descriptive strings
+such as shard_epochs are neither identity nor metrics, so a benign
+rebuild-count shift cannot un-match a row and silently exempt its CPR
+from the gate. Within matched rows, only recognized metric families are
+compared:
+
+  higher is better:  *cpr* (compression rate), *gain*
+  lower is better:   ns_per_* (latency), *_spread (load imbalance)
+
+ns_per_* and *_spread take separate thresholds: spread is a behavioral
+metric (deterministic given the workload), while absolute latency is
+machine-bound — when comparing runs from DIFFERENT machines (e.g. a CI
+runner against a committed developer-machine baseline) pass
+`--latency-threshold inf` to disable the latency gate rather than
+training people to ignore spurious red.
+
+Everything else (epochs, rebuild counts, router versions, lookup checks)
+is informational and ignored here. A regression is a relative change in
+the bad direction beyond the family's threshold; CPR is nearly
+deterministic so its default gate is tight (5%), latency runs on shared
+CI hardware so its default is loose (25%, `inf` to disable).
+
+Exit codes: 0 = no regressions, 1 = at least one regression,
+2 = usage / malformed input.
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+# Fields that identify a row rather than measure it. A fixed whitelist,
+# not "all strings": volatile descriptive strings (shard_epochs and the
+# like) change benignly run-to-run, and folding them into identity would
+# un-match the row and silently skip its metric comparison.
+ID_FIELDS = {
+    "series", "scheme", "phase", "num_shards", "victim_shard",
+    "mix_fraction_b",
+}
+
+
+def is_lower_better(name: str) -> bool:
+    return name.startswith("ns_per_") or name.endswith("_spread")
+
+
+def is_higher_better(name: str) -> bool:
+    return "cpr" in name or "gain" in name
+
+
+def row_key(row: dict) -> tuple:
+    return tuple((field, row[field]) for field in sorted(row)
+                 if field in ID_FIELDS)
+
+
+def load_report(path: Path) -> dict:
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(report, dict) or not isinstance(report.get("rows"), list):
+        print(f"error: {path} is not a bench report (no rows[])",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return report
+
+
+def metric_value(value):
+    """JsonReport emits null for non-finite values; treat those (and
+    non-numbers) as unavailable."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    if not math.isfinite(value):
+        return None
+    return float(value)
+
+
+def diff_reports(name, baseline, candidate, cpr_thr, lat_thr, spread_thr):
+    """Returns (regressions, notes): regressions are formatted lines."""
+    regressions, notes = [], []
+    # Different run configurations (keys per dataset, full-scale flag)
+    # measure different workloads; comparing them would report the
+    # config delta as a perf regression. Skip, loudly.
+    for cfg in ("keys", "full_scale", "bench"):
+        if baseline.get(cfg) != candidate.get(cfg):
+            notes.append(
+                f"{name}: skipped — run config differs "
+                f"({cfg}: {baseline.get(cfg)} vs {candidate.get(cfg)})")
+            return regressions, notes
+    base_rows = {}
+    for row in baseline["rows"]:
+        base_rows[row_key(row)] = row
+
+    matched = 0
+    for row in candidate["rows"]:
+        key = row_key(row)
+        base = base_rows.get(key)
+        if base is None:
+            notes.append(f"{name}: new row {dict(key)}")
+            continue
+        matched += 1
+        for field, value in row.items():
+            lower = is_lower_better(field)
+            higher = is_higher_better(field)
+            if not lower and not higher:
+                continue
+            if field in ID_FIELDS:
+                continue
+            new = metric_value(value)
+            old = metric_value(base.get(field))
+            if new is None or old is None or old == 0:
+                continue
+            change = (new - old) / abs(old)
+            if lower:
+                threshold = (lat_thr if field.startswith("ns_per_")
+                             else spread_thr)
+            else:
+                threshold = cpr_thr
+            if math.isinf(threshold):
+                continue
+            bad = change > threshold if lower else change < -threshold
+            if bad:
+                direction = "up" if change > 0 else "down"
+                regressions.append(
+                    f"{name}: {dict(key)} {field}: {old:g} -> {new:g} "
+                    f"({change * 100:+.1f}% {direction}, "
+                    f"threshold {threshold * 100:.0f}%)")
+    if matched == 0:
+        notes.append(f"{name}: no rows matched between baseline and "
+                     "candidate (identity fields changed?)")
+    return regressions, notes
+
+
+def collect_pairs(baseline: Path, candidate: Path):
+    if baseline.is_dir() != candidate.is_dir():
+        print("error: BASELINE and CANDIDATE must both be files or both "
+              "be directories", file=sys.stderr)
+        raise SystemExit(2)
+    if not baseline.is_dir():
+        return [(baseline.name, baseline, candidate)], []
+    base_files = {p.name: p for p in sorted(baseline.glob("BENCH_*.json"))}
+    cand_files = {p.name: p for p in sorted(candidate.glob("BENCH_*.json"))}
+    notes = []
+    for only in sorted(set(base_files) - set(cand_files)):
+        notes.append(f"{only}: present only in baseline")
+    for only in sorted(set(cand_files) - set(base_files)):
+        notes.append(f"{only}: present only in candidate")
+    shared = sorted(set(base_files) & set(cand_files))
+    if not shared:
+        print("error: no shared BENCH_*.json between the two directories",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return [(n, base_files[n], cand_files[n]) for n in shared], notes
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two bench results; exit 1 on regressions.")
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("candidate", type=Path)
+    parser.add_argument("--cpr-threshold", type=float, default=0.05,
+                        help="max relative CPR/gain drop (default 0.05)")
+    parser.add_argument("--latency-threshold", type=float, default=0.25,
+                        help="max relative ns_per_* increase (default "
+                             "0.25; 'inf' disables — use when baseline "
+                             "and candidate ran on different machines)")
+    parser.add_argument("--spread-threshold", type=float, default=0.25,
+                        help="max relative *_spread increase "
+                             "(default 0.25)")
+    args = parser.parse_args()
+    if (args.cpr_threshold < 0 or args.latency_threshold < 0
+            or args.spread_threshold < 0):
+        parser.error("thresholds must be non-negative")
+
+    pairs, notes = collect_pairs(args.baseline, args.candidate)
+    regressions = []
+    for name, base_path, cand_path in pairs:
+        r, n = diff_reports(name, load_report(base_path),
+                            load_report(cand_path),
+                            args.cpr_threshold, args.latency_threshold,
+                            args.spread_threshold)
+        regressions += r
+        notes += n
+
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        print(f"{len(regressions)} regression(s):")
+        for line in regressions:
+            print(f"  REGRESSION {line}")
+        return 1
+    print(f"ok: {len(pairs)} report(s) compared, no regressions beyond "
+          f"thresholds (cpr {args.cpr_threshold:.0%}, "
+          f"latency {args.latency_threshold:.0%}, "
+          f"spread {args.spread_threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
