@@ -9,7 +9,6 @@
 //   HOPE_BENCH_FULL=1 paper-sized dictionary sweeps (2^16/2^18 entries)
 #pragma once
 
-#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/parse.h"
 #include "datasets/datasets.h"
 #include "hope/hope.h"
 #include "workload/workload.h"
@@ -27,20 +27,15 @@
 namespace hope::bench {
 
 inline size_t NumKeys() {
-  // Parsed (and any warning printed) once: strtoull would silently turn
-  // "abc" into 0, "-1" into 2^64-1, and "12x" into 12, and a 0-key bench
-  // reports garbage — reject anything but a plain positive integer.
+  // Parsed (and any warning printed) once: a 0-key bench reports
+  // garbage, so anything but a plain positive integer falls back to the
+  // default, loudly (the digits-only contract lives in common/parse.h).
   static const size_t cached = [] {
     constexpr size_t kDefault = 200000;
     const char* env = std::getenv("HOPE_BENCH_KEYS");
     if (!env) return kDefault;
-    bool digits_only = *env != '\0';
-    for (const char* p = env; *p; p++)
-      if (*p < '0' || *p > '9') digits_only = false;
-    errno = 0;
-    char* end = nullptr;
-    unsigned long long v = std::strtoull(env, &end, 10);
-    if (!digits_only || errno == ERANGE || *end != '\0' || v == 0) {
+    unsigned long long v = 0;
+    if (!ParsePositiveUint(env, ~0ull, &v)) {
       std::fprintf(stderr,
                    "warning: HOPE_BENCH_KEYS=\"%s\" is not a positive "
                    "integer; using default %zu\n",

@@ -32,6 +32,7 @@ run() {
 
 run bench_fig14_batch_encoding BENCH_fig14.json
 run bench_dynamic_rebuild BENCH_dynamic.json
+run bench_serving BENCH_serving.json
 
 if [[ "$all" == 1 ]]; then
   run bench_fig8_microbench BENCH_fig8.json

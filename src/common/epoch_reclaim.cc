@@ -67,6 +67,46 @@ struct EpochReclaimer::State {
     return true;
   }
 
+  /// Unlinks and frees released slots beyond a small recycling cushion,
+  /// so pathological thread churn (many short-lived reader threads whose
+  /// peaks never overlap) shrinks the list back instead of parking it at
+  /// the historical peak. Requires mu. Safe because every traversal and
+  /// every claim (SlotFor) also runs under mu, and a released slot's
+  /// owner performed its release store of `owned` as its final access to
+  /// the slot — the acquire load here orders the free after it. Returns
+  /// slots freed.
+  size_t CompactSlotsLocked() {
+    // Retain a few released slots for recycling: steady-state churn
+    // (one thread at a time) should keep reusing one slot, not
+    // alternate free/new on every thread.
+    constexpr size_t kKeepReleased = 4;
+    size_t seen_released = 0, freed = 0;
+    Slot* head = slots.load(std::memory_order_relaxed);
+    Slot** link = &head;
+    while (*link) {
+      Slot* s = *link;
+      const bool released = !s->owned.load(std::memory_order_acquire) &&
+                            s->epoch.load(std::memory_order_seq_cst) == 0;
+      if (released && ++seen_released > kKeepReleased) {
+        *link = s->next;
+        delete s;
+        freed++;
+      } else {
+        link = &s->next;
+      }
+    }
+    slots.store(head, std::memory_order_release);
+    return freed;
+  }
+
+  /// Requires mu.
+  size_t SlotCountLocked() {
+    size_t n = 0;
+    for (Slot* s = slots.load(std::memory_order_relaxed); s; s = s->next)
+      n++;
+    return n;
+  }
+
   /// Moves every limbo entry whose grace period has passed into `out`.
   /// Requires mu; the caller runs the deleters outside it.
   void CollectLocked(std::vector<Retired>* out) {
@@ -122,25 +162,29 @@ EpochReclaimer::Slot* SlotFor(const std::shared_ptr<EpochReclaimer::State>& stat
   }
 
   // First guard against this reclaimer on this thread: recycle a slot a
-  // finished thread released, else append a fresh one.
+  // finished thread released, else append a fresh one. Claim and append
+  // run under mu — once per (thread, reclaimer), so the lock is cold —
+  // which is what lets CompactSlotsLocked unlink released slots instead
+  // of growing the list to the historical peak forever.
   EpochReclaimer::Slot* slot = nullptr;
-  for (EpochReclaimer::Slot* s =
-           state->slots.load(std::memory_order_acquire);
-       s; s = s->next) {
-    bool expected = false;
-    if (s->owned.compare_exchange_strong(expected, true,
-                                         std::memory_order_acq_rel)) {
-      slot = s;
-      break;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    for (EpochReclaimer::Slot* s =
+             state->slots.load(std::memory_order_relaxed);
+         s; s = s->next) {
+      // The acquire load pairs with the exiting owner's release store,
+      // ordering its final slot writes before this thread's reuse.
+      if (!s->owned.load(std::memory_order_acquire)) {
+        s->owned.store(true, std::memory_order_relaxed);
+        slot = s;
+        break;
+      }
     }
-  }
-  if (!slot) {
-    slot = new EpochReclaimer::Slot;
-    slot->owned.store(true, std::memory_order_relaxed);
-    slot->next = state->slots.load(std::memory_order_relaxed);
-    while (!state->slots.compare_exchange_weak(slot->next, slot,
-                                               std::memory_order_acq_rel,
-                                               std::memory_order_relaxed)) {
+    if (!slot) {
+      slot = new EpochReclaimer::Slot;
+      slot->owned.store(true, std::memory_order_relaxed);
+      slot->next = state->slots.load(std::memory_order_relaxed);
+      state->slots.store(slot, std::memory_order_release);
     }
   }
   slot->depth = 0;
@@ -190,6 +234,7 @@ void EpochReclaimer::Retire(std::function<void()> deleter) {
     st.TryAdvanceLocked();
     st.TryAdvanceLocked();
     st.CollectLocked(&freeable);
+    st.CompactSlotsLocked();
   }
   // Deleters run outside mu: they may be arbitrarily heavy (dictionary
   // teardown) and must not extend the writer critical section.
@@ -202,6 +247,9 @@ size_t EpochReclaimer::TryReclaim() {
   std::vector<Retired> freeable;
   {
     std::lock_guard<std::mutex> lock(st.mu);
+    // Compact before the empty-limbo early return: idle-period pollers
+    // are exactly when churn-released slots should shrink away.
+    st.CompactSlotsLocked();
     if (st.limbo.empty()) return 0;
     st.TryAdvanceLocked();
     st.TryAdvanceLocked();
@@ -222,6 +270,7 @@ void EpochReclaimer::Drain() {
       st.TryAdvanceLocked();
       st.TryAdvanceLocked();
       st.CollectLocked(&freeable);
+      st.CompactSlotsLocked();
       remaining = st.limbo.size();
     }
     for (Retired& r : freeable) r.deleter();
@@ -241,6 +290,12 @@ uint64_t EpochReclaimer::reclaimed() const {
 
 uint64_t EpochReclaimer::global_epoch() const {
   return state_->global_epoch.load(std::memory_order_seq_cst);
+}
+
+size_t EpochReclaimer::slot_count() const {
+  State& st = *state_;
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.SlotCountLocked();
 }
 
 }  // namespace hope::ebr

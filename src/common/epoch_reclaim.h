@@ -37,9 +37,13 @@
 // atomics (plus one refresh store when an advance races the pin - the
 // stale pin would merely stall reclamation, never break safety).
 // Writers serialize on a mutex; Retire is O(slots) for the advance scan.
-// A thread's slot is claimed on its first Guard against a reclaimer and
-// recycled when the thread exits; slots are never unlinked, so the scan
-// is bounded by the peak number of concurrent reader threads.
+// A thread's slot is claimed on its first Guard against a reclaimer
+// (a one-time mutex acquisition; every later pin is wait-free) and
+// released when the thread exits. Released slots are recycled by new
+// threads, and Retire/TryReclaim/Drain compact the list down to a small
+// recycling cushion, so the scan is bounded by the number of
+// *concurrent* reader threads plus that cushion — not by the historical
+// peak, and not by the number of threads ever seen.
 #pragma once
 
 #include <atomic>
@@ -125,6 +129,11 @@ class EpochReclaimer {
 
   /// Current global epoch (diagnostics/tests).
   uint64_t global_epoch() const;
+
+  /// Slots currently in the list, owned or released (diagnostics/tests:
+  /// the thread-churn regression asserts this stays bounded by live
+  /// readers plus the compaction cushion, not the historical peak).
+  size_t slot_count() const;
 
  private:
   /// State is shared so a thread exiting after the reclaimer is gone can

@@ -1,0 +1,35 @@
+// Strict numeric argument parsing, shared by the bench env knobs and the
+// CLI demos.
+//
+// strtoull alone is the wrong contract for user-facing counts: it
+// silently accepts leading whitespace and an explicit '+', wraps
+// negative input to huge values, saturates on overflow, and stops at the
+// first non-digit ("12x" parses as 12). Every consumer of a count-like
+// argument (HOPE_BENCH_KEYS, hope_cli's keys/shards/workers/dict_size)
+// wants the same rule instead: the input is a plain run of decimal
+// digits, in range, and nothing else.
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace hope {
+
+/// Parses `s` as a positive decimal integer in [1, max]. Accepts only
+/// digits — no sign, no whitespace, no trailing junk, no empty string —
+/// and rejects 0, overflow, and values above `max`. Returns false
+/// without touching *out on any rejection.
+inline bool ParsePositiveUint(const char* s, unsigned long long max,
+                              unsigned long long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  for (const char* p = s; *p; p++)
+    if (*p < '0' || *p > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || *end != '\0' || v == 0 || v > max) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace hope

@@ -4,6 +4,6 @@
 
 namespace hope {
 
-inline constexpr const char kVersion[] = "0.5.0";
+inline constexpr const char kVersion[] = "0.6.0";
 
 }  // namespace hope

@@ -63,6 +63,16 @@ void BackgroundRebuilder::Loop() {
     // Run the cycle unlocked so Nudge()/Stop() never wait on a build.
     lock.unlock();
     cycles_.fetch_add(1);
+    // Rebalance rides the same loop: traffic weights fold in once per
+    // cycle and the router re-derives when the policy trips. It runs
+    // BEFORE the rebuild sweep: a quiet rebalance poll costs
+    // microseconds while one drifted shard's rebuild can take seconds,
+    // and ordering the cheap step first bounds router staleness by the
+    // poll interval instead of by the slowest dictionary build.
+    for (ShardedDictionaryManager* sharded : sharded_) {
+      if (stop_requested_.load(std::memory_order_relaxed)) break;
+      if (sharded->PollRebalance()) rebalances_.fetch_add(1);
+    }
     // RebuildNow re-checks each policy under the manager's own mutex (the
     // authoritative, race-free evaluation), so no pre-check here. Shards
     // whose policy is quiet return kNotTriggered in microseconds, so one
@@ -73,12 +83,6 @@ void BackgroundRebuilder::Loop() {
       if (stop_requested_.load(std::memory_order_relaxed)) break;
       if (manager->RebuildNow() == DictionaryManager::RebuildResult::kRebuilt)
         rebuilds_.fetch_add(1);
-    }
-    // Rebalance rides the same loop: traffic weights fold in once per
-    // cycle and the router re-derives when the policy trips.
-    for (ShardedDictionaryManager* sharded : sharded_) {
-      if (stop_requested_.load(std::memory_order_relaxed)) break;
-      if (sharded->PollRebalance()) rebalances_.fetch_add(1);
     }
     // Epoch reclamation rides it too: retired versions age out only when
     // the epoch advances, and publishes are the only other advance site,

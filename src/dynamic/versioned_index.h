@@ -13,9 +13,15 @@
 // MigrateAll() drains them eagerly (required before range scans, which
 // only make sense within a single generation's encoding).
 //
-// The adapter is deliberately single-writer: one thread mutates the
-// index while the DictionaryManager swaps dictionaries underneath it —
-// the swap itself is what stays concurrent-safe, via immutable snapshots.
+// The adapter is externally synchronized — it never locks. The classic
+// embedding is single-writer: one thread mutates the index while the
+// DictionaryManager swaps dictionaries underneath it (the swap itself
+// stays concurrent-safe via immutable snapshots). The serving layer
+// (serve/concurrent_index.h) instead wraps each shard's index in a
+// shared_mutex and splits the API: Peek() is the const read path, safe
+// under a shared lock concurrently with other Peek()s (it migrates
+// nothing and its lazy probe-encoder build is once_flag-protected);
+// every mutating call requires the exclusive lock.
 //
 // Tree must provide: Insert(string_view, uint64_t),
 // Lookup(string_view, uint64_t*) const, Erase(string_view), size().
@@ -24,6 +30,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -114,12 +121,96 @@ class VersionedIndex {
     return false;
   }
 
+  /// Read-only point lookup: probes every generation newest-to-oldest
+  /// without migrating hits, adopting epochs, or otherwise mutating the
+  /// index. This is the concurrent reader path — safe under a shared
+  /// lock alongside other Peek()s. The newest-generation encode is real
+  /// serving traffic and feeds the stats collector (the collector is
+  /// thread-safe); old-generation probes use the observer-free clone.
+  /// Old generations drain via the writer path (Lookup/MigrateAll), not
+  /// here, so a Peek-only workload leaves generation counts unchanged.
+  bool Peek(const std::string& key, uint64_t* value) const {
+    for (size_t g = gens_.size(); g-- > 0;) {
+      const Generation& gen = *gens_[g];
+      std::string enc = g + 1 == gens_.size() ? gen.Encode(key)
+                                              : gen.ProbeEncode(key);
+      uint64_t v = 0;
+      if (gen.tree.Lookup(enc, &v)) {
+        if (value) *value = v;
+        return true;
+      }
+    }
+    return false;
+  }
+
   bool Erase(const std::string& key) {
     bool erased = false;
     for (auto& gen : gens_)
       erased |= gen->tree.Erase(gen->ProbeEncode(key));
     PruneEmpty();
     return erased;
+  }
+
+  /// Migration insert that never clobbers: if the key is already live in
+  /// any generation the existing value wins and nothing changes. The
+  /// cross-shard migration path needs this — a concurrent writer may
+  /// have inserted a fresher value into the destination shard after the
+  /// migration batch captured the source entry, and replaying the stale
+  /// copy over it would undo the write. Returns true when inserted.
+  bool InsertIfAbsent(const std::string& key, uint64_t value) {
+    Refresh();
+    for (auto& gen : gens_) {
+      uint64_t v = 0;
+      if (gen->tree.Lookup(gen->ProbeEncode(key), &v)) return false;
+    }
+    Generation& newest = *gens_.back();
+    newest.tree.Insert(newest.ProbeEncode(key), value);
+    newest.log.push_back(key);
+    CompactLog(newest);
+    return true;
+  }
+
+  /// Sorted live original keys in [begin, end) (`end == nullptr` =
+  /// unbounded above), without removing them. Drains old generations
+  /// first so one tree + log pair answers. This is the migration cursor
+  /// for incremental cross-shard moves: capture the key list once, then
+  /// ExtractKeys() it in bounded batches.
+  std::vector<std::string> CollectRangeKeys(const std::string& begin,
+                                            const std::string* end) {
+    MigrateAll();
+    Generation& gen = *gens_.back();
+    std::unordered_set<std::string_view> seen;
+    std::vector<std::string> out;
+    for (const std::string& key : gen.log) {
+      if (!seen.insert(key).second) continue;
+      if (key < begin || (end && key >= *end)) continue;
+      uint64_t v = 0;
+      if (gen.tree.Lookup(gen.ProbeEncode(key), &v)) out.push_back(key);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Removes exactly the listed keys (those still live — keys erased or
+  /// already moved since the cursor was captured are skipped) and
+  /// appends {key, value} pairs to `out`. Returns entries extracted.
+  size_t ExtractKeys(const std::vector<std::string>& keys,
+                     std::vector<std::pair<std::string, uint64_t>>* out) {
+    size_t extracted = 0;
+    for (const std::string& key : keys) {
+      for (size_t g = gens_.size(); g-- > 0;) {
+        Generation& gen = *gens_[g];
+        std::string enc = gen.ProbeEncode(key);
+        uint64_t v = 0;
+        if (!gen.tree.Lookup(enc, &v)) continue;
+        gen.tree.Erase(enc);
+        out->emplace_back(key, v);
+        extracted++;
+        break;
+      }
+    }
+    PruneEmpty();
+    return extracted;
   }
 
   /// Eagerly drains every old generation through its insert log. Returns
@@ -217,14 +308,17 @@ class VersionedIndex {
     /// migration and log compaction re-encode keys mechanically; routing
     /// them through the published version would pollute the EWMA/
     /// reservoir with retired-dictionary stats and synthetic bursts. The
-    /// observer-free clone is built lazily on first maintenance touch.
-    std::string ProbeEncode(const std::string& key) {
-      if (!probe) probe = dict.hope->Clone();
+    /// observer-free clone is built lazily on first maintenance touch;
+    /// once_flag makes the build safe under concurrent Peek()s (Encode
+    /// itself is const and stateless, so the built clone is shareable).
+    std::string ProbeEncode(const std::string& key) const {
+      std::call_once(probe_once, [this] { probe = dict.hope->Clone(); });
       return probe->Encode(key);
     }
 
     DictSnapshot dict;
-    std::unique_ptr<Hope> probe;   ///< observer-free clone (lazy)
+    mutable std::once_flag probe_once;
+    mutable std::unique_ptr<Hope> probe;  ///< observer-free clone (lazy)
     Tree tree;
     std::vector<std::string> log;  ///< original keys inserted here
   };

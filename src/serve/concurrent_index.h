@@ -1,0 +1,480 @@
+// ConcurrentShardedIndex<Tree>: the serving-grade counterpart of
+// dynamic/sharded_index.h — same per-shard VersionedIndex storage, but
+// built for many reader threads and per-shard serialized writers
+// instead of one coarse single-writer loop.
+//
+// Read path (lock-free in shape, in the style of the btree24 optimistic
+// DataStructureWrapper): routing state is published through atomic raw
+// pointers guarded by the manager's EpochReclaimer — readers pin an
+// ebr::Guard, load the RouterVersion (and the in-flight RebalancePlan,
+// if any), and route without taking the migration lock. Shard probes
+// take that shard's shared_mutex in shared mode and run
+// VersionedIndex::Peek, the const non-migrating lookup, so readers only
+// ever wait on a shard's writer, never on each other and never on the
+// migration of some other shard.
+//
+// Write path: Insert/Erase take the owning shard's lock exclusively.
+// An insert validates its routing *after* acquiring the shard lock and
+// re-routes if a rebalance moved the key's range in between — the lock
+// order (router advance, then cursor collection under the source
+// shard's lock) makes the recheck sufficient: a key inserted into a
+// shard that still owns it is either caught by the migration cursor or
+// was never migrated away.
+//
+// Migration-transparent reads: PollMigration() applies rebalance plans
+// in bounded batches instead of stop-the-world. When a plan starts, the
+// plan pointer is published first and then the router advances to
+// plan->to, so writers immediately target the new owners while the keys
+// are still moving. A lookup that misses in the new owner and whose key
+// lies in a moved range falls back to the old owner (double-routing).
+// Every batch commits under BOTH shard locks and bumps migration_seq_
+// before unlocking; a reader that missed in both owners re-reads the
+// sequence and retries if it changed — the only way a live key can miss
+// both probes is a batch committing between them, and that batch bumped
+// the sequence. After a bounded number of optimistic retries the reader
+// falls back to probing under the migration lock, which excludes batch
+// commits entirely.
+//
+// Erase double-routes too, and erases in *both* owners (a key can
+// transiently exist in both: a fresh insert into the new owner plus a
+// stale not-yet-migrated copy in the old one; the stale copy must not
+// outlive the erase or the next batch would resurrect the key — though
+// even then InsertIfAbsent, not Insert, is what moves keys, so a
+// migrated copy can never clobber a concurrent writer's fresher value).
+//
+// Scan() drains: it completes any in-flight plan (cross-shard order is
+// undefined mid-plan — moved ranges interleave two shards' encodings)
+// and then walks shards in boundary order under exclusive locks. Short
+// scans are therefore heavier than points during a rebalance; that is
+// the documented trade, and bench_serving measures it.
+//
+// Lock order (deadlock freedom): migration_mu_ before any shard mutex;
+// shard mutexes in ascending shard index when two are held (batch
+// commits). Readers take only one shard lock at a time.
+//
+// The manager must outlive the index, as with ShardedVersionedIndex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/epoch_reclaim.h"
+#include "dynamic/sharded_manager.h"
+#include "dynamic/versioned_index.h"
+
+namespace hope::serve {
+
+template <typename Tree>
+class ConcurrentShardedIndex {
+ public:
+  /// `manager` must outlive the index. Registers as a plan consumer so
+  /// unapplied history is never pruned; adopts the current router.
+  explicit ConcurrentShardedIndex(dynamic::ShardedDictionaryManager* manager)
+      : manager_(manager) {
+    auto reg = manager->RegisterIndex();
+    registration_id_ = reg.id;
+    router_ = std::move(reg.router);
+    router_ptr_.store(router_.get(), std::memory_order_seq_cst);
+    shards_.reserve(manager->num_shards());
+    for (size_t i = 0; i < manager->num_shards(); i++)
+      shards_.push_back(std::make_unique<Shard>(&manager->shard(i)));
+  }
+
+  ~ConcurrentShardedIndex() {
+    manager_->DeregisterIndex(registration_id_);
+    // Straggler readers pinned before destruction may still hold the
+    // raw router/plan pointers; route the final references through the
+    // reclaimer so they outlive any such pin (the manager's contract).
+    inflight_plan_.store(nullptr, std::memory_order_seq_cst);
+    if (mig_.plan)
+      manager_->reclaimer().Retire(
+          [keep = std::move(mig_.plan)]() mutable { keep.reset(); });
+    manager_->reclaimer().Retire(
+        [keep = std::move(router_)]() mutable { keep.reset(); });
+  }
+
+  ConcurrentShardedIndex(const ConcurrentShardedIndex&) = delete;
+  ConcurrentShardedIndex& operator=(const ConcurrentShardedIndex&) = delete;
+
+  /// Wait-free routing snapshot (shard affinity for worker queues).
+  size_t Route(const std::string& key) const {
+    ebr::EpochReclaimer::Guard guard(manager_->reclaimer());
+    return router_ptr_.load(std::memory_order_seq_cst)->Route(key);
+  }
+
+  void Insert(const std::string& key, uint64_t value) {
+    for (int attempt = 0; attempt < kOptimisticRetries; attempt++) {
+      size_t s = Route(key);
+      std::unique_lock<std::shared_mutex> lk(shards_[s]->mu);
+      // Revalidate under the shard lock: if a plan advanced the router
+      // after we routed, inserting here could land the key in a shard
+      // whose migration cursor was already collected — stranding it on
+      // the wrong side of the new boundary forever. The recheck is
+      // ordered after any such cursor collection by this very lock.
+      if (Route(key) == s) {
+        shards_[s]->index.Insert(key, value);
+        return;
+      }
+    }
+    // Rebalances keep racing the route (pathological); pin the routing
+    // state still.
+    std::lock_guard<std::mutex> mlk(migration_mu_);
+    size_t s = Route(key);
+    std::unique_lock<std::shared_mutex> lk(shards_[s]->mu);
+    shards_[s]->index.Insert(key, value);
+  }
+
+  bool Lookup(const std::string& key, uint64_t* value) const {
+    for (int attempt = 0; attempt < kOptimisticRetries; attempt++) {
+      const uint64_t seq = migration_seq_.load(std::memory_order_seq_cst);
+      size_t primary = 0, fallback = kNoShard;
+      RouteBoth(key, &primary, &fallback);
+      if (ProbeShard(primary, key, value)) return true;
+      if (fallback != kNoShard && ProbeShard(fallback, key, value))
+        return true;
+      // No batch committed across the two probes: the missing key was
+      // genuinely absent in its owner (and, if double-routed, in its
+      // previous owner too) at a single point in the commit order.
+      if (migration_seq_.load(std::memory_order_seq_cst) == seq)
+        return false;
+    }
+    lookup_slow_paths_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> mlk(migration_mu_);
+    size_t primary = 0, fallback = kNoShard;
+    RouteBoth(key, &primary, &fallback);
+    if (ProbeShard(primary, key, value)) return true;
+    return fallback != kNoShard && ProbeShard(fallback, key, value);
+  }
+
+  bool Erase(const std::string& key) {
+    for (int attempt = 0; attempt < kOptimisticRetries; attempt++) {
+      const uint64_t seq = migration_seq_.load(std::memory_order_seq_cst);
+      size_t primary = 0, fallback = kNoShard;
+      RouteBoth(key, &primary, &fallback);
+      bool erased = EraseInShard(primary, key);
+      if (fallback != kNoShard) erased |= EraseInShard(fallback, key);
+      if (erased) return true;
+      if (migration_seq_.load(std::memory_order_seq_cst) == seq)
+        return false;
+    }
+    std::lock_guard<std::mutex> mlk(migration_mu_);
+    size_t primary = 0, fallback = kNoShard;
+    RouteBoth(key, &primary, &fallback);
+    bool erased = EraseInShard(primary, key);
+    if (fallback != kNoShard) erased |= EraseInShard(fallback, key);
+    return erased;
+  }
+
+  /// Ordered scan from the first key >= start, in global key order.
+  /// Serializes with migration: any in-flight plan is completed first
+  /// (mid-plan cross-shard order is undefined), and no batch can commit
+  /// while the scan holds the migration lock.
+  size_t Scan(const std::string& start, size_t count,
+              std::vector<uint64_t>* out) {
+    std::lock_guard<std::mutex> mlk(migration_mu_);
+    ApplyAllLocked();
+    size_t produced = 0;
+    const size_t first = router_->Route(start);
+    for (size_t s = first; s < shards_.size() && produced < count; s++) {
+      std::unique_lock<std::shared_mutex> lk(shards_[s]->mu);
+      dynamic::VersionedIndex<Tree>& shard = shards_[s]->index;
+      shard.MigrateAll();
+      std::string enc = s == first ? shard.snapshot().hope->Encode(start)
+                                   : std::string();
+      produced += shard.tree().Scan(enc, count - produced, out);
+    }
+    return produced;
+  }
+
+  /// Applies pending rebalance plans in batches of at most `max_keys`
+  /// keys, off the serving path (a maintenance thread loops this).
+  /// Bounded work per call: readers double-route and writers re-route
+  /// while a plan is mid-flight, so there is no hurry. Returns entries
+  /// moved this call (0 also while another poller holds the lock).
+  size_t PollMigration(size_t max_keys = 512) {
+    std::unique_lock<std::mutex> mlk(migration_mu_, std::try_to_lock);
+    if (!mlk.owns_lock()) return 0;
+    size_t moved = PollLocked(max_keys);
+    if (!mig_.plan) DrainGenerationsLocked();
+    return moved;
+  }
+
+  /// True when every published plan has been fully applied here.
+  bool MigrationIdle() const {
+    std::lock_guard<std::mutex> mlk(migration_mu_);
+    return !mig_.plan &&
+           router_->version() == manager_->router_version();
+  }
+
+  uint64_t router_version() const {
+    ebr::EpochReclaimer::Guard guard(manager_->reclaimer());
+    return router_ptr_.load(std::memory_order_seq_cst)->version();
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& shard : shards_) {
+      std::shared_lock<std::shared_mutex> lk(shard->mu);
+      n += shard->index.size();
+    }
+    return n;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Lifetime counters.
+  uint64_t plans_applied() const {
+    return plans_applied_.load(std::memory_order_relaxed);
+  }
+  uint64_t entries_migrated() const {
+    return entries_migrated_.load(std::memory_order_relaxed);
+  }
+  uint64_t resyncs() const {
+    return resyncs_.load(std::memory_order_relaxed);
+  }
+  /// Readers that exhausted optimistic retries and took the migration
+  /// lock (expected ~0; a hot counter here means batches are too small).
+  uint64_t lookup_slow_paths() const {
+    return lookup_slow_paths_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kNoShard = ~size_t{0};
+  static constexpr int kOptimisticRetries = 8;
+
+  struct Shard {
+    explicit Shard(dynamic::DictionaryManager* manager) : index(manager) {}
+    mutable std::shared_mutex mu;
+    dynamic::VersionedIndex<Tree> index;
+  };
+
+  /// In-flight plan cursor (guarded by migration_mu_). Keys of the
+  /// current move are captured once under the source shard's lock, then
+  /// extracted in batches; keys erased or overwritten in between are
+  /// simply skipped by ExtractKeys/InsertIfAbsent.
+  struct MigrationState {
+    std::shared_ptr<const dynamic::RebalancePlan> plan;
+    size_t move_idx = 0;
+    bool collected = false;
+    std::vector<std::string> keys;
+    size_t pos = 0;
+  };
+
+  /// One guard covers both loads so plan and router come from the same
+  /// pinned epoch. While a plan is in flight the router is plan->to;
+  /// the fallback is the key's owner under plan->from when it differs.
+  void RouteBoth(const std::string& key, size_t* primary,
+                 size_t* fallback) const {
+    ebr::EpochReclaimer::Guard guard(manager_->reclaimer());
+    *primary = router_ptr_.load(std::memory_order_seq_cst)->Route(key);
+    *fallback = kNoShard;
+    const dynamic::RebalancePlan* plan =
+        inflight_plan_.load(std::memory_order_seq_cst);
+    if (plan != nullptr) {
+      size_t old_owner = plan->from->Route(key);
+      if (old_owner != *primary) *fallback = old_owner;
+    }
+  }
+
+  bool ProbeShard(size_t s, const std::string& key, uint64_t* value) const {
+    std::shared_lock<std::shared_mutex> lk(shards_[s]->mu);
+    return shards_[s]->index.Peek(key, value);
+  }
+
+  bool EraseInShard(size_t s, const std::string& key) {
+    std::unique_lock<std::shared_mutex> lk(shards_[s]->mu);
+    return shards_[s]->index.Erase(key);
+  }
+
+  /// Requires migration_mu_. Publishes `next` and retires the previous
+  /// router reference through the manager's reclaimer; the sequence
+  /// bump sends optimistic readers around again.
+  void PublishRouterLocked(std::shared_ptr<const dynamic::RouterVersion> next) {
+    auto old = std::move(router_);
+    router_ = std::move(next);
+    router_ptr_.store(router_.get(), std::memory_order_seq_cst);
+    manager_->reclaimer().Retire([keep = std::move(old)]() mutable {
+      keep.reset();
+    });
+    migration_seq_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// Requires migration_mu_ and no plan in flight.
+  void BeginPlanLocked(std::shared_ptr<const dynamic::RebalancePlan> plan) {
+    mig_ = MigrationState{};
+    mig_.plan = std::move(plan);
+    // Publish the plan before the router: readers must never see the
+    // new routing without the double-route fallback.
+    inflight_plan_.store(mig_.plan.get(), std::memory_order_seq_cst);
+    PublishRouterLocked(mig_.plan->to);
+  }
+
+  /// Requires migration_mu_ and a fully-moved plan.
+  void CompletePlanLocked() {
+    inflight_plan_.store(nullptr, std::memory_order_seq_cst);
+    manager_->reclaimer().Retire(
+        [keep = std::move(mig_.plan)]() mutable { keep.reset(); });
+    mig_ = MigrationState{};
+    plans_applied_.fetch_add(1, std::memory_order_relaxed);
+    manager_->UpdateIndexVersion(registration_id_, router_->version());
+    migration_seq_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// Requires migration_mu_. One bounded unit of migration work; always
+  /// makes progress (collect a cursor, commit a batch, advance a move,
+  /// or complete the plan).
+  size_t StepLocked(size_t* budget) {
+    const dynamic::RebalancePlan& plan = *mig_.plan;
+    if (mig_.move_idx >= plan.moves.size()) {
+      CompletePlanLocked();
+      return 0;
+    }
+    const dynamic::RebalancePlan::Move& mv = plan.moves[mig_.move_idx];
+    if (!mig_.collected) {
+      std::unique_lock<std::shared_mutex> lk(shards_[mv.from_shard]->mu);
+      mig_.keys = shards_[mv.from_shard]->index.CollectRangeKeys(
+          mv.begin, mv.bounded ? &mv.end : nullptr);
+      mig_.pos = 0;
+      mig_.collected = true;
+      return 0;
+    }
+    if (mig_.pos >= mig_.keys.size()) {
+      mig_.move_idx++;
+      mig_.collected = false;
+      mig_.keys.clear();
+      return 0;
+    }
+    const size_t n = std::min(*budget, mig_.keys.size() - mig_.pos);
+    std::vector<std::string> batch(
+        mig_.keys.begin() + static_cast<long>(mig_.pos),
+        mig_.keys.begin() + static_cast<long>(mig_.pos + n));
+    std::vector<std::pair<std::string, uint64_t>> extracted;
+    {
+      // Both shard locks, ascending index; commit the batch and bump
+      // the sequence BEFORE unlocking, so a reader that probed either
+      // side after this batch observes the bump at validation time.
+      Shard& lo = *shards_[std::min(mv.from_shard, mv.to_shard)];
+      Shard& hi = *shards_[std::max(mv.from_shard, mv.to_shard)];
+      std::unique_lock<std::shared_mutex> lk_lo(lo.mu);
+      std::unique_lock<std::shared_mutex> lk_hi(hi.mu);
+      shards_[mv.from_shard]->index.ExtractKeys(batch, &extracted);
+      for (auto& [key, value] : extracted)
+        shards_[mv.to_shard]->index.InsertIfAbsent(key, value);
+      migration_seq_.fetch_add(1, std::memory_order_seq_cst);
+    }
+    mig_.pos += n;
+    *budget -= n;
+    entries_migrated_.fetch_add(extracted.size(), std::memory_order_relaxed);
+    return extracted.size();
+  }
+
+  /// Requires migration_mu_.
+  size_t PollLocked(size_t budget) {
+    size_t moved = 0;
+    while (budget > 0) {
+      if (!mig_.plan) {
+        if (router_->version() == manager_->router_version()) break;
+        auto plans = manager_->PlansSince(router_->version());
+        if (!plans) {
+          moved += ResyncLocked();
+          continue;
+        }
+        if (plans->empty()) break;
+        BeginPlanLocked(std::move((*plans)[0]));
+      }
+      moved += StepLocked(&budget);
+    }
+    return moved;
+  }
+
+  /// Requires migration_mu_. Completes every pending plan (Scan's
+  /// barrier). Each iteration strictly advances the router version (or
+  /// finishes the in-flight plan), so this terminates even while the
+  /// manager keeps publishing.
+  void ApplyAllLocked() {
+    while (mig_.plan || router_->version() != manager_->router_version()) {
+      const uint64_t before = router_->version();
+      const bool had_plan = mig_.plan != nullptr;
+      PollLocked(~size_t{0} >> 1);
+      if (!mig_.plan && !had_plan && router_->version() == before)
+        break;  // no progress possible (defensive; contract makes this
+                // unreachable)
+    }
+  }
+
+  /// Requires migration_mu_ and no plan in flight. Recovery for a
+  /// pruned-history gap (unreachable while registered — kept for the
+  /// same contract reason as ShardedVersionedIndex::Resync). All shard
+  /// locks are held across the re-route, so readers block briefly; the
+  /// sequence bump retries any lookup that raced the router swap.
+  size_t ResyncLocked() {
+    std::shared_ptr<const dynamic::RouterVersion> target = manager_->router();
+    std::vector<std::unique_lock<std::shared_mutex>> locks;
+    locks.reserve(shards_.size());
+    for (auto& shard : shards_) locks.emplace_back(shard->mu);
+    size_t moved = 0;
+    std::vector<std::vector<std::pair<std::string, uint64_t>>> rebinned(
+        shards_.size());
+    std::vector<std::pair<std::string, uint64_t>> entries;
+    for (size_t s = 0; s < shards_.size(); s++) {
+      entries.clear();
+      shards_[s]->index.ExtractRange(std::string(), nullptr, &entries);
+      for (auto& [key, value] : entries) {
+        size_t owner = target->Route(key);
+        if (owner != s) moved++;
+        rebinned[owner].emplace_back(std::move(key), value);
+      }
+    }
+    for (size_t s = 0; s < shards_.size(); s++)
+      for (auto& [key, value] : rebinned[s])
+        shards_[s]->index.InsertMigrated(key, value);
+    PublishRouterLocked(std::move(target));
+    manager_->UpdateIndexVersion(registration_id_, router_->version());
+    resyncs_.fetch_add(1, std::memory_order_relaxed);
+    entries_migrated_.fetch_add(moved, std::memory_order_relaxed);
+    return moved;
+  }
+
+  /// Requires migration_mu_. Idle maintenance: drain multi-generation
+  /// shards (dictionary hot-swaps open generations; Peek never drains)
+  /// so the read path stays short. try_lock keeps this off any shard a
+  /// writer is busy in.
+  void DrainGenerationsLocked() {
+    for (auto& shard : shards_) {
+      std::unique_lock<std::shared_mutex> lk(shard->mu, std::try_to_lock);
+      if (!lk.owns_lock()) continue;
+      if (shard->index.NumGenerations() > 1) shard->index.MigrateAll();
+    }
+  }
+
+  dynamic::ShardedDictionaryManager* manager_;
+  uint64_t registration_id_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Reader-visible routing state: raw pointers published seq_cst,
+  /// pointees kept alive by router_/mig_.plan (owned under
+  /// migration_mu_) and freed through the manager's reclaimer after the
+  /// EBR grace period.
+  std::atomic<const dynamic::RouterVersion*> router_ptr_{nullptr};
+  std::atomic<const dynamic::RebalancePlan*> inflight_plan_{nullptr};
+  /// Bumped (under the shard locks involved) on every committed batch,
+  /// plan begin, and plan completion — the optimistic validation token.
+  mutable std::atomic<uint64_t> migration_seq_{0};
+
+  mutable std::mutex migration_mu_;  ///< plan application, scans, resync
+  std::shared_ptr<const dynamic::RouterVersion> router_;
+  MigrationState mig_;
+
+  std::atomic<uint64_t> plans_applied_{0};
+  std::atomic<uint64_t> entries_migrated_{0};
+  std::atomic<uint64_t> resyncs_{0};
+  mutable std::atomic<uint64_t> lookup_slow_paths_{0};
+};
+
+}  // namespace hope::serve

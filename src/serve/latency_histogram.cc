@@ -1,0 +1,83 @@
+#include "serve/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace hope::serve {
+
+LatencyHistogram::LatencyHistogram() { std::memset(buckets_, 0, sizeof(buckets_)); }
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) {
+  if (value < kSubBucketCount) return static_cast<size_t>(value);
+  // value in [2^e, 2^(e+1)): shift its top kSubBucketBits+1 bits down so
+  // (value >> shift) lands in [kSubBucketCount, 2*kSubBucketCount), then
+  // place octave e's group after the groups of all lower octaves. The
+  // first group (e == kSubBucketBits) continues the linear region
+  // seamlessly: its sub-buckets still have width 1.
+  unsigned e = 63u - static_cast<unsigned>(__builtin_clzll(value));
+  unsigned shift = e - kSubBucketBits;
+  uint64_t sub = (value >> shift) - kSubBucketCount;
+  return static_cast<size_t>(
+      (uint64_t{e - kSubBucketBits + 1} << kSubBucketBits) + sub);
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t index) {
+  if (index < kSubBucketCount) return static_cast<uint64_t>(index);
+  uint64_t group = index >> kSubBucketBits;  // >= 1
+  uint64_t sub = index & (kSubBucketCount - 1);
+  unsigned e = static_cast<unsigned>(group - 1) + kSubBucketBits;
+  unsigned shift = e - kSubBucketBits;
+  uint64_t low = (kSubBucketCount + sub) << shift;
+  uint64_t width = uint64_t{1} << shift;
+  return low + width - 1;
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)]++;
+  count_++;
+  sum_ += value;
+  max_ = std::max(max_, value);
+  min_ = std::min(min_, value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; i++) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+  min_ = std::min(min_, other.min_);
+}
+
+void LatencyHistogram::Reset() {
+  std::memset(buckets_, 0, sizeof(buckets_));
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+  min_ = ~uint64_t{0};
+}
+
+uint64_t LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      // The recorded max is exact and lives in the last populated
+      // bucket; never report that bucket's (coarser) upper bound above
+      // it.
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+}  // namespace hope::serve

@@ -1,0 +1,298 @@
+// ServerLoop<Tree>: shared-nothing serving harness over a
+// ConcurrentShardedIndex. N workers, each pinned to a CPU (best-effort)
+// with its own bounded request queue and its own per-op latency
+// histograms — no cross-worker shared mutable state on the hot path, so
+// adding workers scales reads the way the index's shared locks allow.
+//
+// Requests are routed by shard affinity: Submit() routes the key
+// through the index's wait-free Route() and enqueues on worker
+// (shard % num_workers), so one shard's writer serialization maps to
+// one queue and workers mostly touch disjoint shards. A maintenance
+// thread applies rebalance plans in bounded batches (PollMigration)
+// and drains dictionary generations while workers keep serving —
+// migration-transparent by construction.
+//
+// Latency is measured end-to-end (enqueue to completion, steady clock),
+// which is what an SLO sees: queueing delay counts. Each op type gets
+// its own histogram per worker; Snapshot() merges across workers at
+// phase boundaries. The tiny per-worker stats mutex is touched once per
+// request by its own worker and only contended during snapshots, which
+// callers take at quiesce points (WaitIdle) anyway.
+//
+// Self-checking: a request with `check` set verifies the serving
+// invariant value == KeyFingerprint(key) on every hit, and scans verify
+// value order is non-decreasing (fingerprints are order-consistent with
+// keys). Violations are counted, never thrown — the benchmarks gate on
+// the counters staying zero while rebalances run underneath.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/concurrent_index.h"
+#include "serve/cpu_pin.h"
+#include "serve/latency_histogram.h"
+
+namespace hope::serve {
+
+/// Stable 8-byte order-consistent digest of a key: the first 8 bytes
+/// big-endian, zero-padded. key1 <= key2 implies
+/// KeyFingerprint(key1) <= KeyFingerprint(key2), so stored-value order
+/// mirrors key order (non-strictly) and any lookup hit is verifiable
+/// without a shadow map.
+inline uint64_t KeyFingerprint(const std::string& key) {
+  uint64_t fp = 0;
+  for (size_t i = 0; i < 8; i++) {
+    fp <<= 8;
+    if (i < key.size()) fp |= static_cast<unsigned char>(key[i]);
+  }
+  return fp;
+}
+
+struct Request {
+  enum class Op : uint8_t { kLookup = 0, kInsert = 1, kErase = 2, kScan = 3 };
+  static constexpr size_t kNumOps = 4;
+
+  Op op = Op::kLookup;
+  /// Lookup: verify hits carry KeyFingerprint(key). Scan: verify value
+  /// order.
+  bool check = false;
+  std::string key;
+  uint64_t value = 0;      ///< insert payload
+  uint32_t scan_count = 0; ///< scan length
+  uint64_t enqueue_ns = 0; ///< stamped by Submit()
+};
+
+/// Merged per-op measurement snapshot.
+struct OpStats {
+  LatencyHistogram latency;
+  uint64_t ops = 0;
+  uint64_t hits = 0;  ///< lookup hits / erase hits / scan entries
+  uint64_t check_failures = 0;
+  uint64_t scan_order_violations = 0;
+};
+
+template <typename Tree>
+class ServerLoop {
+ public:
+  struct Options {
+    size_t num_workers = 4;
+    size_t queue_capacity = 1024;  ///< per worker; Submit blocks when full
+    bool pin_workers = true;
+    size_t migration_batch = 512;  ///< keys per PollMigration call
+    unsigned migration_poll_us = 200;  ///< idle sleep between polls
+  };
+
+  /// `index` must outlive the loop. Workers and the migration
+  /// maintenance thread start immediately.
+  ServerLoop(ConcurrentShardedIndex<Tree>* index, Options options)
+      : index_(index), opt_(options) {
+    if (opt_.num_workers == 0) opt_.num_workers = 1;
+    if (opt_.queue_capacity == 0) opt_.queue_capacity = 1;
+    workers_.reserve(opt_.num_workers);
+    for (size_t w = 0; w < opt_.num_workers; w++)
+      workers_.push_back(std::make_unique<Worker>());
+    for (size_t w = 0; w < opt_.num_workers; w++)
+      workers_[w]->thread =
+          std::thread([this, w] { WorkerMain(*workers_[w], w); });
+    maintenance_ = std::thread([this] { MaintenanceMain(); });
+  }
+
+  ~ServerLoop() { Stop(); }
+
+  ServerLoop(const ServerLoop&) = delete;
+  ServerLoop& operator=(const ServerLoop&) = delete;
+
+  /// Enqueues on the worker owning the key's shard; blocks while that
+  /// queue is full (natural backpressure — the benchmark's arrival rate
+  /// is then bounded by service rate, as in a closed-loop load test).
+  void Submit(Request req) {
+    req.enqueue_ns = NowNs();
+    Worker& wk = *workers_[index_->Route(req.key) % workers_.size()];
+    {
+      std::unique_lock<std::mutex> lk(wk.mu);
+      wk.cv_space.wait(lk, [&] {
+        return wk.queue.size() < opt_.queue_capacity ||
+               stop_.load(std::memory_order_acquire);
+      });
+      if (stop_.load(std::memory_order_acquire)) return;
+      pending_.fetch_add(1, std::memory_order_relaxed);
+      wk.queue.push_back(std::move(req));
+    }
+    wk.cv_work.notify_one();
+  }
+
+  /// Blocks until every submitted request has completed. Migration may
+  /// still be in flight — use index()->MigrationIdle() for that.
+  void WaitIdle() const {
+    while (pending_.load(std::memory_order_acquire) != 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  /// Drains queues and joins all threads. Idempotent; runs at
+  /// destruction.
+  void Stop() {
+    bool expected = false;
+    if (!stop_.compare_exchange_strong(expected, true)) return;
+    for (auto& wk : workers_) {
+      // Lock and release the queue mutex after the flag is set: a
+      // worker that read stop_ == false is then guaranteed to already
+      // be inside wait(), so the notify below cannot be lost.
+      { std::lock_guard<std::mutex> lk(wk->mu); }
+      wk->cv_work.notify_all();
+      wk->cv_space.notify_all();
+    }
+    for (auto& wk : workers_) wk->thread.join();
+    maintenance_.join();
+  }
+
+  /// Merged stats for one op across workers. Take at quiesce points
+  /// (after WaitIdle) for exact phase numbers.
+  OpStats Snapshot(Request::Op op) const {
+    OpStats merged;
+    for (const auto& wk : workers_) {
+      std::lock_guard<std::mutex> lk(wk->stats_mu);
+      const OpStats& s = wk->stats[static_cast<size_t>(op)];
+      merged.latency.Merge(s.latency);
+      merged.ops += s.ops;
+      merged.hits += s.hits;
+      merged.check_failures += s.check_failures;
+      merged.scan_order_violations += s.scan_order_violations;
+    }
+    return merged;
+  }
+
+  /// Clears every worker's histograms and counters (phase boundary).
+  void ResetStats() {
+    for (auto& wk : workers_) {
+      std::lock_guard<std::mutex> lk(wk->stats_mu);
+      for (OpStats& s : wk->stats) s = OpStats{};
+    }
+  }
+
+  /// Workers that were successfully pinned to a CPU.
+  size_t workers_pinned() const {
+    return pinned_.load(std::memory_order_relaxed);
+  }
+
+  size_t num_workers() const { return workers_.size(); }
+  ConcurrentShardedIndex<Tree>* index() const { return index_; }
+
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv_work;
+    std::condition_variable cv_space;
+    std::deque<Request> queue;
+
+    /// Guarded separately from the queue so recording a latency never
+    /// delays a Submit, and snapshots never stall the queue.
+    mutable std::mutex stats_mu;
+    OpStats stats[Request::kNumOps];
+
+    std::vector<uint64_t> scan_buf;  ///< worker-local, reused
+    std::thread thread;
+  };
+
+  void WorkerMain(Worker& wk, size_t worker_index) {
+    if (opt_.pin_workers &&
+        PinCurrentThreadToCpu(static_cast<unsigned>(worker_index) %
+                              NumCpus()))
+      pinned_.fetch_add(1, std::memory_order_relaxed);
+    std::deque<Request> batch;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(wk.mu);
+        wk.cv_work.wait(lk, [&] {
+          return !wk.queue.empty() || stop_.load(std::memory_order_acquire);
+        });
+        if (wk.queue.empty() && stop_.load(std::memory_order_acquire)) return;
+        batch.swap(wk.queue);
+      }
+      wk.cv_space.notify_all();
+      for (Request& req : batch) Execute(wk, req);
+      size_t done = batch.size();
+      batch.clear();
+      pending_.fetch_sub(done, std::memory_order_release);
+    }
+  }
+
+  void Execute(Worker& wk, Request& req) {
+    uint64_t check_failures = 0;
+    uint64_t scan_order_violations = 0;
+    uint64_t hits = 0;
+    switch (req.op) {
+      case Request::Op::kLookup: {
+        uint64_t value = 0;
+        if (index_->Lookup(req.key, &value)) {
+          hits = 1;
+          if (req.check && value != KeyFingerprint(req.key))
+            check_failures = 1;
+        }
+        break;
+      }
+      case Request::Op::kInsert:
+        index_->Insert(req.key, req.value);
+        break;
+      case Request::Op::kErase:
+        if (index_->Erase(req.key)) hits = 1;
+        break;
+      case Request::Op::kScan: {
+        wk.scan_buf.clear();
+        hits = index_->Scan(req.key, req.scan_count, &wk.scan_buf);
+        if (req.check)
+          for (size_t i = 1; i < wk.scan_buf.size(); i++)
+            if (wk.scan_buf[i] < wk.scan_buf[i - 1]) scan_order_violations++;
+        break;
+      }
+    }
+    const uint64_t now = NowNs();
+    const uint64_t latency = now > req.enqueue_ns ? now - req.enqueue_ns : 0;
+    std::lock_guard<std::mutex> lk(wk.stats_mu);
+    OpStats& s = wk.stats[static_cast<size_t>(req.op)];
+    s.latency.Record(latency);
+    s.ops++;
+    s.hits += hits;
+    s.check_failures += check_failures;
+    s.scan_order_violations += scan_order_violations;
+  }
+
+  void MaintenanceMain() {
+    for (;;) {
+      // Check stop with a queue-mutex-free atomic read; migration work
+      // is try-lock based so this thread never blocks shutdown.
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (index_->PollMigration(opt_.migration_batch) == 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(opt_.migration_poll_us));
+    }
+  }
+
+  ConcurrentShardedIndex<Tree>* index_;
+  Options opt_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread maintenance_;
+  /// Stop() latch and shutdown flag in one: workers read it inside
+  /// their wait predicates (under their queue mutex, but the flag
+  /// itself is cross-worker so it must be atomic).
+  std::atomic<bool> stop_{false};
+  mutable std::atomic<uint64_t> pending_{0};
+  std::atomic<size_t> pinned_{0};
+};
+
+}  // namespace hope::serve

@@ -209,5 +209,43 @@ TEST(EpochReclaimStressTest, ShortLivedThreadsRecycleSlots) {
   EXPECT_EQ(freed.load(), 20);
 }
 
+// The slot list compacts, not just recycles: after waves of wide thread
+// fan-out die down, the list shrinks back to the recycling cushion
+// instead of staying at the historical peak. A long-running server that
+// once burst to hundreds of reader threads must not scan hundreds of
+// slots on every Retire forever after.
+TEST(EpochReclaimStressTest, SlotListShrinksAfterThreadChurn) {
+  EpochReclaimer ebr;
+  const size_t kWave = 24;
+  for (int round = 0; round < 8; round++) {
+    std::vector<std::thread> threads;
+    std::atomic<size_t> inside{0};
+    std::atomic<bool> release{false};
+    for (size_t t = 0; t < kWave; t++) {
+      threads.emplace_back([&] {
+        EpochReclaimer::Guard guard(ebr);
+        inside.fetch_add(1);
+        while (!release.load()) std::this_thread::yield();
+      });
+    }
+    // Hold all guards at once so the wave genuinely needs kWave slots.
+    while (inside.load() < kWave) std::this_thread::yield();
+    EXPECT_GE(ebr.slot_count(), kWave);
+    release.store(true);
+    for (auto& t : threads) t.join();
+    ebr.TryReclaim();  // compaction runs on the reclaim path
+  }
+  // Everything released: the list holds at most the recycling cushion
+  // (a small constant), not the kWave peak.
+  ebr.TryReclaim();
+  EXPECT_LE(ebr.slot_count(), 8u);
+  // The survivors still work.
+  {
+    EpochReclaimer::Guard guard(ebr);
+  }
+  ebr.Retire([] {});
+  ebr.Drain();
+}
+
 }  // namespace
 }  // namespace hope::ebr

@@ -1,0 +1,118 @@
+// LatencyHistogram: bucket mapping round-trips, bounded relative error,
+// percentile semantics, and the cross-worker merge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "serve/latency_histogram.h"
+
+namespace hope::serve {
+namespace {
+
+TEST(LatencyHistogramTest, LinearRegionIsExact) {
+  for (uint64_t v = 0; v < LatencyHistogram::kSubBucketCount; v++) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketUpperBound(v), v);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketIndexIsMonotoneAndBoundsContainValue) {
+  // Sweep powers of two and their neighbours across the full range.
+  std::vector<uint64_t> values;
+  for (unsigned e = 0; e < 64; e++)
+    for (int d = -2; d <= 2; d++) {
+      uint64_t v = uint64_t{1} << e;
+      if (d < 0 && v < static_cast<uint64_t>(-d)) continue;
+      values.push_back(v + static_cast<uint64_t>(d));
+    }
+  std::sort(values.begin(), values.end());
+  size_t prev_index = 0;
+  for (uint64_t v : values) {
+    size_t idx = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(idx, LatencyHistogram::kNumBuckets) << "value " << v;
+    EXPECT_LE(v, LatencyHistogram::BucketUpperBound(idx)) << "value " << v;
+    EXPECT_GE(idx, prev_index) << "monotonicity at " << v;
+    prev_index = idx;
+  }
+  // The largest value maps inside the table.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(~uint64_t{0}),
+            LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, RelativeErrorIsBounded) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 20000; i++) {
+    uint64_t v = rng() >> (rng() % 40);  // spread across magnitudes
+    size_t idx = LatencyHistogram::BucketIndex(v);
+    uint64_t ub = LatencyHistogram::BucketUpperBound(idx);
+    ASSERT_GE(ub, v);
+    // Upper bound overestimates by at most one sub-bucket width ~ v/32.
+    EXPECT_LE(static_cast<double>(ub - v),
+              static_cast<double>(v) / LatencyHistogram::kSubBucketCount +
+                  1.0)
+        << "value " << v;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesOnKnownDistribution) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 1000; v++) h.Record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.Mean(), 500.5, 1e-9);
+  // ~3.1% error bound on the bucketed quantiles; p100 is exact.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.50)), 500.0, 500.0 * 0.04);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.99)), 990.0, 990.0 * 0.04);
+  EXPECT_EQ(h.Percentile(1.0), 1000u);
+  EXPECT_GE(h.Percentile(0.999), 990u);
+}
+
+TEST(LatencyHistogramTest, PercentileNeverExceedsRecordedMax) {
+  LatencyHistogram h;
+  h.Record(1'000'003);  // lands in a coarse bucket
+  EXPECT_EQ(h.Percentile(0.5), 1'000'003u);
+  EXPECT_EQ(h.Percentile(0.999), 1'000'003u);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 5000; i++) {
+    uint64_t v = rng() % 1'000'000;
+    (i % 2 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.Mean(), combined.Mean());
+  for (double q : {0.5, 0.9, 0.99, 0.999, 1.0})
+    EXPECT_EQ(a.Percentile(q), combined.Percentile(q)) << q;
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Record(123);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  h.Record(7);
+  EXPECT_EQ(h.Percentile(1.0), 7u);
+}
+
+}  // namespace
+}  // namespace hope::serve

@@ -117,12 +117,85 @@ sed -e 's/"keys": 1000/"keys": 50/' \
   > "$work/other_config.json"
 expect 0 "$base" "$work/other_config.json"
 
+# Serving rows: latency (*_ns), throughput (*ops_per_sec), correctness
+# (*_failures / *_violations) families, identity includes "op".
+serving="$work/serving.json"
+cat > "$serving" <<'EOF'
+{
+  "bench": "serving",
+  "keys": 1000,
+  "rows": [
+    {"series": "serving", "phase": "read_heavy", "op": "lookup",
+     "p99_ns": 1000.0, "ops_per_sec": 50000.0, "check_failures": 0,
+     "scan_order_violations": 0},
+    {"series": "serving", "phase": "read_heavy", "op": "scan",
+     "p99_ns": 9000.0, "ops_per_sec": 2000.0, "check_failures": 0,
+     "scan_order_violations": 0}
+  ]
+}
+EOF
+cp "$serving" "$work/serving_same.json"
+expect 0 "$serving" "$work/serving_same.json"
+
+# Tail latency up 50%: gated by --latency-threshold, inf disables.
+sed 's/"p99_ns": 1000.0/"p99_ns": 1500.0/' "$serving" \
+  > "$work/serving_lat.json"
+expect 1 "$serving" "$work/serving_lat.json"
+expect 0 "$serving" "$work/serving_lat.json" --latency-threshold inf
+
+# Throughput down 50%: gated by --throughput-threshold, inf disables.
+sed 's/"ops_per_sec": 50000.0/"ops_per_sec": 25000.0/' "$serving" \
+  > "$work/serving_tput.json"
+expect 1 "$serving" "$work/serving_tput.json"
+expect 0 "$serving" "$work/serving_tput.json" --throughput-threshold inf
+expect 0 "$serving" "$work/serving_tput.json" --throughput-threshold 1.5
+
+# Correctness counters: ANY increase fails, even 0 -> 1, and no
+# threshold flag exempts it.
+sed 's/"scan_order_violations": 0}$/"scan_order_violations": 1}/' \
+  "$serving" > "$work/serving_corrupt.json"
+expect 1 "$serving" "$work/serving_corrupt.json"
+expect 1 "$serving" "$work/serving_corrupt.json" \
+  --latency-threshold inf --throughput-threshold inf
+
+# Identity includes "op": swapping op names un-matches rows (noted, not
+# silently compared across different ops).
+sed -e 's/"op": "lookup"/"op": "erase"/' "$serving" \
+  > "$work/serving_op.json"
+expect 0 "$serving" "$work/serving_op.json"
+
+# --history: dated run subdirectories; candidate gates against the
+# LATEST run (regression vs latest fails even if older runs were worse).
+hist="$work/history"
+mkdir -p "$hist/2026-08-01" "$hist/2026-08-02" "$work/hist_cand"
+sed 's/"ops_per_sec": 50000.0/"ops_per_sec": 20000.0/' "$serving" \
+  > "$hist/2026-08-01/BENCH_serving.json"
+cp "$serving" "$hist/2026-08-02/BENCH_serving.json"
+cp "$serving" "$work/hist_cand/BENCH_serving.json"
+expect 0 "$hist" "$work/hist_cand" --history
+# Candidate regresses vs latest (even though it beats the oldest run).
+sed 's/"ops_per_sec": 50000.0/"ops_per_sec": 30000.0/' "$serving" \
+  > "$work/hist_cand/BENCH_serving.json"
+expect 1 "$hist" "$work/hist_cand" --history
+# Trend output mentions best/worst/latest.
+if ! "$python" "$diff_tool" "$hist" "$work/hist_cand" --history 2>/dev/null \
+    | grep -q "best .* worst .* latest"; then
+  echo "FAIL: --history printed no trend line"
+  fail=1
+fi
+# Empty history directory: usage error.
+mkdir -p "$work/hist_empty"
+expect 2 "$work/hist_empty" "$work/hist_cand" --history
+# --history with a file baseline: usage error.
+expect 2 "$serving" "$work/hist_cand" --history
+
 # Malformed input and bad usage.
 echo '{"rows": "nope"}' > "$work/broken.json"
 expect 2 "$base" "$work/broken.json"
 expect 2 "$base" "$work/does_not_exist.json"
 expect 2 "$base" "$work/a"           # file vs dir
 expect 2 "$base" "$work/same.json" --cpr-threshold -1
+expect 2 "$base" "$work/same.json" --throughput-threshold -1
 
 if [[ "$fail" -ne 0 ]]; then
   echo "bench_diff_test FAILED"

@@ -33,15 +33,34 @@ expect 2 drift double-char -5
 expect 2 drift double-char 100 4 bogus-mode
 expect 2 drift double-char 100 1 rebalance
 expect 2 drift double-char 100 1 localized
+# serve arguments share the digits-only ParsePositiveUint contract:
+# keys, workers, shards each reject non-numeric, signed, zero, trailing
+# junk and out-of-range values (workers > 64, shards > 256 or < 2).
+expect 2 serve single-char abc
+expect 2 serve single-char +7
+expect 2 serve single-char 0
+expect 2 serve single-char 100 0
+expect 2 serve single-char 100 2x
+expect 2 serve single-char 100 65
+expect 2 serve single-char 100 2 0
+expect 2 serve single-char 100 2 1
+expect 2 serve single-char 100 2 257
+expect 2 serve single-char 100 2 -4
+expect 2 serve single-char 99999999999999999999
+expect 2 serve bogus-scheme
 # bad scheme / subcommand / missing args.
 expect 2 drift bogus-scheme
 expect 2 bogus-subcommand
 expect 2 build double-char only-two-args
-# help is success, and prints the drift modes.
+# help is success, and prints the drift modes and the serve demo.
 expect 0 --help
 expect 0 help
 if ! "$cli" --help 2>/dev/null | grep -q rebalance; then
   echo "FAIL: --help does not mention the rebalance demo"
+  fail=1
+fi
+if ! "$cli" --help 2>/dev/null | grep -q serve; then
+  echo "FAIL: --help does not mention the serve demo"
   fail=1
 fi
 

@@ -4,6 +4,7 @@ regressions beyond a threshold.
 
 Usage:
   bench_diff.py BASELINE CANDIDATE [--cpr-threshold F] [--latency-threshold F]
+  bench_diff.py HISTORY_DIR CANDIDATE --history [...]
 
 BASELINE and CANDIDATE are either two JSON files produced by the bench
 binaries' --json mode (bench/bench_common.h JsonReport: {"bench": ...,
@@ -12,21 +13,36 @@ present in BOTH is compared (files only in one side are reported but do
 not fail the run — new benches appear, retired ones disappear).
 
 Rows are matched across files by a fixed whitelist of identity fields
-(series / scheme / phase / shard counts); volatile descriptive strings
-such as shard_epochs are neither identity nor metrics, so a benign
-rebuild-count shift cannot un-match a row and silently exempt its CPR
-from the gate. Within matched rows, only recognized metric families are
-compared:
+(series / scheme / phase / op / shard counts); volatile descriptive
+strings such as shard_epochs are neither identity nor metrics, so a
+benign rebuild-count shift cannot un-match a row and silently exempt
+its CPR from the gate. Within matched rows, only recognized metric
+families are compared:
 
-  higher is better:  *cpr* (compression rate), *gain*
-  lower is better:   ns_per_* (latency), *_spread (load imbalance)
+  higher is better:  *cpr* (compression rate), *gain*,
+                     *ops_per_sec (throughput)
+  lower is better:   ns_per_* and *_ns (latency), *_spread (load
+                     imbalance), *_failures / *_violations
+                     (correctness — any increase fails, even from a
+                     zero baseline)
 
-ns_per_* and *_spread take separate thresholds: spread is a behavioral
+Latency and *_spread take separate thresholds: spread is a behavioral
 metric (deterministic given the workload), while absolute latency is
 machine-bound — when comparing runs from DIFFERENT machines (e.g. a CI
 runner against a committed developer-machine baseline) pass
 `--latency-threshold inf` to disable the latency gate rather than
-training people to ignore spurious red.
+training people to ignore spurious red. Throughput
+(--throughput-threshold) is machine-bound too, but far less volatile
+than tail percentiles, so it gets its own threshold (and `inf` opt-out)
+rather than riding the latency one. Correctness counters take no
+threshold: a self-check that started failing is a bug, not a trend.
+
+With --history, BASELINE is instead a directory of dated run
+subdirectories (runs/2026-08-01/BENCH_*.json, ...); the candidate is
+gated against the LATEST run (lexicographically last subdirectory, so
+ISO dates sort chronologically) and a best/worst/latest summary across
+the whole history is printed per bench file. Exit 2 if the history
+directory holds no run subdirectories.
 
 Everything else (epochs, rebuild counts, router versions, lookup checks)
 is informational and ignored here. A regression is a relative change in
@@ -49,17 +65,30 @@ from pathlib import Path
 # like) change benignly run-to-run, and folding them into identity would
 # un-match the row and silently skip its metric comparison.
 ID_FIELDS = {
-    "series", "scheme", "phase", "num_shards", "victim_shard",
+    "series", "scheme", "phase", "op", "num_shards", "victim_shard",
     "mix_fraction_b",
 }
 
 
+def is_latency(name: str) -> bool:
+    return name.startswith("ns_per_") or name.endswith("_ns")
+
+
+def is_throughput(name: str) -> bool:
+    return name.endswith("ops_per_sec")
+
+
+def is_correctness(name: str) -> bool:
+    return name.endswith("_failures") or name.endswith("_violations")
+
+
 def is_lower_better(name: str) -> bool:
-    return name.startswith("ns_per_") or name.endswith("_spread")
+    return (is_latency(name) or is_correctness(name)
+            or name.endswith("_spread"))
 
 
 def is_higher_better(name: str) -> bool:
-    return "cpr" in name or "gain" in name
+    return "cpr" in name or "gain" in name or is_throughput(name)
 
 
 def row_key(row: dict) -> tuple:
@@ -91,7 +120,8 @@ def metric_value(value):
     return float(value)
 
 
-def diff_reports(name, baseline, candidate, cpr_thr, lat_thr, spread_thr):
+def diff_reports(name, baseline, candidate, cpr_thr, lat_thr, spread_thr,
+                 tput_thr):
     """Returns (regressions, notes): regressions are formatted lines."""
     regressions, notes = [], []
     # Different run configurations (keys per dataset, full-scale flag)
@@ -124,14 +154,25 @@ def diff_reports(name, baseline, candidate, cpr_thr, lat_thr, spread_thr):
                 continue
             new = metric_value(value)
             old = metric_value(base.get(field))
-            if new is None or old is None or old == 0:
+            if new is None or old is None:
+                continue
+            # Correctness counters are gated BEFORE the old == 0 skip:
+            # the interesting baseline for a failure counter is exactly
+            # zero, and any increase is a regression, thresholds be
+            # damned.
+            if is_correctness(field):
+                if new > old:
+                    regressions.append(
+                        f"{name}: {dict(key)} {field}: {old:g} -> "
+                        f"{new:g} (correctness counter increased)")
+                continue
+            if old == 0:
                 continue
             change = (new - old) / abs(old)
             if lower:
-                threshold = (lat_thr if field.startswith("ns_per_")
-                             else spread_thr)
+                threshold = lat_thr if is_latency(field) else spread_thr
             else:
-                threshold = cpr_thr
+                threshold = tput_thr if is_throughput(field) else cpr_thr
             if math.isinf(threshold):
                 continue
             bad = change > threshold if lower else change < -threshold
@@ -169,32 +210,104 @@ def collect_pairs(baseline: Path, candidate: Path):
     return [(n, base_files[n], cand_files[n]) for n in shared], notes
 
 
+def gated_fields(report: dict):
+    """(row_key, field) pairs of every gated metric in a report."""
+    for row in report["rows"]:
+        key = row_key(row)
+        for field, value in row.items():
+            if field in ID_FIELDS:
+                continue
+            if not (is_lower_better(field) or is_higher_better(field)):
+                continue
+            if metric_value(value) is None:
+                continue
+            yield key, field
+
+
+def history_trend(history: Path):
+    """Prints a best/worst/latest line per gated metric across the dated
+    run subdirectories of `history` and returns the latest run's
+    directory (the gate baseline). Exits 2 on an empty history."""
+    runs = sorted(p for p in history.iterdir() if p.is_dir())
+    if not runs:
+        print(f"error: history directory {history} has no run "
+              "subdirectories", file=sys.stderr)
+        raise SystemExit(2)
+    latest = runs[-1]
+    print(f"history: {len(runs)} run(s), {runs[0].name} .. {latest.name}, "
+          f"gating against {latest.name}")
+    # Metric series across runs, seeded from the latest run's shape so
+    # retired rows do not clutter the trend.
+    for bench_file in sorted(latest.glob("BENCH_*.json")):
+        latest_report = load_report(bench_file)
+        series = {}  # (key, field) -> [values in run order]
+        for run in runs:
+            path = run / bench_file.name
+            if not path.is_file():
+                continue
+            report = load_report(path)
+            rows = {row_key(r): r for r in report["rows"]}
+            for key, field in gated_fields(latest_report):
+                value = metric_value(rows.get(key, {}).get(field))
+                if value is not None:
+                    series.setdefault((key, field), []).append(value)
+        for (key, field), values in series.items():
+            if len(values) < 2:
+                continue
+            best = max(values) if is_higher_better(field) else min(values)
+            worst = min(values) if is_higher_better(field) else max(values)
+            print(f"trend {bench_file.name}: {dict(key)} {field}: "
+                  f"best {best:g} worst {worst:g} latest {values[-1]:g} "
+                  f"({len(values)} runs)")
+    return latest
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Diff two bench results; exit 1 on regressions.")
-    parser.add_argument("baseline", type=Path)
+    parser.add_argument("baseline", type=Path,
+                        help="baseline report/dir; with --history, a "
+                             "directory of dated run subdirectories")
     parser.add_argument("candidate", type=Path)
     parser.add_argument("--cpr-threshold", type=float, default=0.05,
                         help="max relative CPR/gain drop (default 0.05)")
     parser.add_argument("--latency-threshold", type=float, default=0.25,
-                        help="max relative ns_per_* increase (default "
-                             "0.25; 'inf' disables — use when baseline "
-                             "and candidate ran on different machines)")
+                        help="max relative latency (ns_per_*, *_ns) "
+                             "increase (default 0.25; 'inf' disables — "
+                             "use when baseline and candidate ran on "
+                             "different machines)")
     parser.add_argument("--spread-threshold", type=float, default=0.25,
                         help="max relative *_spread increase "
                              "(default 0.25)")
+    parser.add_argument("--throughput-threshold", type=float, default=0.25,
+                        help="max relative *ops_per_sec drop (default "
+                             "0.25; 'inf' disables)")
+    parser.add_argument("--history", action="store_true",
+                        help="treat BASELINE as a directory of dated run "
+                             "subdirectories: print a best/worst/latest "
+                             "trend and gate against the latest run")
     args = parser.parse_args()
     if (args.cpr_threshold < 0 or args.latency_threshold < 0
-            or args.spread_threshold < 0):
+            or args.spread_threshold < 0 or args.throughput_threshold < 0):
         parser.error("thresholds must be non-negative")
 
-    pairs, notes = collect_pairs(args.baseline, args.candidate)
+    notes = []
+    baseline = args.baseline
+    if args.history:
+        if not baseline.is_dir():
+            print(f"error: --history baseline {baseline} is not a "
+                  "directory", file=sys.stderr)
+            return 2
+        baseline = history_trend(baseline)
+
+    pairs, pair_notes = collect_pairs(baseline, args.candidate)
+    notes += pair_notes
     regressions = []
     for name, base_path, cand_path in pairs:
         r, n = diff_reports(name, load_report(base_path),
                             load_report(cand_path),
                             args.cpr_threshold, args.latency_threshold,
-                            args.spread_threshold)
+                            args.spread_threshold, args.throughput_threshold)
         regressions += r
         notes += n
 
@@ -208,7 +321,8 @@ def main() -> int:
     print(f"ok: {len(pairs)} report(s) compared, no regressions beyond "
           f"thresholds (cpr {args.cpr_threshold:.0%}, "
           f"latency {args.latency_threshold:.0%}, "
-          f"spread {args.spread_threshold:.0%})")
+          f"spread {args.spread_threshold:.0%}, "
+          f"throughput {args.throughput_threshold:.0%})")
     return 0
 
 
