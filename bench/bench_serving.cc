@@ -22,6 +22,22 @@
 // machine-bound and only gated against same-machine baselines;
 // ops_per_sec is the throughput gate.
 //
+// Load modes: the default is closed-loop (the generator submits as fast
+// as the bounded queues accept, so measured latency is service time
+// under saturation). `--arrival-rate <req_per_s>` switches to open-loop:
+// every request carries a pre-computed intended arrival time from a
+// fixed schedule, the generator sleeps only when AHEAD of schedule, and
+// latency counts from the intended arrival — so a stall penalizes every
+// request it delays instead of silently pausing the clock (the
+// coordinated-omission fix). The two modes measure different
+// quantities, so every JSON row carries a "mode" field and the diff
+// gate never compares across modes.
+//
+// Each phase additionally emits a series="telemetry" row from the
+// unified registry: rebuild rejects and check failures (zero-tolerance
+// in the diff gate), lookup slow paths per million ops (thresholded),
+// EBR pending garbage, and queue-delay percentiles.
+//
 // Scale: HOPE_BENCH_KEYS keys (default 200000); the acceptance run uses
 // 1000000+. Single-Char dictionaries keep retrain cost (23ms) out of
 // the serving story — Double-Char's fixed 2^16-symbol Hu-Tucker build
@@ -37,9 +53,16 @@
 #include "dynamic/sharded_manager.h"
 #include "serve/concurrent_index.h"
 #include "serve/server_loop.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace_log.h"
 #include "workload/drift.h"
 
 namespace hope::bench {
+
+/// Open-loop arrival rate in req/s; 0 selects the closed-loop default.
+/// Set by main() from --arrival-rate before BenchMain runs the bench.
+double g_arrival_rate = 0;
+
 namespace {
 
 using dynamic::ShardedDictionaryManager;
@@ -57,11 +80,22 @@ const char* OpName(size_t op) {
   return kNames[op];
 }
 
-// One JSON row + table line per op that saw traffic in the phase.
-void ReportPhase(ServerLoop<BTree>& loop, const char* phase, double secs) {
+const char* ModeName() { return g_arrival_rate > 0 ? "open" : "closed"; }
+
+// One JSON row + table line per op that saw traffic in the phase, plus
+// one series="telemetry" row with the subsystem counters the diff gate
+// watches. prev_slow_paths carries the cumulative slow-path count
+// across phases so the row reports a per-phase rate.
+void ReportPhase(ServerLoop<BTree>& loop, ShardedDictionaryManager& mgr,
+                 ConcurrentShardedIndex<BTree>& index, const char* phase,
+                 double secs, uint64_t* prev_slow_paths) {
+  uint64_t phase_ops = 0;
+  uint64_t phase_failures = 0;
   for (size_t op = 0; op < Request::kNumOps; op++) {
     OpStats s = loop.Snapshot(static_cast<Request::Op>(op));
     if (s.ops == 0) continue;
+    phase_ops += s.ops;
+    phase_failures += s.check_failures + s.scan_order_violations;
     const double ops_per_sec = static_cast<double>(s.ops) / secs;
     std::printf("%-12s %-7s %9llu ops  p50 %7.1fus  p99 %7.1fus  "
                 "p999 %7.1fus  %10.0f ops/s  fail %llu\n",
@@ -76,6 +110,7 @@ void ReportPhase(ServerLoop<BTree>& loop, const char* phase, double secs) {
         .Str("series", "serving")
         .Str("phase", phase)
         .Str("op", OpName(op))
+        .Str("mode", ModeName())
         .Num("ops", static_cast<double>(s.ops))
         .Num("hits", static_cast<double>(s.hits))
         .Num("p50_ns", static_cast<double>(s.latency.Percentile(0.50)))
@@ -88,6 +123,31 @@ void ReportPhase(ServerLoop<BTree>& loop, const char* phase, double secs) {
         .Num("scan_order_violations",
              static_cast<double>(s.scan_order_violations));
   }
+  // Telemetry snapshot for the phase. Queue delay is the open-loop
+  // signal (intended arrival -> execution start); in closed-loop it
+  // just measures the bounded queue's depth.
+  const telemetry::HistogramSnapshot qd = loop.QueueDelaySnapshot();
+  uint64_t ebr_pending = mgr.reclaimer().pending();
+  for (size_t i = 0; i < mgr.num_shards(); i++)
+    ebr_pending += mgr.shard(i).reclaimer().pending();
+  const uint64_t slow = index.lookup_slow_paths();
+  const double slow_delta = static_cast<double>(slow - *prev_slow_paths);
+  *prev_slow_paths = slow;
+  const double mops =
+      phase_ops == 0 ? 1.0 : static_cast<double>(phase_ops) / 1e6;
+  Report()
+      .Str("series", "telemetry")
+      .Str("phase", phase)
+      .Str("mode", ModeName())
+      .Num("telemetry_rebuild_rejects",
+           static_cast<double>(mgr.rebuilds_rejected()))
+      .Num("telemetry_check_failures", static_cast<double>(phase_failures))
+      .Num("telemetry_lookup_slow_paths_per_mop", slow_delta / mops)
+      .Num("telemetry_ebr_pending", static_cast<double>(ebr_pending))
+      .Num("telemetry_queue_delay_p50_ns",
+           static_cast<double>(qd.Percentile(0.50)))
+      .Num("telemetry_queue_delay_p99_ns",
+           static_cast<double>(qd.Percentile(0.99)));
   loop.ResetStats();
   std::fflush(stdout);
 }
@@ -111,14 +171,21 @@ void Run() {
   sopt.shard.stats.sample_every = 2;
   sopt.shard.stats.reservoir_halflife = 512;
   sopt.traffic_ewma_alpha = 0.6;
+  // Telemetry sinks, declared before everything that attaches to them.
+  telemetry::MetricRegistry registry;
+  telemetry::TraceLog trace;
+
   ShardedDictionaryManager mgr(
       SampleKeys(corpus, 0.05), sopt,
       [] { return dynamic::MakeCompressionDropPolicy(0.03, 256); },
       dynamic::MakeWeightImbalancePolicy(
           /*trigger_ratio=*/1.3, /*min_keys=*/n / 10,
           /*cooldown_seconds=*/0.05, /*consecutive_polls=*/2));
+  mgr.AttachTelemetry(&registry, &trace);
   dynamic::BackgroundRebuilder rebuilder(&mgr);
+  rebuilder.AttachTelemetry(&registry);
   ConcurrentShardedIndex<BTree> index(&mgr);
+  index.AttachTelemetry(&registry, &trace);
 
   Timer preload;
   for (const auto& k : corpus) index.Insert(k, KeyFingerprint(k));
@@ -126,22 +193,32 @@ void Run() {
   std::printf("preloaded %zu keys across %zu shards in %.2fs\n",
               corpus.size(), mgr.num_shards(), preload_secs);
 
+  const bool open_loop = g_arrival_rate > 0;
   ServerLoop<BTree>::Options lopt;
   lopt.num_workers = kWorkers;
+  lopt.registry = &registry;
   // Closed-loop with bounded in-flight: latency is end-to-end from
   // Submit, so the queue bound (times service time) sets the p50 floor;
-  // a deep queue would just measure its own depth.
-  lopt.queue_capacity = 256;
+  // a deep queue would just measure its own depth. Open-loop instead
+  // needs deep queues — a full queue that blocks Submit re-introduces
+  // the coordinated omission the pre-stamped arrival times exist to
+  // fix, and the backlog itself is what queue_delay measures.
+  lopt.queue_capacity = open_loop ? 65536 : 256;
   lopt.migration_batch = 256;
   ServerLoop<BTree> loop(&index, lopt);
   std::printf("%zu workers (%zu pinned)\n", loop.num_workers(),
               loop.workers_pinned());
+  if (open_loop)
+    std::printf("open-loop arrival rate %.0f req/s\n", g_arrival_rate);
 
   // Deterministic mixed stream: position in the request stream decides
   // the op, so reruns replay byte-identical workloads.
+  uint64_t prev_slow_paths = 0;
+  const double ns_per_req = open_loop ? 1e9 / g_arrival_rate : 0;
   auto run_phase = [&](const char* name, size_t phase, double write_frac,
                        double scan_frac) {
     auto stream = drift.Phase(phase);
+    const uint64_t t0 = ServerLoop<BTree>::NowNs();
     Timer t;
     for (size_t i = 0; i < stream.size(); i++) {
       Request req;
@@ -158,10 +235,22 @@ void Run() {
         req.op = Request::Op::kLookup;
         req.check = true;
       }
+      if (open_loop) {
+        // Intended arrival from the fixed schedule: latency counts from
+        // when the request SHOULD have arrived, and the generator only
+        // sleeps when ahead — behind schedule it submits back-to-back
+        // to catch up, so a stall penalizes every request it delayed.
+        const uint64_t sched =
+            t0 + static_cast<uint64_t>(static_cast<double>(i) * ns_per_req);
+        req.enqueue_ns = sched;
+        const uint64_t now = ServerLoop<BTree>::NowNs();
+        if (sched > now)
+          std::this_thread::sleep_for(std::chrono::nanoseconds(sched - now));
+      }
       loop.Submit(std::move(req));
     }
     loop.WaitIdle();
-    ReportPhase(loop, name, t.Seconds());
+    ReportPhase(loop, mgr, index, name, t.Seconds(), &prev_slow_paths);
   };
 
   run_phase("read_heavy", 0, /*write_frac=*/0.05, /*scan_frac=*/0.02);
@@ -206,6 +295,7 @@ void Run() {
               static_cast<unsigned long long>(spot_failures));
   Report()
       .Str("series", "serving_summary")
+      .Str("mode", ModeName())
       .Num("preload_seconds", preload_secs)
       .Num("rebalances", static_cast<double>(mgr.rebalances_published()))
       .Num("plans_applied", static_cast<double>(index.plans_applied()))
@@ -220,5 +310,25 @@ void Run() {
 }  // namespace hope::bench
 
 int main(int argc, char** argv) {
-  return hope::bench::BenchMain(argc, argv, "serving", hope::bench::Run);
+  // --arrival-rate is consumed here: BenchMain owns the shared flags
+  // and rejects anything it does not recognize.
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; i++) {
+    if (!std::strcmp(argv[i], "--arrival-rate") && i + 1 < argc) {
+      unsigned long long rate = 0;
+      if (!hope::ParsePositiveUint(argv[++i], 100000000ull, &rate)) {
+        std::fprintf(
+            stderr, "usage: %s [--json <path>] [--arrival-rate <req_per_s>]\n",
+            argv[0]);
+        return 2;
+      }
+      hope::bench::g_arrival_rate = static_cast<double>(rate);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  return hope::bench::BenchMain(static_cast<int>(passthrough.size()),
+                                passthrough.data(), "serving",
+                                hope::bench::Run);
 }

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/trace_log.h"
+
 namespace hope::ebr {
 
 namespace {
@@ -41,6 +43,19 @@ struct EpochReclaimer::State {
   std::atomic<uint64_t> retired{0};
   std::atomic<uint64_t> reclaimed{0};
 
+  /// Optional lifecycle sink; TraceLog::Record is leaf-locked, so it is
+  /// safe under mu.
+  std::atomic<telemetry::TraceLog*> trace{nullptr};
+
+  /// Records a freed batch (count > 0) after the deleters ran.
+  void TraceReclaim(size_t freed) {
+    if (telemetry::TraceLog* t = trace.load(std::memory_order_relaxed)) {
+      const uint64_t pending = retired.load(std::memory_order_relaxed) -
+                               reclaimed.load(std::memory_order_relaxed);
+      t->Record(telemetry::TraceEventType::kEbrReclaim, -1, freed, pending);
+    }
+  }
+
   ~State() {
     // The reclaimer's destructor drained, so limbo is empty unless the
     // process is tearing down with readers leaked mid-guard; run what's
@@ -64,6 +79,8 @@ struct EpochReclaimer::State {
       if (e != 0 && e != g) return false;  // a reader lags behind
     }
     global_epoch.store(g + 1, std::memory_order_seq_cst);
+    if (telemetry::TraceLog* t = trace.load(std::memory_order_relaxed))
+      t->Record(telemetry::TraceEventType::kEpochAdvance, -1, g + 1);
     return true;
   }
 
@@ -240,6 +257,7 @@ void EpochReclaimer::Retire(std::function<void()> deleter) {
   // teardown) and must not extend the writer critical section.
   for (Retired& r : freeable) r.deleter();
   st.reclaimed.fetch_add(freeable.size(), std::memory_order_relaxed);
+  if (!freeable.empty()) st.TraceReclaim(freeable.size());
 }
 
 size_t EpochReclaimer::TryReclaim() {
@@ -257,6 +275,7 @@ size_t EpochReclaimer::TryReclaim() {
   }
   for (Retired& r : freeable) r.deleter();
   st.reclaimed.fetch_add(freeable.size(), std::memory_order_relaxed);
+  if (!freeable.empty()) st.TraceReclaim(freeable.size());
   return freeable.size();
 }
 
@@ -275,6 +294,7 @@ void EpochReclaimer::Drain() {
     }
     for (Retired& r : freeable) r.deleter();
     st.reclaimed.fetch_add(freeable.size(), std::memory_order_relaxed);
+    if (!freeable.empty()) st.TraceReclaim(freeable.size());
     if (remaining == 0) return;
     std::this_thread::yield();  // readers still pinned; wait them out
   }
@@ -290,6 +310,31 @@ uint64_t EpochReclaimer::reclaimed() const {
 
 uint64_t EpochReclaimer::global_epoch() const {
   return state_->global_epoch.load(std::memory_order_seq_cst);
+}
+
+void EpochReclaimer::SetTraceLog(telemetry::TraceLog* trace) {
+  state_->trace.store(trace, std::memory_order_relaxed);
+}
+
+std::vector<telemetry::MetricRegistry::Registration>
+EpochReclaimer::RegisterMetrics(telemetry::MetricRegistry* registry,
+                                telemetry::Labels labels) const {
+  std::vector<telemetry::MetricRegistry::Registration> regs;
+  if (registry == nullptr) return regs;
+  using MK = telemetry::MetricKind;
+  regs.push_back(registry->RegisterCallback(
+      "hope_ebr_retired_total", labels, MK::kCounter,
+      [this] { return static_cast<double>(retired()); }));
+  regs.push_back(registry->RegisterCallback(
+      "hope_ebr_reclaimed_total", labels, MK::kCounter,
+      [this] { return static_cast<double>(reclaimed()); }));
+  regs.push_back(registry->RegisterCallback(
+      "hope_ebr_pending", labels, MK::kGauge,
+      [this] { return static_cast<double>(pending()); }));
+  regs.push_back(registry->RegisterCallback(
+      "hope_ebr_epoch", std::move(labels), MK::kGauge,
+      [this] { return static_cast<double>(global_epoch()); }));
+  return regs;
 }
 
 size_t EpochReclaimer::slot_count() const {

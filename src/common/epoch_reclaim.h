@@ -50,6 +50,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
+
+#include "telemetry/registry.h"
+
+namespace hope::telemetry {
+class TraceLog;
+}
 
 namespace hope::ebr {
 
@@ -129,6 +136,22 @@ class EpochReclaimer {
 
   /// Current global epoch (diagnostics/tests).
   uint64_t global_epoch() const;
+
+  /// Attaches a lifecycle trace sink: successful epoch advances record
+  /// kEpochAdvance(a = new epoch) and each reclaim batch records
+  /// kEbrReclaim(a = freed, b = still pending). nullptr detaches. The
+  /// log must outlive the reclaimer or be detached first; attachment is
+  /// an atomic pointer swap, safe against concurrent retires.
+  void SetTraceLog(telemetry::TraceLog* trace);
+
+  /// Registers the reclaimer's counters (hope_ebr_retired_total,
+  /// hope_ebr_reclaimed_total) and gauges (hope_ebr_pending,
+  /// hope_ebr_epoch) on `registry` under the given labels; returns the
+  /// RAII handles (empty when `registry` is null). The caller keeps them
+  /// alive no longer than the reclaimer.
+  [[nodiscard]] std::vector<telemetry::MetricRegistry::Registration>
+  RegisterMetrics(telemetry::MetricRegistry* registry,
+                  telemetry::Labels labels) const;
 
   /// Slots currently in the list, owned or released (diagnostics/tests:
   /// the thread-churn regression asserts this stays bounded by live

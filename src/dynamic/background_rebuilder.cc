@@ -102,4 +102,22 @@ void BackgroundRebuilder::Loop() {
   }
 }
 
+void BackgroundRebuilder::AttachTelemetry(
+    telemetry::MetricRegistry* registry) {
+  if (registry == nullptr) return;
+  using MK = telemetry::MetricKind;
+  auto add = [&](const char* name, std::function<double()> read) {
+    registrations_.push_back(
+        registry->RegisterCallback(name, {}, MK::kCounter, std::move(read)));
+  };
+  add("hope_rebuilder_cycles_total",
+      [this] { return static_cast<double>(cycles()); });
+  add("hope_rebuilder_rebuilds_total",
+      [this] { return static_cast<double>(rebuilds_completed()); });
+  add("hope_rebuilder_rebalances_total",
+      [this] { return static_cast<double>(rebalances_completed()); });
+  add("hope_rebuilder_reclaims_total",
+      [this] { return static_cast<double>(versions_reclaimed()); });
+}
+
 }  // namespace hope::dynamic

@@ -71,6 +71,12 @@ class BackgroundRebuilder {
   uint64_t versions_reclaimed() const { return reclaims_.load(); }
   uint64_t cycles() const { return cycles_.load(); }
 
+  /// Registers the worker-loop counters (hope_rebuilder_*) on
+  /// `registry`, which must outlive the rebuilder. Null is a no-op. The
+  /// managers attach their own telemetry — the rebuilder only exports
+  /// its sweep activity.
+  void AttachTelemetry(telemetry::MetricRegistry* registry);
+
  private:
   BackgroundRebuilder(std::vector<DictionaryManager*> managers,
                       std::vector<ShardedDictionaryManager*> sharded,
@@ -95,6 +101,7 @@ class BackgroundRebuilder {
   std::atomic<uint64_t> rebalances_{0};
   std::atomic<uint64_t> reclaims_{0};
   std::atomic<uint64_t> cycles_{0};
+  std::vector<telemetry::MetricRegistry::Registration> registrations_;
   std::thread worker_;
 };
 

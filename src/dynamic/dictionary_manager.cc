@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/trace_log.h"
+
 namespace hope::dynamic {
 
 namespace {
@@ -128,18 +130,33 @@ DictionaryManager::RebuildResult DictionaryManager::RebuildNow(bool force) {
     if (!policy_->ShouldRebuild(Signals()))
       return RebuildResult::kNotTriggered;
   }
-  auto reject = [this](RebuildResult r) {
+  telemetry::TraceLog* trace = trace_.load(std::memory_order_relaxed);
+  const int32_t shard = trace_shard_.load(std::memory_order_relaxed);
+  const int64_t t0 = SteadyNowNs();
+  auto elapsed = [t0] {
+    return static_cast<uint64_t>(SteadyNowNs() - t0);
+  };
+  auto reject = [&, this](RebuildResult r) {
     rejected_.fetch_add(1);
     backoff_until_ns_.store(
         SteadyNowNs() +
             static_cast<int64_t>(options_.rebuild_backoff_seconds * 1e9),
         std::memory_order_relaxed);
+    if (trace != nullptr)
+      trace->Record(telemetry::TraceEventType::kRebuildReject, shard,
+                    static_cast<uint64_t>(r), elapsed());
     return r;
   };
 
   std::vector<std::string> corpus = collector_->ReservoirSnapshot();
   if (corpus.size() < kMinRebuildCorpus)
     return RebuildResult::kInsufficientData;
+
+  // Every start event pairs with a finish or reject (the policy and
+  // corpus gates above emit nothing — they fire every poll).
+  if (trace != nullptr)
+    trace->Record(telemetry::TraceEventType::kRebuildStart, shard,
+                  current_.load(std::memory_order_relaxed)->epoch);
 
   std::unique_ptr<Hope> candidate;
   try {
@@ -167,7 +184,10 @@ DictionaryManager::RebuildResult DictionaryManager::RebuildNow(bool force) {
       candidate_cpr < live_cpr * (1.0 + options_.min_cpr_gain))
     return reject(RebuildResult::kRejectedNoGain);
 
-  PublishLocked(std::move(candidate), candidate_cpr);
+  const uint64_t new_epoch = PublishLocked(std::move(candidate), candidate_cpr);
+  if (trace != nullptr)
+    trace->Record(telemetry::TraceEventType::kRebuildFinish, shard, new_epoch,
+                  elapsed());
   return RebuildResult::kRebuilt;
 }
 
@@ -201,6 +221,34 @@ uint64_t DictionaryManager::PublishLocked(std::unique_ptr<Hope> candidate,
   collector_->MarkRebuild(fresh_cpr);
   published_.fetch_add(1);
   return epoch;
+}
+
+void DictionaryManager::AttachTelemetry(telemetry::MetricRegistry* registry,
+                                        telemetry::TraceLog* trace,
+                                        int shard) {
+  trace_shard_.store(shard, std::memory_order_relaxed);
+  trace_.store(trace, std::memory_order_relaxed);
+  reclaimer_.SetTraceLog(trace);
+  if (registry == nullptr) return;
+  telemetry::Labels labels;
+  if (shard >= 0) labels.emplace_back("shard", std::to_string(shard));
+  using MK = telemetry::MetricKind;
+  auto add = [&](const char* name, MK kind, std::function<double()> read) {
+    registrations_.push_back(
+        registry->RegisterCallback(name, labels, kind, std::move(read)));
+  };
+  add("hope_dict_rebuilds_published_total", MK::kCounter,
+      [this] { return static_cast<double>(rebuilds_published()); });
+  add("hope_dict_rebuilds_rejected_total", MK::kCounter,
+      [this] { return static_cast<double>(rebuilds_rejected()); });
+  add("hope_dict_epoch", MK::kGauge,
+      [this] { return static_cast<double>(epoch()); });
+  add("hope_dict_baseline_cpr", MK::kGauge, [this] { return baseline_cpr(); });
+
+  telemetry::Labels ebr_labels{{"scope", "dict"}};
+  for (auto& l : labels) ebr_labels.push_back(l);
+  auto ebr_regs = reclaimer_.RegisterMetrics(registry, std::move(ebr_labels));
+  for (auto& r : ebr_regs) registrations_.push_back(std::move(r));
 }
 
 }  // namespace hope::dynamic

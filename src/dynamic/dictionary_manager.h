@@ -40,6 +40,7 @@
 #include "dynamic/encode_stats.h"
 #include "dynamic/rebuild_policy.h"
 #include "hope/hope.h"
+#include "telemetry/registry.h"
 
 namespace hope::dynamic {
 
@@ -156,6 +157,17 @@ class DictionaryManager {
   /// call TryReclaim() so idle periods still free the limbo list.
   ebr::EpochReclaimer& reclaimer() const { return reclaimer_; }
 
+  /// Registers the manager's counters/gauges (hope_dict_*, plus its
+  /// reclaimer's hope_ebr_* under scope="dict") on `registry` — the
+  /// existing accessors above stay the thin views they always were —
+  /// and routes rebuild + EBR lifecycle events to `trace`. Labels carry
+  /// shard=`shard` when >= 0 (the sharded manager's per-shard identity).
+  /// Either sink may be null; both must outlive the manager. Attach
+  /// before concurrent rebuild activity starts: attachment is a plain
+  /// store the rebuild path reads relaxed.
+  void AttachTelemetry(telemetry::MetricRegistry* registry,
+                       telemetry::TraceLog* trace, int shard = -1);
+
  private:
   struct Version {
     uint64_t epoch;
@@ -186,6 +198,13 @@ class DictionaryManager {
   std::atomic<double> baseline_cpr_{0};
   std::atomic<uint64_t> published_{0};
   std::atomic<uint64_t> rejected_{0};
+
+  /// Lifecycle sink + the shard label rebuild events carry (-1 =
+  /// unsharded). Set once by AttachTelemetry, read relaxed on the
+  /// (mutex-serialized) rebuild path.
+  std::atomic<telemetry::TraceLog*> trace_{nullptr};
+  std::atomic<int32_t> trace_shard_{-1};
+  std::vector<telemetry::MetricRegistry::Registration> registrations_;
 };
 
 }  // namespace hope::dynamic

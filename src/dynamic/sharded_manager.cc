@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/trace_log.h"
+
 namespace hope::dynamic {
 
 RouterVersion::RouterVersion(std::vector<std::string> sample,
@@ -348,6 +350,9 @@ ShardedDictionaryManager::RebalanceLocked() {
   // shared_ptr holders, who need no guard.
   reclaimer_.Retire([keep = std::move(current)]() mutable { keep.reset(); });
   rebalances_.fetch_add(1);
+  if (telemetry::TraceLog* t = trace_.load(std::memory_order_relaxed))
+    t->Record(telemetry::TraceEventType::kRebalancePublish, -1,
+              next->version(), plan->moves.size());
   PrunePlansLocked();
 
   // Reset the hysteresis baseline: the new boundaries equalize expected
@@ -431,6 +436,38 @@ uint64_t ShardedDictionaryManager::rebuilds_rejected() const {
   uint64_t n = 0;
   for (const auto& shard : shards_) n += shard->rebuilds_rejected();
   return n;
+}
+
+void ShardedDictionaryManager::AttachTelemetry(
+    telemetry::MetricRegistry* registry, telemetry::TraceLog* trace) {
+  trace_.store(trace, std::memory_order_relaxed);
+  reclaimer_.SetTraceLog(trace);
+  for (size_t s = 0; s < shards_.size(); s++)
+    shards_[s]->AttachTelemetry(registry, trace, static_cast<int>(s));
+  if (registry == nullptr) return;
+  using MK = telemetry::MetricKind;
+  auto add = [&](const char* name, MK kind, std::function<double()> read) {
+    registrations_.push_back(
+        registry->RegisterCallback(name, {}, kind, std::move(read)));
+  };
+  add("hope_rebalance_published_total", MK::kCounter,
+      [this] { return static_cast<double>(rebalances_published()); });
+  add("hope_rebalance_noop_total", MK::kCounter,
+      [this] { return static_cast<double>(rebalances_noop()); });
+  add("hope_rebalance_plans_pruned_total", MK::kCounter,
+      [this] { return static_cast<double>(plans_pruned()); });
+  // These take rebalance_mu_ at snapshot time; the registry is never
+  // snapshotted with rebalance_mu_ held (see registry.h lock order).
+  add("hope_rebalance_plans_retained", MK::kGauge,
+      [this] { return static_cast<double>(plans_retained()); });
+  add("hope_rebalance_weight_imbalance", MK::kGauge,
+      [this] { return WeightImbalance(); });
+  add("hope_router_version", MK::kGauge,
+      [this] { return static_cast<double>(router_version()); });
+
+  auto ebr_regs =
+      reclaimer_.RegisterMetrics(registry, {{"scope", "router"}});
+  for (auto& r : ebr_regs) registrations_.push_back(std::move(r));
 }
 
 }  // namespace hope::dynamic

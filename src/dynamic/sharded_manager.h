@@ -359,6 +359,15 @@ class ShardedDictionaryManager {
   /// stale-corpus symptom when paired with persistent imbalance).
   uint64_t rebalances_noop() const { return rebalance_noops_.load(); }
 
+  /// Wires the whole sharded stack in one call: registers the rebalance
+  /// counters/gauges (hope_rebalance_*, hope_router_version, plus the
+  /// router reclaimer's hope_ebr_* under scope="router") and attaches
+  /// every shard manager with its shard label; router publishes record
+  /// kRebalancePublish on `trace`. Either sink may be null; both must
+  /// outlive the manager. Attach before background polling starts.
+  void AttachTelemetry(telemetry::MetricRegistry* registry,
+                       telemetry::TraceLog* trace);
+
  private:
   std::shared_ptr<const RebalancePlan> RebalanceLocked();
   double WeightImbalanceLocked() const;  ///< requires rebalance_mu_
@@ -399,6 +408,11 @@ class ShardedDictionaryManager {
   std::atomic<uint64_t> plans_pruned_{0};
   std::atomic<uint64_t> rebalances_{0};
   std::atomic<uint64_t> rebalance_noops_{0};
+
+  /// Lifecycle sink (set once by AttachTelemetry, read relaxed under
+  /// rebalance_mu_) and the metric registrations' RAII handles.
+  std::atomic<telemetry::TraceLog*> trace_{nullptr};
+  std::vector<telemetry::MetricRegistry::Registration> registrations_;
 };
 
 }  // namespace hope::dynamic

@@ -67,6 +67,8 @@
 #include "common/epoch_reclaim.h"
 #include "dynamic/sharded_manager.h"
 #include "dynamic/versioned_index.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace_log.h"
 
 namespace hope::serve {
 
@@ -244,6 +246,30 @@ class ConcurrentShardedIndex {
     return lookup_slow_paths_.load(std::memory_order_relaxed);
   }
 
+  /// Registers the migration counters (hope_migration_*,
+  /// hope_lookup_slow_paths_total) on `registry` — the accessors above
+  /// stay the thin views — and routes plan/batch/resync lifecycle
+  /// events to `trace`. Either sink may be null; both must outlive the
+  /// index. Attach before migration polling starts.
+  void AttachTelemetry(telemetry::MetricRegistry* registry,
+                       telemetry::TraceLog* trace) {
+    trace_.store(trace, std::memory_order_relaxed);
+    if (registry == nullptr) return;
+    using MK = telemetry::MetricKind;
+    auto add = [&](const char* name, std::function<double()> read) {
+      registrations_.push_back(registry->RegisterCallback(
+          name, {}, MK::kCounter, std::move(read)));
+    };
+    add("hope_migration_plans_applied_total",
+        [this] { return static_cast<double>(plans_applied()); });
+    add("hope_migration_entries_total",
+        [this] { return static_cast<double>(entries_migrated()); });
+    add("hope_migration_resyncs_total",
+        [this] { return static_cast<double>(resyncs()); });
+    add("hope_lookup_slow_paths_total",
+        [this] { return static_cast<double>(lookup_slow_paths()); });
+  }
+
  private:
   static constexpr size_t kNoShard = ~size_t{0};
   static constexpr int kOptimisticRetries = 8;
@@ -313,6 +339,9 @@ class ConcurrentShardedIndex {
     // new routing without the double-route fallback.
     inflight_plan_.store(mig_.plan.get(), std::memory_order_seq_cst);
     PublishRouterLocked(mig_.plan->to);
+    if (telemetry::TraceLog* t = trace_.load(std::memory_order_relaxed))
+      t->Record(telemetry::TraceEventType::kPlanApplyBegin, -1,
+                mig_.plan->to->version(), mig_.plan->moves.size());
   }
 
   /// Requires migration_mu_ and a fully-moved plan.
@@ -324,6 +353,9 @@ class ConcurrentShardedIndex {
     plans_applied_.fetch_add(1, std::memory_order_relaxed);
     manager_->UpdateIndexVersion(registration_id_, router_->version());
     migration_seq_.fetch_add(1, std::memory_order_seq_cst);
+    if (telemetry::TraceLog* t = trace_.load(std::memory_order_relaxed))
+      t->Record(telemetry::TraceEventType::kPlanRetired, -1,
+                router_->version());
   }
 
   /// Requires migration_mu_. One bounded unit of migration work; always
@@ -371,6 +403,11 @@ class ConcurrentShardedIndex {
     mig_.pos += n;
     *budget -= n;
     entries_migrated_.fetch_add(extracted.size(), std::memory_order_relaxed);
+    if (!extracted.empty()) {
+      if (telemetry::TraceLog* t = trace_.load(std::memory_order_relaxed))
+        t->Record(telemetry::TraceEventType::kMigrationBatch,
+                  static_cast<int32_t>(mv.to_shard), extracted.size());
+    }
     return extracted.size();
   }
 
@@ -438,6 +475,8 @@ class ConcurrentShardedIndex {
     manager_->UpdateIndexVersion(registration_id_, router_->version());
     resyncs_.fetch_add(1, std::memory_order_relaxed);
     entries_migrated_.fetch_add(moved, std::memory_order_relaxed);
+    if (telemetry::TraceLog* t = trace_.load(std::memory_order_relaxed))
+      t->Record(telemetry::TraceEventType::kResync, -1, moved);
     return moved;
   }
 
@@ -475,6 +514,11 @@ class ConcurrentShardedIndex {
   std::atomic<uint64_t> entries_migrated_{0};
   std::atomic<uint64_t> resyncs_{0};
   mutable std::atomic<uint64_t> lookup_slow_paths_{0};
+
+  /// Lifecycle sink (set once by AttachTelemetry, read relaxed under
+  /// migration_mu_) and the metric registrations' RAII handles.
+  std::atomic<telemetry::TraceLog*> trace_{nullptr};
+  std::vector<telemetry::MetricRegistry::Registration> registrations_;
 };
 
 }  // namespace hope::serve

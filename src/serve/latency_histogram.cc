@@ -9,28 +9,11 @@ namespace hope::serve {
 LatencyHistogram::LatencyHistogram() { std::memset(buckets_, 0, sizeof(buckets_)); }
 
 size_t LatencyHistogram::BucketIndex(uint64_t value) {
-  if (value < kSubBucketCount) return static_cast<size_t>(value);
-  // value in [2^e, 2^(e+1)): shift its top kSubBucketBits+1 bits down so
-  // (value >> shift) lands in [kSubBucketCount, 2*kSubBucketCount), then
-  // place octave e's group after the groups of all lower octaves. The
-  // first group (e == kSubBucketBits) continues the linear region
-  // seamlessly: its sub-buckets still have width 1.
-  unsigned e = 63u - static_cast<unsigned>(__builtin_clzll(value));
-  unsigned shift = e - kSubBucketBits;
-  uint64_t sub = (value >> shift) - kSubBucketCount;
-  return static_cast<size_t>(
-      (uint64_t{e - kSubBucketBits + 1} << kSubBucketBits) + sub);
+  return telemetry::LogBucketIndex(value);
 }
 
 uint64_t LatencyHistogram::BucketUpperBound(size_t index) {
-  if (index < kSubBucketCount) return static_cast<uint64_t>(index);
-  uint64_t group = index >> kSubBucketBits;  // >= 1
-  uint64_t sub = index & (kSubBucketCount - 1);
-  unsigned e = static_cast<unsigned>(group - 1) + kSubBucketBits;
-  unsigned shift = e - kSubBucketBits;
-  uint64_t low = (kSubBucketCount + sub) << shift;
-  uint64_t width = uint64_t{1} << shift;
-  return low + width - 1;
+  return telemetry::LogBucketUpperBound(index);
 }
 
 void LatencyHistogram::Record(uint64_t value) {
@@ -49,6 +32,23 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   min_ = std::min(min_, other.min_);
 }
 
+void LatencyHistogram::AddBucketCounts(const uint64_t* counts, size_t n) {
+  if (n > kNumBuckets) n = kNumBuckets;
+  for (size_t i = 0; i < n; i++) {
+    const uint64_t c = counts[i];
+    if (c == 0) continue;
+    const uint64_t lower = telemetry::LogBucketLowerBound(i);
+    const uint64_t upper = BucketUpperBound(i);
+    buckets_[i] += c;
+    count_ += c;
+    // Midpoint via lower + (upper - lower) / 2: lower + upper overflows
+    // in the top octave.
+    sum_ += (lower + (upper - lower) / 2) * c;
+    max_ = std::max(max_, upper);
+    min_ = std::min(min_, lower);
+  }
+}
+
 void LatencyHistogram::Reset() {
   std::memset(buckets_, 0, sizeof(buckets_));
   count_ = 0;
@@ -59,20 +59,12 @@ void LatencyHistogram::Reset() {
 
 uint64_t LatencyHistogram::Percentile(double q) const {
   if (count_ == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  uint64_t target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
-  if (target == 0) target = 1;
-  uint64_t cumulative = 0;
-  for (size_t i = 0; i < kNumBuckets; i++) {
-    cumulative += buckets_[i];
-    if (cumulative >= target) {
-      // The recorded max is exact and lives in the last populated
-      // bucket; never report that bucket's (coarser) upper bound above
-      // it.
-      return std::min(BucketUpperBound(i), max_);
-    }
-  }
-  return max_;
+  // Rank-interpolated within the selected bucket, clamped so the exact
+  // recorded extremes bound the estimate (the recorded max lives in the
+  // last populated bucket; never report that bucket's coarser upper
+  // bound above it).
+  return telemetry::QuantileFromCounts(buckets_, kNumBuckets, count_, q,
+                                       min(), max_);
 }
 
 double LatencyHistogram::Mean() const {

@@ -10,24 +10,25 @@
 // the same 15KB fixed array, with no allocation on the record path.
 //
 // Not thread-safe: the serving layer keeps one histogram per worker
-// (shared-nothing) and merges snapshots at phase boundaries.
+// (shared-nothing) and merges snapshots at phase boundaries. The bucket
+// layout itself lives in telemetry/log_buckets.h, shared with
+// telemetry::Histogram so the two index identically shaped arrays and
+// counts can merge bucket-for-bucket (AddBucketCounts).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 
+#include "telemetry/log_buckets.h"
+
 namespace hope::serve {
 
 class LatencyHistogram {
  public:
-  /// Sub-bucket resolution: 2^5 = 32 linear sub-buckets per octave,
-  /// bounding the bucket-upper-bound overestimate at ~3.1%.
-  static constexpr unsigned kSubBucketBits = 5;
-  static constexpr uint64_t kSubBucketCount = uint64_t{1} << kSubBucketBits;
-  /// Buckets for the full uint64 range: the unit-width linear region
-  /// plus one sub-bucket group per octave kSubBucketBits..63.
-  static constexpr size_t kNumBuckets =
-      static_cast<size_t>((64 - kSubBucketBits + 1) * kSubBucketCount);
+  /// Layout constants re-exported from telemetry/log_buckets.h.
+  static constexpr unsigned kSubBucketBits = telemetry::kSubBucketBits;
+  static constexpr uint64_t kSubBucketCount = telemetry::kSubBucketCount;
+  static constexpr size_t kNumBuckets = telemetry::kNumLogBuckets;
 
   LatencyHistogram();
 
@@ -37,13 +38,20 @@ class LatencyHistogram {
   /// Adds another histogram's counts (the cross-worker merge).
   void Merge(const LatencyHistogram& other);
 
+  /// Adds raw bucket counts in the shared log_buckets layout (`n` capped
+  /// at kNumBuckets) — the bridge from a telemetry::HistogramSnapshot
+  /// back into the phase-report path. Count is exact; sum (and so Mean)
+  /// is midpoint-approximated and min/max are bucket-resolution, since
+  /// raw counts carry no exact extremes.
+  void AddBucketCounts(const uint64_t* counts, size_t n);
+
   void Reset();
 
-  /// Value at quantile q in [0, 1]: the upper bound of the bucket where
-  /// the cumulative count reaches ceil(q * count), i.e. an overestimate
-  /// by at most one bucket width (~3.1%). q >= 1 (or the last populated
-  /// bucket) reports the exact recorded max; an empty histogram reports
-  /// 0.
+  /// Value at quantile q in [0, 1]: rank-interpolated within the bucket
+  /// where the cumulative count reaches ceil(q * count) — exact in the
+  /// unit-width linear region, off by at most one bucket width (~3.1%)
+  /// above it — clamped to the exact recorded [min, max]. An empty
+  /// histogram reports 0.
   uint64_t Percentile(double q) const;
 
   uint64_t count() const { return count_; }

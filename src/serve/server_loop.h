@@ -13,11 +13,15 @@
 // migration-transparent by construction.
 //
 // Latency is measured end-to-end (enqueue to completion, steady clock),
-// which is what an SLO sees: queueing delay counts. Each op type gets
-// its own histogram per worker; Snapshot() merges across workers at
-// phase boundaries. The tiny per-worker stats mutex is touched once per
-// request by its own worker and only contended during snapshots, which
-// callers take at quiesce points (WaitIdle) anyway.
+// which is what an SLO sees: queueing delay counts — and the queueing
+// component is also recorded on its own histogram, which is what makes
+// open-loop (coordinated-omission-free) benchmark runs diagnosable.
+// Measurement is telemetry-native: each op type has a wait-free
+// telemetry::Histogram plus striped counters shared by all workers (one
+// relaxed atomic per update — cheaper than the per-worker stats mutex
+// it replaces, and snapshot-able mid-phase without stalling anyone).
+// Snapshot()/ResetStats() keep their historical OpStats shape as a
+// compatibility view over the telemetry objects.
 //
 // Self-checking: a request with `check` set verifies the serving
 // invariant value == KeyFingerprint(key) on every hit, and scans verify
@@ -30,6 +34,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -40,6 +45,8 @@
 #include "serve/concurrent_index.h"
 #include "serve/cpu_pin.h"
 #include "serve/latency_histogram.h"
+#include "telemetry/metrics.h"
+#include "telemetry/registry.h"
 
 namespace hope::serve {
 
@@ -68,7 +75,11 @@ struct Request {
   std::string key;
   uint64_t value = 0;      ///< insert payload
   uint32_t scan_count = 0; ///< scan length
-  uint64_t enqueue_ns = 0; ///< stamped by Submit()
+  /// Stamped by Submit() when 0. An open-loop generator pre-stamps the
+  /// intended arrival time instead, so end-to-end latency includes the
+  /// schedule slip a saturated loop would otherwise hide (coordinated
+  /// omission).
+  uint64_t enqueue_ns = 0;
 };
 
 /// Merged per-op measurement snapshot.
@@ -89,6 +100,16 @@ class ServerLoop {
     bool pin_workers = true;
     size_t migration_batch = 512;  ///< keys per PollMigration call
     unsigned migration_poll_us = 200;  ///< idle sleep between polls
+
+    /// Optional: register the loop's metrics (latency/queue-delay
+    /// histograms, per-op counters, queue-depth gauge) here. Must
+    /// outlive the loop.
+    telemetry::MetricRegistry* registry = nullptr;
+    /// With `registry` and a sink: a stats thread delivers a registry
+    /// snapshot at start, every `stats_interval`, and once more at
+    /// Stop() — so even a short run exports at least two snapshots.
+    std::chrono::milliseconds stats_interval{0};
+    std::function<void(const telemetry::RegistrySnapshot&)> stats_sink;
   };
 
   /// `index` must outlive the loop. Workers and the migration
@@ -97,6 +118,7 @@ class ServerLoop {
       : index_(index), opt_(options) {
     if (opt_.num_workers == 0) opt_.num_workers = 1;
     if (opt_.queue_capacity == 0) opt_.queue_capacity = 1;
+    if (opt_.registry != nullptr) RegisterMetrics();
     workers_.reserve(opt_.num_workers);
     for (size_t w = 0; w < opt_.num_workers; w++)
       workers_.push_back(std::make_unique<Worker>());
@@ -104,6 +126,9 @@ class ServerLoop {
       workers_[w]->thread =
           std::thread([this, w] { WorkerMain(*workers_[w], w); });
     maintenance_ = std::thread([this] { MaintenanceMain(); });
+    if (opt_.registry != nullptr && opt_.stats_sink &&
+        opt_.stats_interval.count() > 0)
+      stats_thread_ = std::thread([this] { StatsMain(); });
   }
 
   ~ServerLoop() { Stop(); }
@@ -115,7 +140,7 @@ class ServerLoop {
   /// queue is full (natural backpressure — the benchmark's arrival rate
   /// is then bounded by service rate, as in a closed-loop load test).
   void Submit(Request req) {
-    req.enqueue_ns = NowNs();
+    if (req.enqueue_ns == 0) req.enqueue_ns = NowNs();
     Worker& wk = *workers_[index_->Route(req.key) % workers_.size()];
     {
       std::unique_lock<std::mutex> lk(wk.mu);
@@ -152,30 +177,48 @@ class ServerLoop {
     }
     for (auto& wk : workers_) wk->thread.join();
     maintenance_.join();
+    if (stats_thread_.joinable()) {
+      { std::lock_guard<std::mutex> lk(stats_mu_); }
+      stats_cv_.notify_all();
+      stats_thread_.join();
+    }
   }
 
-  /// Merged stats for one op across workers. Take at quiesce points
-  /// (after WaitIdle) for exact phase numbers.
+  /// Merged stats for one op — the historical OpStats shape,
+  /// reconstructed from the telemetry objects. Count and the counters
+  /// are exact; Mean() is midpoint-approximated and min/max are
+  /// bucket-resolution (raw bucket counts carry no exact extremes).
+  /// Take at quiesce points (after WaitIdle) for exact phase numbers.
   OpStats Snapshot(Request::Op op) const {
+    const PerOpTelemetry& t = per_op_[static_cast<size_t>(op)];
     OpStats merged;
-    for (const auto& wk : workers_) {
-      std::lock_guard<std::mutex> lk(wk->stats_mu);
-      const OpStats& s = wk->stats[static_cast<size_t>(op)];
-      merged.latency.Merge(s.latency);
-      merged.ops += s.ops;
-      merged.hits += s.hits;
-      merged.check_failures += s.check_failures;
-      merged.scan_order_violations += s.scan_order_violations;
-    }
+    const telemetry::HistogramSnapshot h = t.latency.Snapshot();
+    merged.latency.AddBucketCounts(h.counts.data(), h.counts.size());
+    merged.ops = t.ops.Value();
+    merged.hits = t.hits.Value();
+    merged.check_failures = t.check_failures.Value();
+    merged.scan_order_violations = t.scan_order_violations.Value();
     return merged;
   }
 
-  /// Clears every worker's histograms and counters (phase boundary).
+  /// Queue-delay distribution (Submit/pre-stamped arrival to execution
+  /// start) across all ops — the coordinated-omission signal.
+  telemetry::HistogramSnapshot QueueDelaySnapshot() const {
+    return queue_delay_.Snapshot();
+  }
+
+  /// Clears histograms and counters (phase boundary; quiesce first —
+  /// call after WaitIdle, as resetting under load can drop in-flight
+  /// updates).
   void ResetStats() {
-    for (auto& wk : workers_) {
-      std::lock_guard<std::mutex> lk(wk->stats_mu);
-      for (OpStats& s : wk->stats) s = OpStats{};
+    for (PerOpTelemetry& t : per_op_) {
+      t.latency.Reset();
+      t.ops.Reset();
+      t.hits.Reset();
+      t.check_failures.Reset();
+      t.scan_order_violations.Reset();
     }
+    queue_delay_.Reset();
   }
 
   /// Workers that were successfully pinned to a CPU.
@@ -200,14 +243,69 @@ class ServerLoop {
     std::condition_variable cv_space;
     std::deque<Request> queue;
 
-    /// Guarded separately from the queue so recording a latency never
-    /// delays a Submit, and snapshots never stall the queue.
-    mutable std::mutex stats_mu;
-    OpStats stats[Request::kNumOps];
-
     std::vector<uint64_t> scan_buf;  ///< worker-local, reused
     std::thread thread;
   };
+
+  /// Shared by all workers: every update is one relaxed atomic (striped
+  /// counters, atomic histogram buckets), so there is no cross-worker
+  /// contention to speak of and no mutex on the record path.
+  struct PerOpTelemetry {
+    telemetry::Histogram latency;
+    telemetry::Counter ops;
+    telemetry::Counter hits;
+    telemetry::Counter check_failures;
+    telemetry::Counter scan_order_violations;
+  };
+
+  void RegisterMetrics() {
+    static constexpr const char* kOpNames[Request::kNumOps] = {
+        "lookup", "insert", "erase", "scan"};
+    auto& reg = *opt_.registry;
+    for (size_t i = 0; i < Request::kNumOps; i++) {
+      const telemetry::Labels labels{{"op", kOpNames[i]}};
+      PerOpTelemetry& t = per_op_[i];
+      registrations_.push_back(
+          reg.RegisterHistogram("hope_server_latency_ns", labels, &t.latency));
+      registrations_.push_back(
+          reg.RegisterCounter("hope_server_ops_total", labels, &t.ops));
+      registrations_.push_back(
+          reg.RegisterCounter("hope_server_hits_total", labels, &t.hits));
+      registrations_.push_back(reg.RegisterCounter(
+          "hope_server_check_failures_total", labels, &t.check_failures));
+      registrations_.push_back(
+          reg.RegisterCounter("hope_server_scan_order_violations_total",
+                              labels, &t.scan_order_violations));
+    }
+    registrations_.push_back(
+        reg.RegisterHistogram("hope_server_queue_delay_ns", {}, &queue_delay_));
+    registrations_.push_back(reg.RegisterCallback(
+        "hope_server_queue_depth", {}, telemetry::MetricKind::kGauge, [this] {
+          return static_cast<double>(
+              pending_.load(std::memory_order_relaxed));
+        }));
+    registrations_.push_back(reg.RegisterCallback(
+        "hope_server_workers_pinned", {}, telemetry::MetricKind::kGauge,
+        [this] {
+          return static_cast<double>(pinned_.load(std::memory_order_relaxed));
+        }));
+  }
+
+  void StatsMain() {
+    EmitStats();
+    std::unique_lock<std::mutex> lk(stats_mu_);
+    while (!stats_cv_.wait_for(lk, opt_.stats_interval, [this] {
+      return stop_.load(std::memory_order_acquire);
+    })) {
+      lk.unlock();
+      EmitStats();
+      lk.lock();
+    }
+    lk.unlock();
+    EmitStats();  // final snapshot: even a short run exports two
+  }
+
+  void EmitStats() { opt_.stats_sink(opt_.registry->Snapshot()); }
 
   void WorkerMain(Worker& wk, size_t worker_index) {
     if (opt_.pin_workers &&
@@ -233,6 +331,8 @@ class ServerLoop {
   }
 
   void Execute(Worker& wk, Request& req) {
+    const uint64_t start = NowNs();
+    queue_delay_.Record(start > req.enqueue_ns ? start - req.enqueue_ns : 0);
     uint64_t check_failures = 0;
     uint64_t scan_order_violations = 0;
     uint64_t hits = 0;
@@ -263,13 +363,13 @@ class ServerLoop {
     }
     const uint64_t now = NowNs();
     const uint64_t latency = now > req.enqueue_ns ? now - req.enqueue_ns : 0;
-    std::lock_guard<std::mutex> lk(wk.stats_mu);
-    OpStats& s = wk.stats[static_cast<size_t>(req.op)];
-    s.latency.Record(latency);
-    s.ops++;
-    s.hits += hits;
-    s.check_failures += check_failures;
-    s.scan_order_violations += scan_order_violations;
+    PerOpTelemetry& t = per_op_[static_cast<size_t>(req.op)];
+    t.latency.Record(latency);
+    t.ops.Add();
+    if (hits != 0) t.hits.Add(hits);
+    if (check_failures != 0) t.check_failures.Add(check_failures);
+    if (scan_order_violations != 0)
+      t.scan_order_violations.Add(scan_order_violations);
   }
 
   void MaintenanceMain() {
@@ -285,8 +385,16 @@ class ServerLoop {
 
   ConcurrentShardedIndex<Tree>* index_;
   Options opt_;
+  /// Telemetry objects precede registrations_ so the RAII handles (which
+  /// deregister from opt_.registry) are destroyed first.
+  PerOpTelemetry per_op_[Request::kNumOps];
+  telemetry::Histogram queue_delay_;
+  std::vector<telemetry::MetricRegistry::Registration> registrations_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread maintenance_;
+  std::thread stats_thread_;
+  std::mutex stats_mu_;               ///< stats thread's interruptible sleep
+  std::condition_variable stats_cv_;
   /// Stop() latch and shutdown flag in one: workers read it inside
   /// their wait predicates (under their queue mutex, but the flag
   /// itself is cross-worker so it must be atomic).

@@ -1,0 +1,39 @@
+#include "telemetry/metrics.h"
+
+namespace hope::telemetry {
+
+size_t ThreadStripeSeed() {
+  static std::atomic<size_t> next{0};
+  // One RMW per thread lifetime; every later call is a plain TLS read.
+  thread_local const size_t seed =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return seed;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.counts.resize(kNumLogBuckets);
+  size_t first = kNumLogBuckets, last = 0;
+  double weighted = 0.0;
+  for (size_t i = 0; i < kNumLogBuckets; i++) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    snap.counts[i] = c;
+    if (c == 0) continue;
+    snap.count += c;
+    if (first == kNumLogBuckets) first = i;
+    last = i;
+    // Midpoint via lo/2 + hi/2: lo + hi overflows in the top octave.
+    const double mid =
+        static_cast<double>(LogBucketLowerBound(i)) / 2.0 +
+        static_cast<double>(LogBucketUpperBound(i)) / 2.0;
+    weighted += mid * static_cast<double>(c);
+  }
+  if (snap.count > 0) {
+    snap.min = LogBucketLowerBound(first);
+    snap.max = LogBucketUpperBound(last);
+    snap.mean = weighted / static_cast<double>(snap.count);
+  }
+  return snap;
+}
+
+}  // namespace hope::telemetry

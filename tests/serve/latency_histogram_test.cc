@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "serve/latency_histogram.h"
+#include "telemetry/metrics.h"
 
 namespace hope::serve {
 namespace {
@@ -112,6 +113,90 @@ TEST(LatencyHistogramTest, ResetClears) {
   EXPECT_EQ(h.Percentile(0.5), 0u);
   h.Record(7);
   EXPECT_EQ(h.Percentile(1.0), 7u);
+}
+
+TEST(LatencyHistogramTest, SharedLayoutMatchesTelemetry) {
+  // The layout constants are a cross-library contract: the serving
+  // histogram and telemetry::Histogram must index identically so their
+  // bucket counts can be merged bucket-for-bucket.
+  EXPECT_EQ(LatencyHistogram::kNumBuckets, telemetry::kNumLogBuckets);
+  EXPECT_EQ(LatencyHistogram::kSubBucketCount, telemetry::kSubBucketCount);
+  // Exact boundary pins: 32 ends the unit region but its octave group
+  // continues width-1 buckets through 63; 64 starts width-2 buckets.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(32), 32u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(63), 63u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(64), 64u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(65), 64u);
+  for (uint64_t v : {0ull, 31ull, 32ull, 1000ull, ~0ull})
+    EXPECT_EQ(LatencyHistogram::BucketIndex(v), telemetry::LogBucketIndex(v));
+}
+
+TEST(LatencyHistogramTest, OverflowBucketReportsMax) {
+  // A recorded UINT64_MAX must come back exactly: the overflow bucket's
+  // upper bound is pinned, and the final-rank quantile path does not
+  // interpolate (double math near 2^64 would round the top bits off).
+  LatencyHistogram h;
+  h.Record(~uint64_t{0});
+  EXPECT_EQ(h.max(), ~uint64_t{0});
+  EXPECT_EQ(h.Percentile(0.5), ~uint64_t{0});
+  EXPECT_EQ(h.Percentile(0.999), ~uint64_t{0});
+}
+
+TEST(LatencyHistogramTest, SingleBucketInterpolation) {
+  // All mass in one coarse bucket but at distinct values: rank
+  // interpolation spreads the quantiles across the bucket instead of
+  // collapsing p50 == p999 == upper bound (the old one-sided bias).
+  // 1'000'003 and 1'015'000 share the [999424, 1015807] bucket.
+  LatencyHistogram h;
+  ASSERT_EQ(LatencyHistogram::BucketIndex(1'000'003),
+            LatencyHistogram::BucketIndex(1'015'000));
+  for (int i = 0; i < 500; i++) h.Record(1'000'003);
+  for (int i = 0; i < 500; i++) h.Record(1'015'000);
+  const uint64_t p50 = h.Percentile(0.50);
+  const uint64_t p999 = h.Percentile(0.999);
+  EXPECT_LT(p50, p999);
+  // ...and the clamp to the recorded extremes bounds both.
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p999, h.max());
+
+  // When every sample IS one exact value, the exact min/max clamp
+  // collapses every quantile to it — tighter than any interpolation.
+  LatencyHistogram point;
+  for (int i = 0; i < 1000; i++) point.Record(1'000'003);
+  EXPECT_EQ(point.Percentile(0.50), 1'000'003u);
+  EXPECT_EQ(point.Percentile(0.999), 1'000'003u);
+}
+
+TEST(LatencyHistogramTest, EmptyPercentileEdge) {
+  LatencyHistogram h;
+  // q = 0 and q = 1 on empty data report 0, not garbage.
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(1.0), 0u);
+  // One sample: every quantile is that sample.
+  h.Record(42);
+  EXPECT_EQ(h.Percentile(0.0), 42u);
+  EXPECT_EQ(h.Percentile(0.5), 42u);
+  EXPECT_EQ(h.Percentile(1.0), 42u);
+}
+
+TEST(LatencyHistogramTest, AddBucketCountsBridgesTelemetrySnapshots) {
+  // The compat path ServerLoop::Snapshot uses: fold a
+  // telemetry::Histogram's bucket counts into a LatencyHistogram.
+  telemetry::Histogram t;
+  for (uint64_t v = 1; v <= 1000; v++) t.Record(v);
+  const telemetry::HistogramSnapshot snap = t.Snapshot();
+  LatencyHistogram h;
+  h.AddBucketCounts(snap.counts.data(), snap.counts.size());
+  EXPECT_EQ(h.count(), 1000u);
+  // min/max are bucket-resolution after the bridge; quantiles keep the
+  // ~3.1% bound.
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_GE(h.max(), 1000u);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.50)), 500.0, 500.0 * 0.04);
+  EXPECT_NEAR(h.Mean(), 500.5, 500.5 * 0.04);
+  // Folding into a non-empty histogram accumulates.
+  h.AddBucketCounts(snap.counts.data(), snap.counts.size());
+  EXPECT_EQ(h.count(), 2000u);
 }
 
 }  // namespace

@@ -3,15 +3,19 @@
 // self-checks stay clean, and shutdown is idempotent.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "btree/btree.h"
 #include "dynamic/sharded_manager.h"
 #include "serve/concurrent_index.h"
 #include "serve/server_loop.h"
+#include "telemetry/registry.h"
 
 namespace hope::serve {
 namespace {
@@ -146,6 +150,105 @@ TEST(ServerLoopTest, DetectsCorruptValues) {
   EXPECT_EQ(lk.ops, 1u);
   EXPECT_EQ(lk.hits, 1u);
   EXPECT_EQ(lk.check_failures, 1u);
+}
+
+TEST(ServerLoopTest, QueueDelayAndPreStampedArrivals) {
+  Fixture fx;
+  ServerLoop<BTree> loop(fx.index.get(), SmallLoopOptions());
+  // Closed-loop requests get stamped at Submit; every executed request
+  // contributes one queue-delay sample.
+  for (size_t i = 0; i < 50; i++) {
+    Request req;
+    req.op = Request::Op::kLookup;
+    req.key = fx.keys[i];
+    loop.Submit(std::move(req));
+  }
+  loop.WaitIdle();
+  telemetry::HistogramSnapshot qd = loop.QueueDelaySnapshot();
+  EXPECT_EQ(qd.count, 50u);
+
+  // Open-loop: a pre-stamped enqueue_ns survives Submit (the generator
+  // owns the arrival schedule), so an intentionally ancient stamp shows
+  // up as a large queue delay — the coordinated-omission fix.
+  loop.ResetStats();
+  Request req;
+  req.op = Request::Op::kLookup;
+  req.key = fx.keys[0];
+  req.enqueue_ns = ServerLoop<BTree>::NowNs() - 5'000'000'000ull;  // 5s ago
+  loop.Submit(std::move(req));
+  loop.WaitIdle();
+  qd = loop.QueueDelaySnapshot();
+  ASSERT_EQ(qd.count, 1u);
+  EXPECT_GE(qd.Percentile(0.5), 4'000'000'000ull);
+  // The per-op latency sees the same end-to-end window.
+  OpStats lk = loop.Snapshot(Request::Op::kLookup);
+  EXPECT_GE(lk.latency.Percentile(0.5), 4'000'000'000ull);
+}
+
+TEST(ServerLoopTest, RegistersMetricsAndStreamsSnapshots) {
+  Fixture fx;
+  telemetry::MetricRegistry registry;
+  std::mutex mu;
+  std::vector<telemetry::RegistrySnapshot> seen;
+  ServerLoop<BTree>::Options opts = SmallLoopOptions();
+  opts.registry = &registry;
+  opts.stats_interval = std::chrono::milliseconds(20);
+  opts.stats_sink = [&](const telemetry::RegistrySnapshot& snap) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(snap);
+  };
+  {
+    ServerLoop<BTree> loop(fx.index.get(), opts);
+    // Per-op latency histograms + counters, queue-delay histogram,
+    // queue-depth and workers-pinned gauges all registered.
+    EXPECT_GT(registry.size(), 10u);
+    for (const auto& k : fx.keys) {
+      Request req;
+      req.op = Request::Op::kInsert;
+      req.key = k;
+      req.value = KeyFingerprint(k);
+      loop.Submit(std::move(req));
+    }
+    loop.WaitIdle();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    loop.Stop();
+    // Stop emits a final snapshot, so the sink saw >= 2 (start + final)
+    // and the final one carries the insert counts.
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_GE(seen.size(), 2u);
+    const std::string json = seen.back().ToJson();
+    EXPECT_NE(json.find("hope_server_ops_total{op=\\\"insert\\\"}"),
+              std::string::npos)
+        << json;
+  }
+  // RAII: loop destruction deregistered everything.
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ServerLoopTest, CompatSnapshotMatchesRegistry) {
+  // Snapshot(op) is a thin view over the telemetry metrics: the counts
+  // it reports must equal what the registry exports.
+  Fixture fx;
+  telemetry::MetricRegistry registry;
+  ServerLoop<BTree>::Options opts = SmallLoopOptions();
+  opts.registry = &registry;
+  ServerLoop<BTree> loop(fx.index.get(), opts);
+  for (const auto& k : fx.keys) {
+    Request req;
+    req.op = Request::Op::kLookup;
+    req.check = true;
+    req.key = k;
+    loop.Submit(std::move(req));
+  }
+  loop.WaitIdle();
+  const OpStats lk = loop.Snapshot(Request::Op::kLookup);
+  double reg_ops = -1;
+  for (const auto& m : registry.Snapshot().metrics)
+    if (m.name == "hope_server_ops_total" && !m.labels.empty() &&
+        m.labels[0].second == "lookup")
+      reg_ops = m.value;
+  EXPECT_EQ(reg_ops, static_cast<double>(lk.ops));
+  EXPECT_EQ(lk.ops, fx.keys.size());
 }
 
 TEST(ServerLoopTest, DestructorStopsWithQueuedWork) {

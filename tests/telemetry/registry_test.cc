@@ -1,0 +1,177 @@
+// MetricRegistry contract: registration/snapshot round trip, RAII
+// deregistration (the dangling-pointer guard the whole attach scheme
+// rests on), and golden renderings of the two export formats — the
+// JSONL line `--stats-file` streams and the Prometheus text exposition.
+#include "telemetry/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "telemetry/metrics.h"
+
+namespace hope::telemetry {
+namespace {
+
+TEST(Registry, RegisterSnapshotRoundTrip) {
+  MetricRegistry reg;
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.Add(3);
+  g.Set(-7);
+  h.Record(5);
+  h.Record(5);
+  auto rc = reg.RegisterCounter("ops_total", {{"op", "lookup"}}, &c);
+  auto rg = reg.RegisterGauge("depth", {}, &g);
+  auto rh = reg.RegisterHistogram("lat_ns", {}, &h);
+  auto rb = reg.RegisterCallback("derived", {}, MetricKind::kGauge,
+                                 [] { return 2.5; });
+  EXPECT_EQ(reg.size(), 4u);
+
+  const RegistrySnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 4u);
+  EXPECT_GT(snap.ts_ns, 0);
+  // Sorted by name: depth, derived, lat_ns, ops_total.
+  EXPECT_EQ(snap.metrics[0].name, "depth");
+  EXPECT_EQ(snap.metrics[0].value, -7.0);
+  EXPECT_EQ(snap.metrics[1].name, "derived");
+  EXPECT_EQ(snap.metrics[1].value, 2.5);
+  EXPECT_EQ(snap.metrics[2].name, "lat_ns");
+  EXPECT_EQ(snap.metrics[2].hist.count, 2u);
+  EXPECT_EQ(snap.metrics[2].hist.p50, 5u);
+  EXPECT_EQ(snap.metrics[2].hist.max, 5u);
+  EXPECT_EQ(snap.metrics[3].name, "ops_total");
+  EXPECT_EQ(snap.metrics[3].value, 3.0);
+  ASSERT_EQ(snap.metrics[3].labels.size(), 1u);
+  EXPECT_EQ(snap.metrics[3].labels[0].second, "lookup");
+}
+
+TEST(Registry, RegistrationIsRaii) {
+  MetricRegistry reg;
+  Counter c;
+  {
+    auto r = reg.RegisterCounter("scoped", {}, &c);
+    EXPECT_EQ(reg.size(), 1u);
+  }
+  // Out of scope: the entry (and its raw pointer) is gone, so a
+  // snapshot cannot dereference the dead metric.
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_TRUE(reg.Snapshot().metrics.empty());
+}
+
+TEST(Registry, RegistrationMovesCleanly) {
+  MetricRegistry reg;
+  Counter c;
+  auto r1 = reg.RegisterCounter("moved", {}, &c);
+  MetricRegistry::Registration r2 = std::move(r1);
+  EXPECT_EQ(reg.size(), 1u);  // move does not deregister
+  r2 = MetricRegistry::Registration();
+  EXPECT_EQ(reg.size(), 0u);  // move-assign releases the old handle
+}
+
+TEST(Registry, SameNameDifferentLabelsCoexist) {
+  MetricRegistry reg;
+  Counter a, b;
+  a.Add(1);
+  b.Add(2);
+  auto ra = reg.RegisterCounter("ops_total", {{"op", "scan"}}, &a);
+  auto rb = reg.RegisterCounter("ops_total", {{"op", "lookup"}}, &b);
+  const RegistrySnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 2u);
+  // Same name sorts by labels: lookup before scan.
+  EXPECT_EQ(snap.metrics[0].labels[0].second, "lookup");
+  EXPECT_EQ(snap.metrics[0].value, 2.0);
+  EXPECT_EQ(snap.metrics[1].labels[0].second, "scan");
+  EXPECT_EQ(snap.metrics[1].value, 1.0);
+}
+
+RegistrySnapshot GoldenSnapshot() {
+  RegistrySnapshot snap;
+  snap.ts_ns = 42;
+  RegistrySnapshot::Metric h;
+  h.name = "hope_latency_ns";
+  h.kind = MetricKind::kHistogram;
+  h.hist = {/*count=*/10, /*p50=*/4, /*p99=*/9, /*p999=*/9, /*max=*/9,
+            /*mean=*/4.5};
+  RegistrySnapshot::Metric c1;
+  c1.name = "hope_ops_total";
+  c1.labels = {{"op", "lookup"}};
+  c1.kind = MetricKind::kCounter;
+  c1.value = 3;
+  RegistrySnapshot::Metric c2;
+  c2.name = "hope_ops_total";
+  c2.labels = {{"op", "scan"}};
+  c2.kind = MetricKind::kCounter;
+  c2.value = 4;
+  RegistrySnapshot::Metric g;
+  g.name = "hope_queue_depth";
+  g.kind = MetricKind::kGauge;
+  g.value = 2;
+  snap.metrics = {h, c1, c2, g};  // already (name, labels)-sorted
+  return snap;
+}
+
+TEST(Registry, GoldenJson) {
+  EXPECT_EQ(
+      GoldenSnapshot().ToJson(),
+      "{\"ts_ns\":42,\"metrics\":{"
+      "\"hope_latency_ns\":{\"count\":10,\"p50_ns\":4,\"p99_ns\":9,"
+      "\"p999_ns\":9,\"max_ns\":9,\"mean_ns\":4.5},"
+      "\"hope_ops_total{op=\\\"lookup\\\"}\":3,"
+      "\"hope_ops_total{op=\\\"scan\\\"}\":4,"
+      "\"hope_queue_depth\":2}}");
+}
+
+TEST(Registry, GoldenPrometheus) {
+  // One # TYPE line per distinct name (the two ops_total series share
+  // one), histograms as summaries with quantile labels plus _sum/_count.
+  EXPECT_EQ(GoldenSnapshot().ToPrometheus(),
+            "# TYPE hope_latency_ns summary\n"
+            "hope_latency_ns{quantile=\"0.5\"} 4\n"
+            "hope_latency_ns{quantile=\"0.99\"} 9\n"
+            "hope_latency_ns{quantile=\"0.999\"} 9\n"
+            "hope_latency_ns_sum 45\n"
+            "hope_latency_ns_count 10\n"
+            "# TYPE hope_ops_total counter\n"
+            "hope_ops_total{op=\"lookup\"} 3\n"
+            "hope_ops_total{op=\"scan\"} 4\n"
+            "# TYPE hope_queue_depth gauge\n"
+            "hope_queue_depth 2\n");
+}
+
+TEST(Registry, LabelValuesEscape) {
+  RegistrySnapshot snap;
+  RegistrySnapshot::Metric m;
+  m.name = "weird";
+  m.labels = {{"path", "a\\b\"c\nd"}};
+  m.kind = MetricKind::kGauge;
+  m.value = 1;
+  snap.metrics = {m};
+  // Prometheus: backslash, quote, newline escaped per the format spec.
+  EXPECT_EQ(snap.ToPrometheus(),
+            "# TYPE weird gauge\n"
+            "weird{path=\"a\\\\b\\\"c\\nd\"} 1\n");
+  // JSON: the rendered series (including its prom-escaped label) is
+  // itself a JSON string — still one parseable line, no raw newline.
+  const std::string json = snap.ToJson();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("a\\\\\\\\b"), std::string::npos) << json;
+}
+
+TEST(Registry, HistogramQuantilesComeFromLiveBuckets) {
+  MetricRegistry reg;
+  Histogram h;
+  for (uint64_t i = 0; i < 100; i++) h.Record(i);
+  auto r = reg.RegisterHistogram("lat", {}, &h);
+  const RegistrySnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.metrics.size(), 1u);
+  EXPECT_EQ(snap.metrics[0].hist.count, 100u);
+  EXPECT_EQ(snap.metrics[0].hist.p50, 49u);
+  EXPECT_EQ(snap.metrics[0].hist.p999, 99u);
+  EXPECT_EQ(snap.metrics[0].hist.max, 99u);
+}
+
+}  // namespace
+}  // namespace hope::telemetry

@@ -1,0 +1,102 @@
+// TraceLog ring contract: global 1-based sequence that never wraps,
+// snapshot returns the newest `capacity` events oldest first, capacity
+// rounds up to a power of two, and concurrent recorders never tear or
+// duplicate a sequence number.
+#include "telemetry/trace_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace hope::telemetry {
+namespace {
+
+TEST(TraceLog, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceLog(0).capacity(), 8u);
+  EXPECT_EQ(TraceLog(1).capacity(), 8u);
+  EXPECT_EQ(TraceLog(8).capacity(), 8u);
+  EXPECT_EQ(TraceLog(9).capacity(), 16u);
+  EXPECT_EQ(TraceLog(4096).capacity(), 4096u);
+}
+
+TEST(TraceLog, RecordsInOrder) {
+  TraceLog log(16);
+  log.Record(TraceEventType::kRebuildStart, 3, 7);
+  log.Record(TraceEventType::kRebuildFinish, 3, 8, 1234);
+  log.Record(TraceEventType::kRebalancePublish, -1, 2, 5);
+  const std::vector<TraceEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[0].type, TraceEventType::kRebuildStart);
+  EXPECT_EQ(events[0].shard, 3);
+  EXPECT_EQ(events[0].a, 7u);
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_EQ(events[1].b, 1234u);
+  EXPECT_EQ(events[2].type, TraceEventType::kRebalancePublish);
+  EXPECT_EQ(events[2].shard, -1);
+  // Timestamps are steady-clock and nondecreasing in record order.
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+  EXPECT_LE(events[1].ts_ns, events[2].ts_ns);
+  EXPECT_EQ(log.total_recorded(), 3u);
+}
+
+TEST(TraceLog, WraparoundKeepsNewest) {
+  TraceLog log(8);
+  for (uint64_t i = 0; i < 20; i++)
+    log.Record(TraceEventType::kMigrationBatch, static_cast<int32_t>(i), i);
+  EXPECT_EQ(log.total_recorded(), 20u);
+  const std::vector<TraceEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The newest 8 of 20, oldest first: seq 13..20.
+  for (size_t i = 0; i < events.size(); i++) {
+    EXPECT_EQ(events[i].seq, 13 + i);
+    EXPECT_EQ(events[i].a, 12 + i);
+  }
+}
+
+TEST(TraceLog, ToStringNamesTheType) {
+  TraceLog log;
+  log.Record(TraceEventType::kEbrReclaim, -1, 4, 2);
+  const std::string s = log.Snapshot()[0].ToString();
+  EXPECT_NE(s.find("ebr-reclaim"), std::string::npos) << s;
+  EXPECT_NE(s.find("seq=1"), std::string::npos) << s;
+  EXPECT_NE(s.find("a=4"), std::string::npos) << s;
+}
+
+TEST(TraceLog, EveryTypeHasAName) {
+  for (int t = 0; t <= static_cast<int>(TraceEventType::kEbrReclaim); t++) {
+    const char* name = TraceEventTypeName(static_cast<TraceEventType>(t));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+}
+
+TEST(TraceLog, ConcurrentRecordersKeepSequenceDense) {
+  TraceLog log(1024);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++)
+    threads.emplace_back([&log, t] {
+      for (uint64_t i = 0; i < kPerThread; i++)
+        log.Record(TraceEventType::kEpochAdvance, t, i);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(log.total_recorded(), kThreads * kPerThread);
+  const std::vector<TraceEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), kThreads * kPerThread);
+  // Sequences are dense 1..N with no duplicates and snapshot order
+  // matches sequence order.
+  std::set<uint64_t> seqs;
+  for (size_t i = 0; i < events.size(); i++) {
+    EXPECT_EQ(events[i].seq, i + 1);
+    seqs.insert(events[i].seq);
+  }
+  EXPECT_EQ(seqs.size(), events.size());
+}
+
+}  // namespace
+}  // namespace hope::telemetry

@@ -164,6 +164,56 @@ sed -e 's/"op": "lookup"/"op": "erase"/' "$serving" \
   > "$work/serving_op.json"
 expect 0 "$serving" "$work/serving_op.json"
 
+# Telemetry rows: telemetry_* health rates take --telemetry-threshold
+# (default 0.5), telemetry_*_ns ride the latency family, *_rejects and
+# *check_failures are zero-tolerance correctness, and "mode" is
+# identity (open vs closed loop rows never compare against each other).
+telem="$work/telemetry.json"
+cat > "$telem" <<'EOF'
+{
+  "bench": "serving",
+  "keys": 1000,
+  "rows": [
+    {"series": "telemetry", "phase": "read_heavy", "mode": "closed",
+     "telemetry_rebuild_rejects": 0, "telemetry_check_failures": 0,
+     "telemetry_lookup_slow_paths_per_mop": 10.0,
+     "telemetry_ebr_pending": 4.0,
+     "telemetry_queue_delay_p99_ns": 100000.0}
+  ]
+}
+EOF
+cp "$telem" "$work/telem_same.json"
+expect 0 "$telem" "$work/telem_same.json"
+
+# Slow-path rate up 40%: within the default 50% telemetry gate...
+sed 's/"telemetry_lookup_slow_paths_per_mop": 10.0/"telemetry_lookup_slow_paths_per_mop": 14.0/' \
+  "$telem" > "$work/telem_rate_small.json"
+expect 0 "$telem" "$work/telem_rate_small.json"
+# ...up 100%: regression; a loosened/disabled gate lets it through.
+sed 's/"telemetry_lookup_slow_paths_per_mop": 10.0/"telemetry_lookup_slow_paths_per_mop": 20.0/' \
+  "$telem" > "$work/telem_rate_big.json"
+expect 1 "$telem" "$work/telem_rate_big.json"
+expect 0 "$telem" "$work/telem_rate_big.json" --telemetry-threshold 1.5
+expect 0 "$telem" "$work/telem_rate_big.json" --telemetry-threshold inf
+
+# telemetry_*_ns is a latency, so --latency-threshold governs it.
+sed 's/"telemetry_queue_delay_p99_ns": 100000.0/"telemetry_queue_delay_p99_ns": 150000.0/' \
+  "$telem" > "$work/telem_lat.json"
+expect 1 "$telem" "$work/telem_lat.json"
+expect 0 "$telem" "$work/telem_lat.json" --latency-threshold inf
+
+# *_rejects: any increase fails, even 0 -> 1, no flag exempts it.
+sed 's/"telemetry_rebuild_rejects": 0/"telemetry_rebuild_rejects": 1/' \
+  "$telem" > "$work/telem_reject.json"
+expect 1 "$telem" "$work/telem_reject.json"
+expect 1 "$telem" "$work/telem_reject.json" \
+  --latency-threshold inf --telemetry-threshold inf
+
+# "mode" is identity: flipping it un-matches the row (noted, not gated).
+sed 's/"mode": "closed"/"mode": "open"/' "$telem" > "$work/telem_mode.json"
+expect 0 "$telem" "$work/telem_mode.json"
+expect 2 "$telem" "$work/telem_same.json" --telemetry-threshold -1
+
 # --history: dated run subdirectories; candidate gates against the
 # LATEST run (regression vs latest fails even if older runs were worse).
 hist="$work/history"

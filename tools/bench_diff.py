@@ -22,9 +22,10 @@ families are compared:
   higher is better:  *cpr* (compression rate), *gain*,
                      *ops_per_sec (throughput)
   lower is better:   ns_per_* and *_ns (latency), *_spread (load
-                     imbalance), *_failures / *_violations
+                     imbalance), *_failures / *_violations / *_rejects
                      (correctness — any increase fails, even from a
-                     zero baseline)
+                     zero baseline), telemetry_* (subsystem health
+                     counters from the unified registry)
 
 Latency and *_spread take separate thresholds: spread is a behavioral
 metric (deterministic given the workload), while absolute latency is
@@ -36,6 +37,12 @@ training people to ignore spurious red. Throughput
 than tail percentiles, so it gets its own threshold (and `inf` opt-out)
 rather than riding the latency one. Correctness counters take no
 threshold: a self-check that started failing is a bug, not a trend.
+Telemetry health rates (e.g. telemetry_lookup_slow_paths_per_mop,
+telemetry_ebr_pending) are legitimate but load-bearing side channels:
+they get a loose dedicated threshold (--telemetry-threshold, default
+0.5) — except telemetry_*_ns fields, which are latencies and ride the
+latency threshold, and telemetry_*_rejects / telemetry_*check_failures,
+which are correctness and take none.
 
 With --history, BASELINE is instead a directory of dated run
 subdirectories (runs/2026-08-01/BENCH_*.json, ...); the candidate is
@@ -66,7 +73,7 @@ from pathlib import Path
 # un-match the row and silently skip its metric comparison.
 ID_FIELDS = {
     "series", "scheme", "phase", "op", "num_shards", "victim_shard",
-    "mix_fraction_b",
+    "mix_fraction_b", "mode",
 }
 
 
@@ -79,12 +86,20 @@ def is_throughput(name: str) -> bool:
 
 
 def is_correctness(name: str) -> bool:
-    return name.endswith("_failures") or name.endswith("_violations")
+    # *_rejects rides along: a rebuild the manager refused to publish
+    # (validation round-trip failed, compression got worse) is a
+    # correctness event, not a trend.
+    return (name.endswith("_failures") or name.endswith("_violations")
+            or name.endswith("_rejects"))
+
+
+def is_telemetry(name: str) -> bool:
+    return name.startswith("telemetry_")
 
 
 def is_lower_better(name: str) -> bool:
     return (is_latency(name) or is_correctness(name)
-            or name.endswith("_spread"))
+            or is_telemetry(name) or name.endswith("_spread"))
 
 
 def is_higher_better(name: str) -> bool:
@@ -121,7 +136,7 @@ def metric_value(value):
 
 
 def diff_reports(name, baseline, candidate, cpr_thr, lat_thr, spread_thr,
-                 tput_thr):
+                 tput_thr, tel_thr):
     """Returns (regressions, notes): regressions are formatted lines."""
     regressions, notes = [], []
     # Different run configurations (keys per dataset, full-scale flag)
@@ -170,7 +185,14 @@ def diff_reports(name, baseline, candidate, cpr_thr, lat_thr, spread_thr,
                 continue
             change = (new - old) / abs(old)
             if lower:
-                threshold = lat_thr if is_latency(field) else spread_thr
+                # Latency check first: telemetry_*_ns fields are
+                # latencies that happen to come from the registry.
+                if is_latency(field):
+                    threshold = lat_thr
+                elif is_telemetry(field):
+                    threshold = tel_thr
+                else:
+                    threshold = spread_thr
             else:
                 threshold = tput_thr if is_throughput(field) else cpr_thr
             if math.isinf(threshold):
@@ -282,13 +304,19 @@ def main() -> int:
     parser.add_argument("--throughput-threshold", type=float, default=0.25,
                         help="max relative *ops_per_sec drop (default "
                              "0.25; 'inf' disables)")
+    parser.add_argument("--telemetry-threshold", type=float, default=0.5,
+                        help="max relative increase of telemetry_* health "
+                             "rates (default 0.5; 'inf' disables; "
+                             "telemetry latencies/correctness counters "
+                             "ride their own families)")
     parser.add_argument("--history", action="store_true",
                         help="treat BASELINE as a directory of dated run "
                              "subdirectories: print a best/worst/latest "
                              "trend and gate against the latest run")
     args = parser.parse_args()
     if (args.cpr_threshold < 0 or args.latency_threshold < 0
-            or args.spread_threshold < 0 or args.throughput_threshold < 0):
+            or args.spread_threshold < 0 or args.throughput_threshold < 0
+            or args.telemetry_threshold < 0):
         parser.error("thresholds must be non-negative")
 
     notes = []
@@ -307,7 +335,8 @@ def main() -> int:
         r, n = diff_reports(name, load_report(base_path),
                             load_report(cand_path),
                             args.cpr_threshold, args.latency_threshold,
-                            args.spread_threshold, args.throughput_threshold)
+                            args.spread_threshold, args.throughput_threshold,
+                            args.telemetry_threshold)
         regressions += r
         notes += n
 
@@ -322,7 +351,8 @@ def main() -> int:
           f"thresholds (cpr {args.cpr_threshold:.0%}, "
           f"latency {args.latency_threshold:.0%}, "
           f"spread {args.spread_threshold:.0%}, "
-          f"throughput {args.throughput_threshold:.0%})")
+          f"throughput {args.throughput_threshold:.0%}, "
+          f"telemetry {args.telemetry_threshold:.0%})")
     return 0
 
 

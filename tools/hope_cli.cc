@@ -27,12 +27,16 @@
 //       The shards argument must be 2..256 (0, negative, non-numeric
 //       and absurd values are usage errors).
 //   hope_cli serve [scheme] [keys] [workers] [shards]
+//                  [--stats-file <path>] [--stats-interval <ms>]
 //       Demo of the concurrent serving layer: worker threads serve
 //       self-checking lookup/insert/scan mixes from a
 //       ConcurrentShardedIndex while a migrating hotspot forces online
 //       rebalances; prints per-phase latency percentiles + throughput
 //       and exits non-zero if any consistency check fails. Numeric
-//       arguments are digits-only (same contract as drift).
+//       arguments are digits-only (same contract as drift). With
+//       --stats-file, a stats thread appends one JSON-lines telemetry
+//       snapshot (all registered counters/gauges/histograms) every
+//       --stats-interval ms (default 200).
 //   hope_cli version
 //       Prints the library version and the dynamic-subsystem features.
 //   hope_cli --help | help
@@ -61,6 +65,8 @@
 #include "btree/btree.h"
 #include "serve/concurrent_index.h"
 #include "serve/server_loop.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace_log.h"
 #include "workload/drift.h"
 #include "workload/localized_drift.h"
 
@@ -80,6 +86,8 @@ void PrintUsage(std::FILE* out) {
                "       hope_cli drift  [scheme] [keys_per_phase] [shards] "
                "[localized|rebalance]\n"
                "       hope_cli serve  [scheme] [keys] [workers] [shards]\n"
+               "                       [--stats-file <path>] "
+               "[--stats-interval <ms>]\n"
                "       hope_cli version\n"
                "       hope_cli --help\n"
                "schemes: single-char double-char alm 3-grams 4-grams "
@@ -91,7 +99,8 @@ void PrintUsage(std::FILE* out) {
                "serve: concurrent serving-layer demo — workers (max 64)\n"
                "  serve checked op mixes through migration-transparent\n"
                "  reads while rebalances run; nonzero exit on any\n"
-               "  consistency failure.\n"
+               "  consistency failure. --stats-file streams JSON-lines\n"
+               "  telemetry snapshots every --stats-interval ms.\n"
                "exit codes: 0 ok, 1 runtime error, 2 usage error\n");
 }
 
@@ -513,16 +522,40 @@ int CmdDrift(int argc, char** argv) {
 // prints end-to-end latency percentiles, throughput, and the
 // correctness counters (which must stay zero for exit code 0).
 int CmdServe(int argc, char** argv) {
+  // Flags may mix with the positionals: serve [scheme] [keys] [workers]
+  // [shards] [--stats-file <path>] [--stats-interval <ms>].
+  std::string stats_file;
+  size_t stats_interval_ms = 200;
+  std::vector<std::string> pos;
+  for (int i = 2; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg == "--stats-file") {
+      if (i + 1 >= argc) return Usage();
+      stats_file = argv[++i];
+    } else if (arg == "--stats-interval") {
+      if (i + 1 >= argc ||
+          !ParseCount(argv[i + 1], 3600 * 1000, &stats_interval_ms))
+        return Usage();
+      i++;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  if (pos.size() > 4) return Usage();
   Scheme scheme = Scheme::kDoubleChar;
-  if (argc > 2 && !ParseScheme(argv[2], &scheme)) return Usage();
+  if (pos.size() > 0 && !ParseScheme(pos[0], &scheme)) return Usage();
   size_t num_keys = 20000;
-  if (argc > 3 && !ParseCount(argv[3], size_t{1} << 32, &num_keys))
+  if (pos.size() > 1 && !ParseCount(pos[1].c_str(), size_t{1} << 32, &num_keys))
     return Usage();
   size_t workers = 4;
-  if (argc > 4 && !ParseCount(argv[4], 64, &workers)) return Usage();
+  if (pos.size() > 2 && !ParseCount(pos[2].c_str(), 64, &workers))
+    return Usage();
   size_t shards = 4;
   // Same bounds contract as drift: 2..256 shards, digits only.
-  if (argc > 5 && !ParseCount(argv[5], 256, &shards)) return Usage();
+  if (pos.size() > 3 && !ParseCount(pos[3].c_str(), 256, &shards))
+    return Usage();
   if (shards < 2) return Usage();
 
   using hope::serve::ConcurrentShardedIndex;
@@ -552,19 +585,44 @@ int CmdServe(int argc, char** argv) {
   sopt.shard.stats.reservoir_halflife = 512;
   sopt.shard.min_cpr_gain = 0.01;
   sopt.traffic_ewma_alpha = 0.6;
+  // Telemetry sinks outlive everything they're attached to (managers,
+  // rebuilder, index, loop — all declared below them).
+  hope::telemetry::MetricRegistry registry;
+  hope::telemetry::TraceLog trace;
+
   hope::dynamic::ShardedDictionaryManager mgr(
       hope::SampleKeys(corpus, 0.05), sopt,
       [] { return hope::dynamic::MakeCompressionDropPolicy(0.03, 256); },
       hope::dynamic::MakeWeightImbalancePolicy(
           /*trigger_ratio=*/1.5, /*min_keys=*/num_keys / 2,
           /*cooldown_seconds=*/0.2, /*consecutive_polls=*/2));
+  mgr.AttachTelemetry(&registry, &trace);
   hope::dynamic::BackgroundRebuilder rebuilder(&mgr);
+  rebuilder.AttachTelemetry(&registry);
 
   ConcurrentShardedIndex<hope::BTree> index(&mgr);
+  index.AttachTelemetry(&registry, &trace);
   for (const auto& k : corpus) index.Insert(k, KeyFingerprint(k));
 
+  std::ofstream stats_out;
   ServerLoop<hope::BTree>::Options lopt;
   lopt.num_workers = workers;
+  lopt.registry = &registry;
+  if (!stats_file.empty()) {
+    stats_out.open(stats_file, std::ios::trunc);
+    if (!stats_out) {
+      std::fprintf(stderr, "cannot open %s\n", stats_file.c_str());
+      return 1;
+    }
+    lopt.stats_interval = std::chrono::milliseconds(stats_interval_ms);
+    // Only the loop's stats thread writes (one JSON object per line,
+    // flushed so a tail -f mid-run sees whole lines).
+    lopt.stats_sink =
+        [&stats_out](const hope::telemetry::RegistrySnapshot& snap) {
+          stats_out << snap.ToJson() << '\n';
+          stats_out.flush();
+        };
+  }
   ServerLoop<hope::BTree> loop(&index, lopt);
 
   std::printf("serving demo, %s, %zu keys, %zu workers (%zu pinned), "
