@@ -1,10 +1,11 @@
 #include "common/epoch_reclaim.h"
 
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "telemetry/trace_log.h"
 
 namespace hope::ebr {
@@ -37,8 +38,8 @@ struct EpochReclaimer::State {
   std::atomic<uint64_t> global_epoch{kFirstEpoch};
   std::atomic<Slot*> slots{nullptr};
 
-  std::mutex mu;  ///< serializes retire/advance/reclaim
-  std::vector<Retired> limbo;
+  Mutex mu;  ///< serializes retire/advance/reclaim
+  std::vector<Retired> limbo HOPE_GUARDED_BY(mu);
 
   std::atomic<uint64_t> retired{0};
   std::atomic<uint64_t> reclaimed{0};
@@ -59,8 +60,13 @@ struct EpochReclaimer::State {
   ~State() {
     // The reclaimer's destructor drained, so limbo is empty unless the
     // process is tearing down with readers leaked mid-guard; run what's
-    // left rather than leak it.
-    for (Retired& r : limbo) r.deleter();
+    // left rather than leak it. Locking here is uncontended by
+    // definition (this is the last reference) but keeps the limbo
+    // access under its capability.
+    {
+      MutexLock lock(mu);
+      for (Retired& r : limbo) r.deleter();
+    }
     Slot* slot = slots.load(std::memory_order_acquire);
     while (slot) {
       Slot* next = slot->next;
@@ -70,8 +76,8 @@ struct EpochReclaimer::State {
   }
 
   /// Advances the epoch iff every pinned slot is pinned at the current
-  /// one. Requires mu.
-  bool TryAdvanceLocked() {
+  /// one.
+  bool TryAdvanceLocked() HOPE_REQUIRES(mu) {
     uint64_t g = global_epoch.load(std::memory_order_seq_cst);
     for (Slot* slot = slots.load(std::memory_order_acquire); slot;
          slot = slot->next) {
@@ -87,12 +93,11 @@ struct EpochReclaimer::State {
   /// Unlinks and frees released slots beyond a small recycling cushion,
   /// so pathological thread churn (many short-lived reader threads whose
   /// peaks never overlap) shrinks the list back instead of parking it at
-  /// the historical peak. Requires mu. Safe because every traversal and
-  /// every claim (SlotFor) also runs under mu, and a released slot's
-  /// owner performed its release store of `owned` as its final access to
-  /// the slot — the acquire load here orders the free after it. Returns
-  /// slots freed.
-  size_t CompactSlotsLocked() {
+  /// the historical peak. Safe because every traversal and every claim
+  /// (SlotFor) also runs under mu, and a released slot's owner performed
+  /// its release store of `owned` as its final access to the slot — the
+  /// acquire load here orders the free after it. Returns slots freed.
+  size_t CompactSlotsLocked() HOPE_REQUIRES(mu) {
     // Retain a few released slots for recycling: steady-state churn
     // (one thread at a time) should keep reusing one slot, not
     // alternate free/new on every thread.
@@ -116,17 +121,16 @@ struct EpochReclaimer::State {
     return freed;
   }
 
-  /// Requires mu.
-  size_t SlotCountLocked() {
+  size_t SlotCountLocked() HOPE_REQUIRES(mu) {
     size_t n = 0;
     for (Slot* s = slots.load(std::memory_order_relaxed); s; s = s->next)
       n++;
     return n;
   }
 
-  /// Moves every limbo entry whose grace period has passed into `out`.
-  /// Requires mu; the caller runs the deleters outside it.
-  void CollectLocked(std::vector<Retired>* out) {
+  /// Moves every limbo entry whose grace period has passed into `out`;
+  /// the caller runs the deleters outside the lock.
+  void CollectLocked(std::vector<Retired>* out) HOPE_REQUIRES(mu) {
     uint64_t g = global_epoch.load(std::memory_order_seq_cst);
     size_t kept = 0;
     for (Retired& r : limbo) {
@@ -185,7 +189,7 @@ EpochReclaimer::Slot* SlotFor(const std::shared_ptr<EpochReclaimer::State>& stat
   // of growing the list to the historical peak forever.
   EpochReclaimer::Slot* slot = nullptr;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     for (EpochReclaimer::Slot* s =
              state->slots.load(std::memory_order_relaxed);
          s; s = s->next) {
@@ -241,7 +245,7 @@ void EpochReclaimer::Retire(std::function<void()> deleter) {
   State& st = *state_;
   std::vector<Retired> freeable;
   {
-    std::lock_guard<std::mutex> lock(st.mu);
+    MutexLock lock(st.mu);
     st.limbo.push_back(
         {st.global_epoch.load(std::memory_order_seq_cst),
          std::move(deleter)});
@@ -264,7 +268,7 @@ size_t EpochReclaimer::TryReclaim() {
   State& st = *state_;
   std::vector<Retired> freeable;
   {
-    std::lock_guard<std::mutex> lock(st.mu);
+    MutexLock lock(st.mu);
     // Compact before the empty-limbo early return: idle-period pollers
     // are exactly when churn-released slots should shrink away.
     st.CompactSlotsLocked();
@@ -285,7 +289,7 @@ void EpochReclaimer::Drain() {
     std::vector<Retired> freeable;
     size_t remaining = 0;
     {
-      std::lock_guard<std::mutex> lock(st.mu);
+      MutexLock lock(st.mu);
       st.TryAdvanceLocked();
       st.TryAdvanceLocked();
       st.CollectLocked(&freeable);
@@ -339,7 +343,7 @@ EpochReclaimer::RegisterMetrics(telemetry::MetricRegistry* registry,
 
 size_t EpochReclaimer::slot_count() const {
   State& st = *state_;
-  std::lock_guard<std::mutex> lock(st.mu);
+  MutexLock lock(st.mu);
   return st.SlotCountLocked();
 }
 

@@ -1,0 +1,149 @@
+// Annotated mutex wrappers: std::mutex / std::shared_mutex carry no
+// thread-safety attributes in libstdc++, so capability analysis cannot
+// track them. These zero-overhead wrappers (one inline call layer, no
+// state beyond the wrapped lock) are the lockable capabilities that
+// every HOPE_GUARDED_BY / HOPE_REQUIRES annotation in the tree names,
+// plus the RAII lock types the analysis understands.
+//
+//   Mutex / MutexLock        — std::mutex + std::lock_guard shape.
+//   Mutex / UniqueLock       — std::unique_lock shape; exposes native()
+//                              for std::condition_variable::wait (the
+//                              cv re-acquires the same underlying
+//                              std::mutex, so the capability stays
+//                              logically held across the wait).
+//   SharedMutex / WriterLock / ReaderLock
+//                            — std::shared_mutex + exclusive/shared
+//                              RAII locks.
+//
+// Condition-variable caveat: clang analyzes lambda bodies with an empty
+// lock set, so `cv.wait(lk, [&]{ return guarded_field; })` is reported
+// as an unguarded read even though the lock is held when the predicate
+// runs. Code using these wrappers writes the wait loop explicitly:
+//
+//   UniqueLock lk(mu_);
+//   while (!guarded_field_) cv_.wait(lk.native());
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace hope {
+
+class HOPE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HOPE_ACQUIRE() { mu_.lock(); }
+  void Unlock() HOPE_RELEASE() { mu_.unlock(); }
+  bool TryLock() HOPE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for std::condition_variable interop only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+class HOPE_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() HOPE_ACQUIRE() { mu_.lock(); }
+  void Unlock() HOPE_RELEASE() { mu_.unlock(); }
+  bool TryLock() HOPE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void LockShared() HOPE_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() HOPE_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() HOPE_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+  /// The wrapped std::shared_mutex, for lock-composition interop only
+  /// (e.g. holding every shard's lock in a vector of RAII locks, which
+  /// the analysis cannot track — such sites are NO_TSA with a comment).
+  std::shared_mutex& native() { return mu_; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// std::lock_guard over Mutex.
+class HOPE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HOPE_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  /// Adopts a lock already held (e.g. after a successful TryLock).
+  MutexLock(Mutex& mu, std::adopt_lock_t) HOPE_REQUIRES(mu) : mu_(mu) {}
+  ~MutexLock() HOPE_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over Mutex, for condition-variable waits and
+/// explicit Unlock/Lock spans. Must hold the lock at destruction-time
+/// scope exit balance (native() handles cv re-acquisition invisibly —
+/// the capability is held before and after each wait).
+class HOPE_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) HOPE_ACQUIRE(mu)
+      : lk_(mu.native()), mu_(mu) {}
+  ~UniqueLock() HOPE_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void Lock() HOPE_ACQUIRE() { lk_.lock(); }
+  void Unlock() HOPE_RELEASE() { lk_.unlock(); }
+
+  /// For std::condition_variable::wait / wait_until. The cv unlocks and
+  /// re-acquires the same underlying mutex, so the capability is held
+  /// whenever caller code runs.
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+  Mutex& mu_;
+};
+
+/// Exclusive RAII lock over SharedMutex.
+class HOPE_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) HOPE_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  /// Adopts an exclusive lock already held.
+  WriterLock(SharedMutex& mu, std::adopt_lock_t) HOPE_REQUIRES(mu)
+      : mu_(mu) {}
+  ~WriterLock() HOPE_RELEASE() { mu_.Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Shared RAII lock over SharedMutex.
+class HOPE_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) HOPE_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() HOPE_RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace hope

@@ -1,0 +1,102 @@
+// Portable wrappers over Clang's thread-safety attributes, in the style
+// of Abseil's thread_annotations.h. Under clang the macros expand to the
+// capability-analysis attributes checked by -Wthread-safety (the CI
+// thread-safety job builds with -Wthread-safety -Werror, so a violated
+// contract is a build break); under GCC and other compilers they expand
+// to nothing, so annotated code stays portable.
+//
+// The vocabulary, applied throughout src/:
+//
+//   HOPE_GUARDED_BY(mu)   on a field: reads and writes require `mu`.
+//   HOPE_PT_GUARDED_BY(mu) on a pointer field: the pointee requires
+//                         `mu` (the pointer itself may be read freely).
+//   HOPE_REQUIRES(mu)     on a method: callers must hold `mu`. This is
+//                         the machine-checked form of the `*Locked`
+//                         naming convention.
+//   HOPE_ACQUIRE / HOPE_RELEASE / HOPE_TRY_ACQUIRE
+//                         on lock-management methods.
+//   HOPE_EXCLUDES(mu)     on a method: callers must NOT hold `mu`
+//                         (deadlock guard for self-locking methods).
+//   HOPE_CAPABILITY       on a type: makes it a lockable capability
+//                         (see common/mutex.h for the annotated
+//                         std::mutex / std::shared_mutex wrappers).
+//   HOPE_NO_THREAD_SAFETY_ANALYSIS
+//                         escape hatch; every use must carry a comment
+//                         naming the invariant the analysis cannot see.
+//
+// EBR protocol marker (not a clang attribute): fields holding pointers
+// published through ebr::EpochReclaimer are tagged HOPE_EBR_PUBLISHED.
+// tools/check_ebr_guards.py keys on the tag to enforce the guard
+// protocol that capability analysis cannot express — every raw load of
+// such a field must be lexically dominated by a live ebr Guard, and
+// Retire must never run under a reader-blocking shard lock.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define HOPE_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define HOPE_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+#define HOPE_CAPABILITY(x) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define HOPE_SCOPED_CAPABILITY \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define HOPE_GUARDED_BY(x) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define HOPE_PT_GUARDED_BY(x) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define HOPE_REQUIRES(...) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define HOPE_REQUIRES_SHARED(...) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define HOPE_ACQUIRE(...) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define HOPE_ACQUIRE_SHARED(...) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define HOPE_RELEASE(...) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define HOPE_RELEASE_SHARED(...) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define HOPE_RELEASE_GENERIC(...) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+#define HOPE_TRY_ACQUIRE(...) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define HOPE_TRY_ACQUIRE_SHARED(...)        \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(         \
+      try_acquire_shared_capability(__VA_ARGS__))
+
+#define HOPE_EXCLUDES(...) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define HOPE_ACQUIRED_BEFORE(...) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define HOPE_ACQUIRED_AFTER(...) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define HOPE_RETURN_CAPABILITY(x) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define HOPE_ASSERT_CAPABILITY(x) \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define HOPE_NO_THREAD_SAFETY_ANALYSIS \
+  HOPE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+// Marker for atomic pointer fields published through the EBR reclaimer.
+// Expands to nothing for every compiler; tools/check_ebr_guards.py keys
+// on the token to find the fields whose loads it audits.
+#define HOPE_EBR_PUBLISHED

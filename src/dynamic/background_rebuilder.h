@@ -16,10 +16,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "dynamic/dictionary_manager.h"
 
 namespace hope::dynamic {
@@ -58,10 +59,10 @@ class BackgroundRebuilder {
 
   /// Wakes the worker to evaluate the policies now (e.g. after a burst of
   /// inserts) instead of waiting out the poll interval.
-  void Nudge();
+  void Nudge() HOPE_EXCLUDES(mu_);
 
   /// Stops and joins the worker. Idempotent; the destructor calls it.
-  void Stop();
+  void Stop() HOPE_EXCLUDES(mu_);
 
   size_t num_managers() const { return managers_.size(); }
   uint64_t rebuilds_completed() const { return rebuilds_.load(); }
@@ -89,10 +90,10 @@ class BackgroundRebuilder {
   const std::vector<ShardedDictionaryManager*> sharded_;
   const Options options_;
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable cv_;
-  bool stop_ = false;
-  bool nudged_ = false;
+  bool stop_ HOPE_GUARDED_BY(mu_) = false;
+  bool nudged_ HOPE_GUARDED_BY(mu_) = false;
   /// Mirror of stop_ readable without mu_: the sweep checks it between
   /// managers so Stop() never waits out a long multi-shard poll.
   std::atomic<bool> stop_requested_{false};

@@ -89,6 +89,8 @@ DictionaryManager::~DictionaryManager() {
   // like any other such call — the drain cannot and does not protect
   // it. Drain also frees versions retired by earlier publishes whose
   // grace period had not yet passed.
+  // ebr-exempt: destructor — no concurrent publisher exists, and Drain()
+  // below waits out pinned readers before the Version is freed.
   reclaimer_.RetireDelete(current_.load(std::memory_order_seq_cst));
   reclaimer_.Drain();
 }
@@ -124,7 +126,7 @@ RebuildSignals DictionaryManager::Signals() const {
 }
 
 DictionaryManager::RebuildResult DictionaryManager::RebuildNow(bool force) {
-  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  MutexLock lock(rebuild_mu_);
   if (!force) {
     if (InBackoff()) return RebuildResult::kNotTriggered;
     if (!policy_->ShouldRebuild(Signals()))
@@ -154,6 +156,9 @@ DictionaryManager::RebuildResult DictionaryManager::RebuildNow(bool force) {
 
   // Every start event pairs with a finish or reject (the policy and
   // corpus gates above emit nothing — they fire every poll).
+  // ebr-exempt: rebuild_mu_ is held — publishes (the only retire source
+  // for current_) are serialized with us, so the pointee cannot be freed
+  // under this read.
   if (trace != nullptr)
     trace->Record(telemetry::TraceEventType::kRebuildStart, shard,
                   current_.load(std::memory_order_relaxed)->epoch);
@@ -194,7 +199,7 @@ DictionaryManager::RebuildResult DictionaryManager::RebuildNow(bool force) {
 uint64_t DictionaryManager::Publish(
     std::unique_ptr<Hope> candidate,
     const std::vector<std::string>* baseline_keys) {
-  std::lock_guard<std::mutex> lock(rebuild_mu_);
+  MutexLock lock(rebuild_mu_);
   std::vector<std::string> corpus =
       baseline_keys ? *baseline_keys : collector_->ReservoirSnapshot();
   // With no traffic observed yet there is nothing to measure the
@@ -211,6 +216,8 @@ uint64_t DictionaryManager::PublishLocked(std::unique_ptr<Hope> candidate,
   // rebuild_mu_ is held, so the relaxed epoch read cannot race another
   // publish; swap first, then retire — the predecessor must be
   // unreachable before it enters the limbo list.
+  // ebr-exempt: rebuild_mu_ is held — publishes are serialized, so the
+  // predecessor cannot be retired until this writer does it below.
   uint64_t epoch =
       current_.load(std::memory_order_relaxed)->epoch + 1;
   const Version* old = current_.exchange(

@@ -32,11 +32,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/epoch_reclaim.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "dynamic/encode_stats.h"
 #include "dynamic/rebuild_policy.h"
 #include "hope/hope.h"
@@ -137,7 +138,7 @@ class DictionaryManager {
   /// it on success. `force` skips the policy check (not the validation).
   /// Serialized internally — concurrent callers queue on a mutex; readers
   /// are never blocked.
-  RebuildResult RebuildNow(bool force = false);
+  RebuildResult RebuildNow(bool force = false) HOPE_EXCLUDES(rebuild_mu_);
 
   /// Installs an externally built candidate unconditionally (validation
   /// belongs to the RebuildNow path), attaching the stats collector and
@@ -145,7 +146,8 @@ class DictionaryManager {
   /// measured on `baseline_keys` when given (e.g. the corpus the caller
   /// built the candidate from), else on the reservoir.
   uint64_t Publish(std::unique_ptr<Hope> candidate,
-                   const std::vector<std::string>* baseline_keys = nullptr);
+                   const std::vector<std::string>* baseline_keys = nullptr)
+      HOPE_EXCLUDES(rebuild_mu_);
 
   /// Lifetime counters (relaxed reads; exact only when rebuilds quiesce).
   uint64_t rebuilds_published() const { return published_.load(); }
@@ -174,7 +176,8 @@ class DictionaryManager {
     std::shared_ptr<const Hope> hope;
   };
 
-  uint64_t PublishLocked(std::unique_ptr<Hope> candidate, double fresh_cpr);
+  uint64_t PublishLocked(std::unique_ptr<Hope> candidate, double fresh_cpr)
+      HOPE_REQUIRES(rebuild_mu_);
 
   /// Attaches the collector as the observer and returns a shared_ptr
   /// whose deleter also pins the collector, so a snapshot that outlives
@@ -190,8 +193,8 @@ class DictionaryManager {
   mutable ebr::EpochReclaimer reclaimer_;
   /// Hot-path publication point. Readers load it inside an ebr::Guard;
   /// PublishLocked swaps it and retires the predecessor.
-  std::atomic<const Version*> current_;
-  std::mutex rebuild_mu_;  ///< serializes RebuildNow/Publish
+  HOPE_EBR_PUBLISHED std::atomic<const Version*> current_;
+  Mutex rebuild_mu_;  ///< serializes RebuildNow/Publish
   /// Rejection-backoff deadline, steady_clock nanoseconds since epoch
   /// (atomic so lockless ShouldRebuild()/InBackoff() can read it).
   std::atomic<int64_t> backoff_until_ns_{0};

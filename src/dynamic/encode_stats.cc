@@ -16,7 +16,10 @@ EncodeStatsCollector::EncodeStatsCollector(Options options)
         return o;
       }()),
       rebuild_time_(std::chrono::steady_clock::now()) {
-  reservoir_.reserve(options_.reservoir_size);
+  {
+    MutexLock lock(mu_);
+    reservoir_.reserve(options_.reservoir_size);
+  }
   if (options_.reservoir_halflife > 0) {
     // Each sample replaces a uniformly random slot with probability p, so
     // a resident key survives one sample with 1 - p/C; choose p so that
@@ -34,7 +37,7 @@ void EncodeStatsCollector::OnEncode(std::string_view key, size_t bit_len) {
 
   double cpr = PerKeyCpr(key.size(), bit_len);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sampled_++;
   if (ewma_seeded_) {
     ewma_cpr_ += options_.ewma_alpha * (cpr - ewma_cpr_);
@@ -63,7 +66,7 @@ void EncodeStatsCollector::OnEncode(std::string_view key, size_t bit_len) {
 }
 
 double EncodeStatsCollector::EwmaCompressionRate() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ewma_seeded_ ? ewma_cpr_ : 0.0;
 }
 
@@ -72,34 +75,34 @@ uint64_t EncodeStatsCollector::KeysObserved() const {
 }
 
 uint64_t EncodeStatsCollector::KeysSampled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sampled_;
 }
 
 uint64_t EncodeStatsCollector::KeysSinceRebuild() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return observed_.load(std::memory_order_relaxed) - keys_at_rebuild_;
 }
 
 double EncodeStatsCollector::SecondsSinceRebuild() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        rebuild_time_)
       .count();
 }
 
 size_t EncodeStatsCollector::ReservoirFill() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return reservoir_.size();
 }
 
 std::vector<std::string> EncodeStatsCollector::ReservoirSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return reservoir_;
 }
 
 void EncodeStatsCollector::SeedReservoir(std::vector<std::string> keys) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (keys.size() > options_.reservoir_size)
     keys.resize(options_.reservoir_size);
   reservoir_ = std::move(keys);
@@ -109,7 +112,7 @@ void EncodeStatsCollector::SeedReservoir(std::vector<std::string> keys) {
 }
 
 void EncodeStatsCollector::MarkRebuild(double fresh_cpr) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ewma_cpr_ = fresh_cpr;
   ewma_seeded_ = fresh_cpr > 0;
   keys_at_rebuild_ = observed_.load(std::memory_order_relaxed);

@@ -12,12 +12,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <random>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "hope/encoder.h"
 
 namespace hope::dynamic {
@@ -97,14 +98,14 @@ class EncodeStatsCollector : public EncodeObserver {
   double replace_prob_ = 0;
   std::atomic<uint64_t> observed_{0};
 
-  mutable std::mutex mu_;
-  std::mt19937_64 rng_{0x9E3779B97F4A7C15ull};
-  std::vector<std::string> reservoir_;
-  uint64_t sampled_ = 0;
-  double ewma_cpr_ = 0;
-  bool ewma_seeded_ = false;
-  uint64_t keys_at_rebuild_ = 0;
-  std::chrono::steady_clock::time_point rebuild_time_;
+  mutable Mutex mu_;
+  std::mt19937_64 rng_ HOPE_GUARDED_BY(mu_){0x9E3779B97F4A7C15ull};
+  std::vector<std::string> reservoir_ HOPE_GUARDED_BY(mu_);
+  uint64_t sampled_ HOPE_GUARDED_BY(mu_) = 0;
+  double ewma_cpr_ HOPE_GUARDED_BY(mu_) = 0;
+  bool ewma_seeded_ HOPE_GUARDED_BY(mu_) = false;
+  uint64_t keys_at_rebuild_ HOPE_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point rebuild_time_ HOPE_GUARDED_BY(mu_);
 };
 
 }  // namespace hope::dynamic

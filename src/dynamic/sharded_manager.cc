@@ -156,7 +156,7 @@ ShardedDictionaryManager::~ShardedDictionaryManager() {
   // undefined regardless. Index snapshots holding the version keep it
   // alive past the drain.
   {
-    std::lock_guard<std::mutex> lock(rebalance_mu_);
+    MutexLock lock(rebalance_mu_);
     reclaimer_.Retire(
         [keep = std::move(current_router_)]() mutable { keep.reset(); });
   }
@@ -185,7 +185,7 @@ size_t ShardedDictionaryManager::RebuildPending() {
 }
 
 void ShardedDictionaryManager::UpdateTrafficWeights() {
-  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  MutexLock lock(rebalance_mu_);
   std::vector<uint64_t> deltas(shards_.size());
   uint64_t total = 0;
   for (size_t s = 0; s < shards_.size(); s++) {
@@ -205,7 +205,7 @@ void ShardedDictionaryManager::UpdateTrafficWeights() {
 }
 
 std::vector<double> ShardedDictionaryManager::TrafficWeights() const {
-  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  MutexLock lock(rebalance_mu_);
   return weights_;
 }
 
@@ -220,14 +220,14 @@ double ShardedDictionaryManager::WeightImbalanceLocked() const {
 }
 
 double ShardedDictionaryManager::WeightImbalance() const {
-  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  MutexLock lock(rebalance_mu_);
   return WeightImbalanceLocked();
 }
 
 std::shared_ptr<const RebalancePlan>
 ShardedDictionaryManager::PollRebalance() {
   UpdateTrafficWeights();
-  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  MutexLock lock(rebalance_mu_);
   if (!rebalance_policy_) return nullptr;
 
   RebalanceSignals signals;
@@ -252,7 +252,7 @@ std::shared_ptr<const RebalancePlan> ShardedDictionaryManager::RebalanceNow(
   // Fold in the latest traffic before deriving: a forced rebalance with
   // stale weights would underweight the hot shard's reservoir.
   UpdateTrafficWeights();
-  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  MutexLock lock(rebalance_mu_);
   return RebalanceLocked();
 }
 
@@ -371,7 +371,7 @@ ShardedDictionaryManager::RebalanceLocked() {
 
 std::optional<std::vector<std::shared_ptr<const RebalancePlan>>>
 ShardedDictionaryManager::PlansSince(uint64_t since_version) const {
-  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  MutexLock lock(rebalance_mu_);
   // plans_[k] takes router version plans_base_ + k to plans_base_ + k+1.
   if (since_version < plans_base_) return std::nullopt;  // pruned gap
   size_t offset = static_cast<size_t>(since_version - plans_base_);
@@ -383,7 +383,7 @@ ShardedDictionaryManager::PlansSince(uint64_t since_version) const {
 
 ShardedDictionaryManager::IndexRegistration
 ShardedDictionaryManager::RegisterIndex() {
-  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  MutexLock lock(rebalance_mu_);
   // Pin and snapshot under one lock hold: a rebalance publishing between
   // the two could otherwise prune the very plan the new index needs
   // first.
@@ -396,7 +396,7 @@ ShardedDictionaryManager::RegisterIndex() {
 
 void ShardedDictionaryManager::UpdateIndexVersion(uint64_t id,
                                                   uint64_t version) {
-  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  MutexLock lock(rebalance_mu_);
   auto it = index_versions_.find(id);
   if (it == index_versions_.end()) return;
   it->second = std::max(it->second, version);
@@ -404,7 +404,7 @@ void ShardedDictionaryManager::UpdateIndexVersion(uint64_t id,
 }
 
 void ShardedDictionaryManager::DeregisterIndex(uint64_t id) {
-  std::lock_guard<std::mutex> lock(rebalance_mu_);
+  MutexLock lock(rebalance_mu_);
   if (index_versions_.erase(id) == 0) return;
   PrunePlansLocked();
 }

@@ -54,7 +54,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -63,6 +62,8 @@
 #include <vector>
 
 #include "common/epoch_reclaim.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "dynamic/dictionary_manager.h"
 #include "dynamic/rebalance_policy.h"
 
@@ -216,8 +217,9 @@ class ShardedDictionaryManager {
   /// stays valid for as long as the caller holds it, even past the
   /// manager). Takes the rebalance mutex — use Route()/router_version()
   /// on hot paths.
-  std::shared_ptr<const RouterVersion> router() const {
-    std::lock_guard<std::mutex> lock(rebalance_mu_);
+  std::shared_ptr<const RouterVersion> router() const
+      HOPE_EXCLUDES(rebalance_mu_) {
+    MutexLock lock(rebalance_mu_);
     return current_router_;
   }
   uint64_t router_version() const {
@@ -268,19 +270,20 @@ class ShardedDictionaryManager {
   /// Folds the per-shard encode counts observed since the previous call
   /// into the EWMA traffic weights. Called by PollRebalance(); exposed
   /// for tests and manual polling.
-  void UpdateTrafficWeights();
+  void UpdateTrafficWeights() HOPE_EXCLUDES(rebalance_mu_);
 
   /// Current EWMA traffic shares in boundary order (sum ~1).
-  std::vector<double> TrafficWeights() const;
+  std::vector<double> TrafficWeights() const HOPE_EXCLUDES(rebalance_mu_);
 
   /// max/mean of the current traffic weights (1.0 = balanced).
-  double WeightImbalance() const;
+  double WeightImbalance() const HOPE_EXCLUDES(rebalance_mu_);
 
   /// One worker-loop step: updates the traffic weights, evaluates the
   /// rebalance policy, and runs RebalanceNow() on trigger. Returns the
   /// published plan, or null when the policy stayed quiet or the
   /// re-derivation was a no-op.
-  std::shared_ptr<const RebalancePlan> PollRebalance();
+  std::shared_ptr<const RebalancePlan> PollRebalance()
+      HOPE_EXCLUDES(rebalance_mu_);
 
   /// Re-derives equal-weight boundaries from the union of the per-shard
   /// reservoirs (each shard's keys weighted by its traffic share), diffs
@@ -291,7 +294,8 @@ class ShardedDictionaryManager {
   /// fewer than Options::min_rebalance_corpus keys, or when the
   /// re-derived boundaries equal the current ones. Serialized
   /// internally; readers are never blocked.
-  std::shared_ptr<const RebalancePlan> RebalanceNow(bool force = false);
+  std::shared_ptr<const RebalancePlan> RebalanceNow(bool force = false)
+      HOPE_EXCLUDES(rebalance_mu_);
 
   /// A registered index's pin on the plan history: plans taking the
   /// router from `router->version()` onward are retained until the index
@@ -328,15 +332,15 @@ class ShardedDictionaryManager {
 
   /// Oldest router version the retained plan history can take forward
   /// (PlansSince(v) succeeds iff v >= plans_floor()).
-  uint64_t plans_floor() const {
-    std::lock_guard<std::mutex> lock(rebalance_mu_);
+  uint64_t plans_floor() const HOPE_EXCLUDES(rebalance_mu_) {
+    MutexLock lock(rebalance_mu_);
     return plans_base_;
   }
 
   /// Currently retained plans (bounded by the laggiest registered
   /// index, not by manager lifetime).
-  size_t plans_retained() const {
-    std::lock_guard<std::mutex> lock(rebalance_mu_);
+  size_t plans_retained() const HOPE_EXCLUDES(rebalance_mu_) {
+    MutexLock lock(rebalance_mu_);
     return plans_.size();
   }
 
@@ -369,12 +373,12 @@ class ShardedDictionaryManager {
                        telemetry::TraceLog* trace);
 
  private:
-  std::shared_ptr<const RebalancePlan> RebalanceLocked();
-  double WeightImbalanceLocked() const;  ///< requires rebalance_mu_
+  std::shared_ptr<const RebalancePlan> RebalanceLocked()
+      HOPE_REQUIRES(rebalance_mu_);
+  double WeightImbalanceLocked() const HOPE_REQUIRES(rebalance_mu_);
   /// Drops plans below the minimum version any registered index still
   /// needs (or below the current version when none is registered).
-  /// Requires rebalance_mu_.
-  void PrunePlansLocked();
+  void PrunePlansLocked() HOPE_REQUIRES(rebalance_mu_);
 
   const Options options_;
   /// Grace periods for router_ptr_'s pointees (mutable: read guards pin
@@ -384,27 +388,35 @@ class ShardedDictionaryManager {
   /// The pointee is co-owned by current_router_ (and any plans/indexes
   /// holding it); on supersession the manager's reference is released
   /// through Retire, i.e. only after the grace period.
-  std::atomic<const RouterVersion*> router_ptr_;
+  HOPE_EBR_PUBLISHED std::atomic<const RouterVersion*> router_ptr_;
   std::vector<std::unique_ptr<DictionaryManager>> shards_;
 
   std::unique_ptr<RebalancePolicy> rebalance_policy_;
-  mutable std::mutex rebalance_mu_;  ///< router, weights, plans, Rebalance
+  mutable Mutex rebalance_mu_;  ///< router, weights, plans, Rebalance
   /// The current router version (the only one the manager itself owns;
   /// superseded versions live on exactly as long as plans or index
   /// snapshots reference them, plus the EBR grace period).
-  std::shared_ptr<const RouterVersion> current_router_;
-  std::vector<double> weights_;          ///< EWMA traffic shares
-  std::vector<uint64_t> last_observed_;  ///< per-shard KeysObserved marks
-  uint64_t observed_at_rebalance_ = 0;   ///< total encodes at last publish
-  std::chrono::steady_clock::time_point last_rebalance_;
+  std::shared_ptr<const RouterVersion> current_router_
+      HOPE_GUARDED_BY(rebalance_mu_);
+  /// EWMA traffic shares.
+  std::vector<double> weights_ HOPE_GUARDED_BY(rebalance_mu_);
+  /// Per-shard KeysObserved marks.
+  std::vector<uint64_t> last_observed_ HOPE_GUARDED_BY(rebalance_mu_);
+  /// Total encodes at last publish.
+  uint64_t observed_at_rebalance_ HOPE_GUARDED_BY(rebalance_mu_) = 0;
+  std::chrono::steady_clock::time_point last_rebalance_
+      HOPE_GUARDED_BY(rebalance_mu_);
   /// Retained plan history, oldest first: plans_[k] takes router version
   /// plans_base_ + k to plans_base_ + k + 1. Pruned against the
   /// registered-index pins, so it is bounded by the laggiest consumer.
-  std::deque<std::shared_ptr<const RebalancePlan>> plans_;
-  uint64_t plans_base_ = 0;  ///< version plans_.front() starts from
+  std::deque<std::shared_ptr<const RebalancePlan>> plans_
+      HOPE_GUARDED_BY(rebalance_mu_);
+  /// Version plans_.front() starts from.
+  uint64_t plans_base_ HOPE_GUARDED_BY(rebalance_mu_) = 0;
   /// Registered plan consumers: id -> last applied router version.
-  std::unordered_map<uint64_t, uint64_t> index_versions_;
-  uint64_t next_index_id_ = 1;
+  std::unordered_map<uint64_t, uint64_t> index_versions_
+      HOPE_GUARDED_BY(rebalance_mu_);
+  uint64_t next_index_id_ HOPE_GUARDED_BY(rebalance_mu_) = 1;
   std::atomic<uint64_t> plans_pruned_{0};
   std::atomic<uint64_t> rebalances_{0};
   std::atomic<uint64_t> rebalance_noops_{0};

@@ -59,12 +59,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/epoch_reclaim.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "dynamic/sharded_manager.h"
 #include "dynamic/versioned_index.h"
 #include "telemetry/registry.h"
@@ -93,6 +94,10 @@ class ConcurrentShardedIndex {
     // Straggler readers pinned before destruction may still hold the
     // raw router/plan pointers; route the final references through the
     // reclaimer so they outlive any such pin (the manager's contract).
+    // The lock is held for the same reason: a maintenance poller racing
+    // destruction is already UB, but holding migration_mu_ keeps the
+    // mig_/router_ handoff ordered against any straggling PollMigration.
+    MutexLock mlk(migration_mu_);
     inflight_plan_.store(nullptr, std::memory_order_seq_cst);
     if (mig_.plan)
       manager_->reclaimer().Retire(
@@ -110,10 +115,11 @@ class ConcurrentShardedIndex {
     return router_ptr_.load(std::memory_order_seq_cst)->Route(key);
   }
 
-  void Insert(const std::string& key, uint64_t value) {
+  void Insert(const std::string& key, uint64_t value)
+      HOPE_EXCLUDES(migration_mu_) {
     for (int attempt = 0; attempt < kOptimisticRetries; attempt++) {
       size_t s = Route(key);
-      std::unique_lock<std::shared_mutex> lk(shards_[s]->mu);
+      WriterLock lk(shards_[s]->mu);
       // Revalidate under the shard lock: if a plan advanced the router
       // after we routed, inserting here could land the key in a shard
       // whose migration cursor was already collected — stranding it on
@@ -126,13 +132,14 @@ class ConcurrentShardedIndex {
     }
     // Rebalances keep racing the route (pathological); pin the routing
     // state still.
-    std::lock_guard<std::mutex> mlk(migration_mu_);
+    MutexLock mlk(migration_mu_);
     size_t s = Route(key);
-    std::unique_lock<std::shared_mutex> lk(shards_[s]->mu);
+    WriterLock lk(shards_[s]->mu);
     shards_[s]->index.Insert(key, value);
   }
 
-  bool Lookup(const std::string& key, uint64_t* value) const {
+  bool Lookup(const std::string& key, uint64_t* value) const
+      HOPE_EXCLUDES(migration_mu_) {
     for (int attempt = 0; attempt < kOptimisticRetries; attempt++) {
       const uint64_t seq = migration_seq_.load(std::memory_order_seq_cst);
       size_t primary = 0, fallback = kNoShard;
@@ -147,14 +154,14 @@ class ConcurrentShardedIndex {
         return false;
     }
     lookup_slow_paths_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> mlk(migration_mu_);
+    MutexLock mlk(migration_mu_);
     size_t primary = 0, fallback = kNoShard;
     RouteBoth(key, &primary, &fallback);
     if (ProbeShard(primary, key, value)) return true;
     return fallback != kNoShard && ProbeShard(fallback, key, value);
   }
 
-  bool Erase(const std::string& key) {
+  bool Erase(const std::string& key) HOPE_EXCLUDES(migration_mu_) {
     for (int attempt = 0; attempt < kOptimisticRetries; attempt++) {
       const uint64_t seq = migration_seq_.load(std::memory_order_seq_cst);
       size_t primary = 0, fallback = kNoShard;
@@ -165,7 +172,7 @@ class ConcurrentShardedIndex {
       if (migration_seq_.load(std::memory_order_seq_cst) == seq)
         return false;
     }
-    std::lock_guard<std::mutex> mlk(migration_mu_);
+    MutexLock mlk(migration_mu_);
     size_t primary = 0, fallback = kNoShard;
     RouteBoth(key, &primary, &fallback);
     bool erased = EraseInShard(primary, key);
@@ -178,13 +185,13 @@ class ConcurrentShardedIndex {
   /// (mid-plan cross-shard order is undefined), and no batch can commit
   /// while the scan holds the migration lock.
   size_t Scan(const std::string& start, size_t count,
-              std::vector<uint64_t>* out) {
-    std::lock_guard<std::mutex> mlk(migration_mu_);
+              std::vector<uint64_t>* out) HOPE_EXCLUDES(migration_mu_) {
+    MutexLock mlk(migration_mu_);
     ApplyAllLocked();
     size_t produced = 0;
     const size_t first = router_->Route(start);
     for (size_t s = first; s < shards_.size() && produced < count; s++) {
-      std::unique_lock<std::shared_mutex> lk(shards_[s]->mu);
+      WriterLock lk(shards_[s]->mu);
       dynamic::VersionedIndex<Tree>& shard = shards_[s]->index;
       shard.MigrateAll();
       std::string enc = s == first ? shard.snapshot().hope->Encode(start)
@@ -199,17 +206,18 @@ class ConcurrentShardedIndex {
   /// Bounded work per call: readers double-route and writers re-route
   /// while a plan is mid-flight, so there is no hurry. Returns entries
   /// moved this call (0 also while another poller holds the lock).
-  size_t PollMigration(size_t max_keys = 512) {
-    std::unique_lock<std::mutex> mlk(migration_mu_, std::try_to_lock);
-    if (!mlk.owns_lock()) return 0;
+  size_t PollMigration(size_t max_keys = 512)
+      HOPE_EXCLUDES(migration_mu_) {
+    if (!migration_mu_.TryLock()) return 0;
+    MutexLock mlk(migration_mu_, std::adopt_lock);
     size_t moved = PollLocked(max_keys);
     if (!mig_.plan) DrainGenerationsLocked();
     return moved;
   }
 
   /// True when every published plan has been fully applied here.
-  bool MigrationIdle() const {
-    std::lock_guard<std::mutex> mlk(migration_mu_);
+  bool MigrationIdle() const HOPE_EXCLUDES(migration_mu_) {
+    MutexLock mlk(migration_mu_);
     return !mig_.plan &&
            router_->version() == manager_->router_version();
   }
@@ -222,7 +230,7 @@ class ConcurrentShardedIndex {
   size_t size() const {
     size_t n = 0;
     for (const auto& shard : shards_) {
-      std::shared_lock<std::shared_mutex> lk(shard->mu);
+      ReaderLock lk(shard->mu);
       n += shard->index.size();
     }
     return n;
@@ -276,8 +284,8 @@ class ConcurrentShardedIndex {
 
   struct Shard {
     explicit Shard(dynamic::DictionaryManager* manager) : index(manager) {}
-    mutable std::shared_mutex mu;
-    dynamic::VersionedIndex<Tree> index;
+    mutable SharedMutex mu;
+    dynamic::VersionedIndex<Tree> index HOPE_GUARDED_BY(mu);
   };
 
   /// In-flight plan cursor (guarded by migration_mu_). Keys of the
@@ -309,19 +317,20 @@ class ConcurrentShardedIndex {
   }
 
   bool ProbeShard(size_t s, const std::string& key, uint64_t* value) const {
-    std::shared_lock<std::shared_mutex> lk(shards_[s]->mu);
+    ReaderLock lk(shards_[s]->mu);
     return shards_[s]->index.Peek(key, value);
   }
 
   bool EraseInShard(size_t s, const std::string& key) {
-    std::unique_lock<std::shared_mutex> lk(shards_[s]->mu);
+    WriterLock lk(shards_[s]->mu);
     return shards_[s]->index.Erase(key);
   }
 
-  /// Requires migration_mu_. Publishes `next` and retires the previous
-  /// router reference through the manager's reclaimer; the sequence
-  /// bump sends optimistic readers around again.
-  void PublishRouterLocked(std::shared_ptr<const dynamic::RouterVersion> next) {
+  /// Publishes `next` and retires the previous router reference through
+  /// the manager's reclaimer; the sequence bump sends optimistic
+  /// readers around again.
+  void PublishRouterLocked(std::shared_ptr<const dynamic::RouterVersion> next)
+      HOPE_REQUIRES(migration_mu_) {
     auto old = std::move(router_);
     router_ = std::move(next);
     router_ptr_.store(router_.get(), std::memory_order_seq_cst);
@@ -331,8 +340,9 @@ class ConcurrentShardedIndex {
     migration_seq_.fetch_add(1, std::memory_order_seq_cst);
   }
 
-  /// Requires migration_mu_ and no plan in flight.
-  void BeginPlanLocked(std::shared_ptr<const dynamic::RebalancePlan> plan) {
+  /// Callable only with no plan in flight.
+  void BeginPlanLocked(std::shared_ptr<const dynamic::RebalancePlan> plan)
+      HOPE_REQUIRES(migration_mu_) {
     mig_ = MigrationState{};
     mig_.plan = std::move(plan);
     // Publish the plan before the router: readers must never see the
@@ -344,8 +354,8 @@ class ConcurrentShardedIndex {
                 mig_.plan->to->version(), mig_.plan->moves.size());
   }
 
-  /// Requires migration_mu_ and a fully-moved plan.
-  void CompletePlanLocked() {
+  /// Callable only with a fully-moved plan.
+  void CompletePlanLocked() HOPE_REQUIRES(migration_mu_) {
     inflight_plan_.store(nullptr, std::memory_order_seq_cst);
     manager_->reclaimer().Retire(
         [keep = std::move(mig_.plan)]() mutable { keep.reset(); });
@@ -358,10 +368,18 @@ class ConcurrentShardedIndex {
                 router_->version());
   }
 
-  /// Requires migration_mu_. One bounded unit of migration work; always
-  /// makes progress (collect a cursor, commit a batch, advance a move,
-  /// or complete the plan).
-  size_t StepLocked(size_t* budget) {
+  /// One bounded unit of migration work; always makes progress (collect
+  /// a cursor, commit a batch, advance a move, or complete the plan).
+  //
+  // NO_TSA: the batch-commit block locks both shards in ascending index
+  // order via `shards_[std::min(..)]` / `shards_[std::max(..)]` aliases,
+  // then touches them as `shards_[mv.from_shard]` / `shards_[mv.to_shard]`
+  // — the analysis cannot prove the min/max aliases cover both names.
+  // Invariant preserved: both shard locks are held (ascending order, no
+  // deadlock) around every index access in that block, and migration_mu_
+  // is held throughout per the REQUIRES contract.
+  size_t StepLocked(size_t* budget) HOPE_REQUIRES(migration_mu_)
+      HOPE_NO_THREAD_SAFETY_ANALYSIS {
     const dynamic::RebalancePlan& plan = *mig_.plan;
     if (mig_.move_idx >= plan.moves.size()) {
       CompletePlanLocked();
@@ -369,7 +387,7 @@ class ConcurrentShardedIndex {
     }
     const dynamic::RebalancePlan::Move& mv = plan.moves[mig_.move_idx];
     if (!mig_.collected) {
-      std::unique_lock<std::shared_mutex> lk(shards_[mv.from_shard]->mu);
+      WriterLock lk(shards_[mv.from_shard]->mu);
       mig_.keys = shards_[mv.from_shard]->index.CollectRangeKeys(
           mv.begin, mv.bounded ? &mv.end : nullptr);
       mig_.pos = 0;
@@ -393,8 +411,8 @@ class ConcurrentShardedIndex {
       // side after this batch observes the bump at validation time.
       Shard& lo = *shards_[std::min(mv.from_shard, mv.to_shard)];
       Shard& hi = *shards_[std::max(mv.from_shard, mv.to_shard)];
-      std::unique_lock<std::shared_mutex> lk_lo(lo.mu);
-      std::unique_lock<std::shared_mutex> lk_hi(hi.mu);
+      WriterLock lk_lo(lo.mu);
+      WriterLock lk_hi(hi.mu);
       shards_[mv.from_shard]->index.ExtractKeys(batch, &extracted);
       for (auto& [key, value] : extracted)
         shards_[mv.to_shard]->index.InsertIfAbsent(key, value);
@@ -411,8 +429,7 @@ class ConcurrentShardedIndex {
     return extracted.size();
   }
 
-  /// Requires migration_mu_.
-  size_t PollLocked(size_t budget) {
+  size_t PollLocked(size_t budget) HOPE_REQUIRES(migration_mu_) {
     size_t moved = 0;
     while (budget > 0) {
       if (!mig_.plan) {
@@ -430,11 +447,10 @@ class ConcurrentShardedIndex {
     return moved;
   }
 
-  /// Requires migration_mu_. Completes every pending plan (Scan's
-  /// barrier). Each iteration strictly advances the router version (or
-  /// finishes the in-flight plan), so this terminates even while the
-  /// manager keeps publishing.
-  void ApplyAllLocked() {
+  /// Completes every pending plan (Scan's barrier). Each iteration
+  /// strictly advances the router version (or finishes the in-flight
+  /// plan), so this terminates even while the manager keeps publishing.
+  void ApplyAllLocked() HOPE_REQUIRES(migration_mu_) {
     while (mig_.plan || router_->version() != manager_->router_version()) {
       const uint64_t before = router_->version();
       const bool had_plan = mig_.plan != nullptr;
@@ -445,16 +461,23 @@ class ConcurrentShardedIndex {
     }
   }
 
-  /// Requires migration_mu_ and no plan in flight. Recovery for a
-  /// pruned-history gap (unreachable while registered — kept for the
-  /// same contract reason as ShardedVersionedIndex::Resync). All shard
-  /// locks are held across the re-route, so readers block briefly; the
-  /// sequence bump retries any lookup that raced the router swap.
-  size_t ResyncLocked() {
+  /// Callable only with no plan in flight. Recovery for a pruned-history
+  /// gap (unreachable while registered — kept for the same contract
+  /// reason as ShardedVersionedIndex::Resync). All shard locks are held
+  /// across the re-route, so readers block briefly; the sequence bump
+  /// retries any lookup that raced the router swap.
+  //
+  // NO_TSA: every shard lock is acquired into a std::vector of RAII
+  // locks, which the analysis cannot track (no per-element capability).
+  // Invariant preserved: all shard locks are held (ascending index
+  // order) for the whole body, and migration_mu_ is held per the
+  // REQUIRES contract.
+  size_t ResyncLocked() HOPE_REQUIRES(migration_mu_)
+      HOPE_NO_THREAD_SAFETY_ANALYSIS {
     std::shared_ptr<const dynamic::RouterVersion> target = manager_->router();
     std::vector<std::unique_lock<std::shared_mutex>> locks;
     locks.reserve(shards_.size());
-    for (auto& shard : shards_) locks.emplace_back(shard->mu);
+    for (auto& shard : shards_) locks.emplace_back(shard->mu.native());
     size_t moved = 0;
     std::vector<std::vector<std::pair<std::string, uint64_t>>> rebinned(
         shards_.size());
@@ -480,14 +503,15 @@ class ConcurrentShardedIndex {
     return moved;
   }
 
-  /// Requires migration_mu_. Idle maintenance: drain multi-generation
-  /// shards (dictionary hot-swaps open generations; Peek never drains)
-  /// so the read path stays short. try_lock keeps this off any shard a
-  /// writer is busy in.
-  void DrainGenerationsLocked() {
+  /// Idle maintenance: drain multi-generation shards (dictionary
+  /// hot-swaps open generations; Peek never drains) so the read path
+  /// stays short. TryLock keeps this off any shard a writer is busy in;
+  /// the adopting WriterLock tells the analysis the success branch
+  /// holds the capability.
+  void DrainGenerationsLocked() HOPE_REQUIRES(migration_mu_) {
     for (auto& shard : shards_) {
-      std::unique_lock<std::shared_mutex> lk(shard->mu, std::try_to_lock);
-      if (!lk.owns_lock()) continue;
+      if (!shard->mu.TryLock()) continue;
+      WriterLock lk(shard->mu, std::adopt_lock);
       if (shard->index.NumGenerations() > 1) shard->index.MigrateAll();
     }
   }
@@ -499,16 +523,20 @@ class ConcurrentShardedIndex {
   /// Reader-visible routing state: raw pointers published seq_cst,
   /// pointees kept alive by router_/mig_.plan (owned under
   /// migration_mu_) and freed through the manager's reclaimer after the
-  /// EBR grace period.
-  std::atomic<const dynamic::RouterVersion*> router_ptr_{nullptr};
-  std::atomic<const dynamic::RebalancePlan*> inflight_plan_{nullptr};
+  /// EBR grace period. Raw loads require a live ebr Guard
+  /// (tools/check_ebr_guards.py enforces this).
+  HOPE_EBR_PUBLISHED std::atomic<const dynamic::RouterVersion*> router_ptr_{
+      nullptr};
+  HOPE_EBR_PUBLISHED std::atomic<const dynamic::RebalancePlan*> inflight_plan_{
+      nullptr};
   /// Bumped (under the shard locks involved) on every committed batch,
   /// plan begin, and plan completion — the optimistic validation token.
   mutable std::atomic<uint64_t> migration_seq_{0};
 
-  mutable std::mutex migration_mu_;  ///< plan application, scans, resync
-  std::shared_ptr<const dynamic::RouterVersion> router_;
-  MigrationState mig_;
+  mutable Mutex migration_mu_;  ///< plan application, scans, resync
+  std::shared_ptr<const dynamic::RouterVersion> router_
+      HOPE_GUARDED_BY(migration_mu_);
+  MigrationState mig_ HOPE_GUARDED_BY(migration_mu_);
 
   std::atomic<uint64_t> plans_applied_{0};
   std::atomic<uint64_t> entries_migrated_{0};

@@ -36,12 +36,13 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "serve/concurrent_index.h"
 #include "serve/cpu_pin.h"
 #include "serve/latency_histogram.h"
@@ -143,11 +144,12 @@ class ServerLoop {
     if (req.enqueue_ns == 0) req.enqueue_ns = NowNs();
     Worker& wk = *workers_[index_->Route(req.key) % workers_.size()];
     {
-      std::unique_lock<std::mutex> lk(wk.mu);
-      wk.cv_space.wait(lk, [&] {
-        return wk.queue.size() < opt_.queue_capacity ||
-               stop_.load(std::memory_order_acquire);
-      });
+      UniqueLock lk(wk.mu);
+      // Explicit wait loop (see common/mutex.h): a predicate lambda
+      // reading wk.queue would be analyzed with an empty lock set.
+      while (wk.queue.size() >= opt_.queue_capacity &&
+             !stop_.load(std::memory_order_acquire))
+        wk.cv_space.wait(lk.native());
       if (stop_.load(std::memory_order_acquire)) return;
       pending_.fetch_add(1, std::memory_order_relaxed);
       wk.queue.push_back(std::move(req));
@@ -163,25 +165,32 @@ class ServerLoop {
   }
 
   /// Drains queues and joins all threads. Idempotent; runs at
-  /// destruction.
-  void Stop() {
-    bool expected = false;
-    if (!stop_.compare_exchange_strong(expected, true)) return;
+  /// destruction. Safe to call concurrently: every caller returns only
+  /// after all threads are joined.
+  void Stop() HOPE_EXCLUDES(join_mu_) {
+    // Serialize the whole join sequence. The previous compare-exchange
+    // latch let a second concurrent caller return immediately while the
+    // first was still joining — if that second caller was the
+    // destructor, members were torn down under live worker threads.
+    MutexLock join(join_mu_);
+    if (joined_) return;
+    stop_.store(true, std::memory_order_release);
     for (auto& wk : workers_) {
       // Lock and release the queue mutex after the flag is set: a
       // worker that read stop_ == false is then guaranteed to already
       // be inside wait(), so the notify below cannot be lost.
-      { std::lock_guard<std::mutex> lk(wk->mu); }
+      { MutexLock lk(wk->mu); }
       wk->cv_work.notify_all();
       wk->cv_space.notify_all();
     }
     for (auto& wk : workers_) wk->thread.join();
     maintenance_.join();
     if (stats_thread_.joinable()) {
-      { std::lock_guard<std::mutex> lk(stats_mu_); }
+      { MutexLock lk(stats_mu_); }
       stats_cv_.notify_all();
       stats_thread_.join();
     }
+    joined_ = true;
   }
 
   /// Merged stats for one op — the historical OpStats shape,
@@ -238,12 +247,12 @@ class ServerLoop {
 
  private:
   struct Worker {
-    std::mutex mu;
+    Mutex mu;
     std::condition_variable cv_work;
     std::condition_variable cv_space;
-    std::deque<Request> queue;
+    std::deque<Request> queue HOPE_GUARDED_BY(mu);
 
-    std::vector<uint64_t> scan_buf;  ///< worker-local, reused
+    std::vector<uint64_t> scan_buf;  ///< worker-thread-local, reused
     std::thread thread;
   };
 
@@ -293,15 +302,17 @@ class ServerLoop {
 
   void StatsMain() {
     EmitStats();
-    std::unique_lock<std::mutex> lk(stats_mu_);
-    while (!stats_cv_.wait_for(lk, opt_.stats_interval, [this] {
+    UniqueLock lk(stats_mu_);
+    // The predicate reads only the atomic stop_ flag (nothing guarded
+    // by stats_mu_), so the lambda is safe under the analysis.
+    while (!stats_cv_.wait_for(lk.native(), opt_.stats_interval, [this] {
       return stop_.load(std::memory_order_acquire);
     })) {
-      lk.unlock();
+      lk.Unlock();
       EmitStats();
-      lk.lock();
+      lk.Lock();
     }
-    lk.unlock();
+    lk.Unlock();
     EmitStats();  // final snapshot: even a short run exports two
   }
 
@@ -315,10 +326,11 @@ class ServerLoop {
     std::deque<Request> batch;
     for (;;) {
       {
-        std::unique_lock<std::mutex> lk(wk.mu);
-        wk.cv_work.wait(lk, [&] {
-          return !wk.queue.empty() || stop_.load(std::memory_order_acquire);
-        });
+        UniqueLock lk(wk.mu);
+        // Explicit wait loop (see common/mutex.h): a predicate lambda
+        // reading wk.queue would be analyzed with an empty lock set.
+        while (wk.queue.empty() && !stop_.load(std::memory_order_acquire))
+          wk.cv_work.wait(lk.native());
         if (wk.queue.empty() && stop_.load(std::memory_order_acquire)) return;
         batch.swap(wk.queue);
       }
@@ -393,8 +405,12 @@ class ServerLoop {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread maintenance_;
   std::thread stats_thread_;
-  std::mutex stats_mu_;               ///< stats thread's interruptible sleep
+  Mutex stats_mu_;                    ///< stats thread's interruptible sleep
   std::condition_variable stats_cv_;
+  /// Serializes Stop() callers; joined_ flips only after every thread
+  /// is joined, so a losing caller blocks until shutdown is complete.
+  Mutex join_mu_;
+  bool joined_ HOPE_GUARDED_BY(join_mu_) = false;
   /// Stop() latch and shutdown flag in one: workers read it inside
   /// their wait predicates (under their queue mutex, but the flag
   /// itself is cross-worker so it must be atomic).

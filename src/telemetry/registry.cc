@@ -235,7 +235,7 @@ MetricRegistry::Registration MetricRegistry::RegisterCallback(
 }
 
 MetricRegistry::Registration MetricRegistry::Add(Entry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entry.id = next_id_++;
   const uint64_t id = entry.id;
   entries_.push_back(std::move(entry));
@@ -243,7 +243,7 @@ MetricRegistry::Registration MetricRegistry::Add(Entry entry) {
 }
 
 void MetricRegistry::Remove(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (size_t i = 0; i < entries_.size(); i++) {
     if (entries_[i].id == id) {
       entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
@@ -255,7 +255,7 @@ void MetricRegistry::Remove(uint64_t id) {
 RegistrySnapshot MetricRegistry::Snapshot() const {
   RegistrySnapshot snap;
   snap.ts_ns = TraceLog::NowNs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   snap.metrics.reserve(entries_.size());
   for (const Entry& e : entries_) {
     RegistrySnapshot::Metric m;

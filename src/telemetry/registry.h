@@ -26,11 +26,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "telemetry/metrics.h"
 
 namespace hope::telemetry {
@@ -132,10 +133,10 @@ class MetricRegistry {
 
   /// Point-in-time read of every registered metric, sorted by name then
   /// labels. Wait-free for hot-path writers (they never see the mutex).
-  RegistrySnapshot Snapshot() const;
+  RegistrySnapshot Snapshot() const HOPE_EXCLUDES(mu_);
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const HOPE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return entries_.size();
   }
 
@@ -156,12 +157,12 @@ class MetricRegistry {
     std::function<double()> read;
   };
 
-  Registration Add(Entry entry);
-  void Remove(uint64_t id);
+  Registration Add(Entry entry) HOPE_EXCLUDES(mu_);
+  void Remove(uint64_t id) HOPE_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
-  uint64_t next_id_ = 1;
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ HOPE_GUARDED_BY(mu_);
+  uint64_t next_id_ HOPE_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace hope::telemetry

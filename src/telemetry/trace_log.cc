@@ -41,13 +41,15 @@ int64_t TraceLog::NowNs() {
 TraceLog::TraceLog(size_t capacity) {
   size_t cap = 8;
   while (cap < capacity && cap < (size_t{1} << 20)) cap <<= 1;
+  MutexLock lock(mu_);
   ring_.resize(cap);
+  capacity_ = cap;
 }
 
 void TraceLog::Record(TraceEventType type, int32_t shard, uint64_t a,
                       uint64_t b) {
   const int64_t now = NowNs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TraceEvent& slot = ring_[(next_seq_ - 1) & (ring_.size() - 1)];
   slot.seq = next_seq_++;
   slot.ts_ns = now;
@@ -58,7 +60,7 @@ void TraceLog::Record(TraceEventType type, int32_t shard, uint64_t a,
 }
 
 std::vector<TraceEvent> TraceLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t total = next_seq_ - 1;
   const uint64_t n = total < ring_.size() ? total : ring_.size();
   std::vector<TraceEvent> out;
@@ -69,7 +71,7 @@ std::vector<TraceEvent> TraceLog::Snapshot() const {
 }
 
 uint64_t TraceLog::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_seq_ - 1;
 }
 

@@ -19,9 +19,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hope::telemetry {
 
@@ -66,14 +68,17 @@ class TraceLog {
   /// Events ever recorded (snapshot keeps only the newest `capacity`).
   uint64_t total_recorded() const;
 
-  size_t capacity() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
 
   static int64_t NowNs();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;  ///< slot = (seq - 1) & (capacity - 1)
-  uint64_t next_seq_ = 1;
+  mutable Mutex mu_;
+  /// slot = (seq - 1) & (capacity - 1); sized once in the constructor,
+  /// never resized after.
+  std::vector<TraceEvent> ring_ HOPE_GUARDED_BY(mu_);
+  uint64_t next_seq_ HOPE_GUARDED_BY(mu_) = 1;
+  size_t capacity_ = 0;  ///< immutable after construction
 };
 
 }  // namespace hope::telemetry

@@ -1,0 +1,100 @@
+// Regression test: concurrent ServerLoop::Stop() callers. The original
+// Stop() was latched with a compare-exchange, so the losing caller
+// returned immediately while the winner was still joining worker
+// threads — anything the loser did next (reading final counters,
+// tearing the loop down) raced live workers. Stop() now serializes
+// callers behind a join mutex: EVERY caller returns only after all
+// threads are joined, which makes the post-Stop() accounting below
+// exact from either thread's point of view.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "btree/btree.h"
+#include "dynamic/sharded_manager.h"
+#include "serve/concurrent_index.h"
+#include "serve/server_loop.h"
+
+namespace hope::serve {
+namespace {
+
+using dynamic::ShardedDictionaryManager;
+
+std::vector<std::string> NumberedKeys(size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "key%04zu", i);
+    keys.push_back(buf);
+  }
+  return keys;
+}
+
+TEST(ServerLoopStopRace, LosingStopCallerSeesFullyDrainedLoop) {
+  // A handful of rounds so both orderings of the two callers occur.
+  for (int round = 0; round < 5; round++) {
+    std::vector<std::string> keys = NumberedKeys(400);
+    ShardedDictionaryManager::Options mopts;
+    mopts.num_shards = 4;
+    mopts.shard.scheme = Scheme::kSingleChar;
+    mopts.shard.dict_size_limit = 256;
+    mopts.min_shard_sample = 8;
+    ShardedDictionaryManager mgr(keys, mopts);
+    ConcurrentShardedIndex<BTree> index(&mgr);
+
+    ServerLoop<BTree>::Options opts;
+    opts.num_workers = 2;
+    opts.queue_capacity = 512;  // roomy: every submit lands pre-Stop
+    opts.pin_workers = false;
+    ServerLoop<BTree> loop(&index, opts);
+
+    // Fill the queues with enough work that the workers are still
+    // draining when the stops race (workers finish their queues before
+    // exiting, so Stop() returning implies everything below executed).
+    for (const auto& k : keys) {
+      Request req;
+      req.op = Request::Op::kInsert;
+      req.key = k;
+      req.value = KeyFingerprint(k);
+      loop.Submit(std::move(req));
+    }
+    for (const auto& k : keys) {
+      Request req;
+      req.op = Request::Op::kLookup;
+      req.key = k;
+      req.check = true;
+      loop.Submit(std::move(req));
+    }
+    const uint64_t submitted = 2 * keys.size();
+
+    std::atomic<uint64_t> racer_seen{0};
+    std::thread racer([&] {
+      loop.Stop();
+      // The racer's view immediately after ITS Stop() returns.
+      racer_seen = loop.Snapshot(Request::Op::kInsert).ops +
+                   loop.Snapshot(Request::Op::kLookup).ops;
+    });
+    loop.Stop();
+    // This thread's view immediately after its own Stop() returns —
+    // with the old latch, whichever caller lost the race observed a
+    // partially drained loop here.
+    const uint64_t main_seen = loop.Snapshot(Request::Op::kInsert).ops +
+                               loop.Snapshot(Request::Op::kLookup).ops;
+    racer.join();
+
+    EXPECT_EQ(main_seen, submitted) << "round " << round;
+    EXPECT_EQ(racer_seen.load(), submitted) << "round " << round;
+    EXPECT_EQ(loop.Snapshot(Request::Op::kLookup).check_failures, 0u);
+
+    // Third Stop() after completion: still idempotent.
+    loop.Stop();
+  }
+}
+
+}  // namespace
+}  // namespace hope::serve

@@ -1,0 +1,24 @@
+// Negative-compile TU: writes a HOPE_GUARDED_BY field without holding
+// its mutex. Must FAIL under -Wthread-safety -Werror=thread-safety and
+// compile clean without the flag (negative_compile.cmake checks both).
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Bad {
+ public:
+  void Set(int v) { value_ = v; }  // no lock: analysis must object
+
+ private:
+  hope::Mutex mu_;
+  int value_ HOPE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int BadGuardedFieldAnchor() {
+  Bad b;
+  b.Set(1);
+  return 0;
+}

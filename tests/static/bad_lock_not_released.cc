@@ -1,0 +1,28 @@
+// Negative-compile TU: acquires a capability manually and returns
+// without releasing it. Must FAIL under -Wthread-safety
+// -Werror=thread-safety and compile clean without the flag.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Bad {
+ public:
+  void Leak() {
+    mu_.Lock();
+    value_ = 1;
+    // missing mu_.Unlock(): held capability leaks out of scope
+  }
+
+ private:
+  hope::Mutex mu_;
+  int value_ HOPE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int BadLockNotReleasedAnchor() {
+  Bad b;
+  b.Leak();
+  return 0;
+}

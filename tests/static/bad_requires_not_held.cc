@@ -1,0 +1,26 @@
+// Negative-compile TU: calls a HOPE_REQUIRES(*Locked-style) method
+// without holding the capability. Must FAIL under -Wthread-safety
+// -Werror=thread-safety and compile clean without the flag.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Bad {
+ public:
+  void BumpLocked() HOPE_REQUIRES(mu_) { value_++; }
+
+  void Bump() { BumpLocked(); }  // contract violated: mu_ not held
+
+ private:
+  hope::Mutex mu_;
+  int value_ HOPE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int BadRequiresAnchor() {
+  Bad b;
+  b.Bump();
+  return 0;
+}

@@ -1,0 +1,56 @@
+# Negative-compile driver for the thread-safety annotations, run as a
+# ctest under Clang (see CMakeLists.txt here). For every bad_*.cc TU it
+# proves BOTH directions:
+#   1. with -Wthread-safety -Werror=thread-safety the TU fails — the
+#      annotations fire;
+#   2. without the flag the same TU compiles — the failure above is the
+#      analysis objecting, not an unrelated compile error.
+# The positive TU must compile WITH the flag (a redundant belt over the
+# always-built thread_safety_positive target, kept here so this script
+# is self-contained evidence).
+#
+# Expected -D inputs: COMPILER, SOURCE_DIR, INCLUDE_DIR, STD (e.g. 20).
+
+set(base_flags -std=c++${STD} -fsyntax-only -I${INCLUDE_DIR})
+set(tsa_flags -Wthread-safety -Werror=thread-safety)
+
+set(failures 0)
+
+function(check_compiles expect_success extra_flags tu)
+  execute_process(
+    COMMAND ${COMPILER} ${base_flags} ${extra_flags} ${SOURCE_DIR}/${tu}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(expect_success AND NOT rc EQUAL 0)
+    message(SEND_ERROR
+      "${tu}: expected to compile with [${extra_flags}] but failed:\n${err}")
+    math(EXPR failures "${failures}+1")
+    set(failures ${failures} PARENT_SCOPE)
+  elseif(NOT expect_success AND rc EQUAL 0)
+    message(SEND_ERROR
+      "${tu}: expected -Wthread-safety to reject it, but it compiled — "
+      "the annotations did not fire")
+    math(EXPR failures "${failures}+1")
+    set(failures ${failures} PARENT_SCOPE)
+  endif()
+endfunction()
+
+file(GLOB bad_tus RELATIVE ${SOURCE_DIR} ${SOURCE_DIR}/bad_*.cc)
+list(LENGTH bad_tus n_bad)
+if(n_bad EQUAL 0)
+  message(FATAL_ERROR "no bad_*.cc negative TUs found in ${SOURCE_DIR}")
+endif()
+
+foreach(tu IN LISTS bad_tus)
+  check_compiles(FALSE "${tsa_flags}" ${tu})
+  check_compiles(TRUE "" ${tu})
+endforeach()
+
+check_compiles(TRUE "${tsa_flags}" thread_safety_positive.cc)
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "thread_safety_negative_test: ${failures} failure(s)")
+endif()
+message(STATUS
+  "thread_safety_negative_test: ${n_bad} negative TU(s) rejected as expected")

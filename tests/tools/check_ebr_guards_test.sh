@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Exit-code and detection contract of tools/check_ebr_guards.py against
+# the fixtures in ebr_fixtures/ (0 clean, 1 violations, 2 usage error).
+# Each fixture documents its expected violation count in its header
+# comment; this script is the executable form of those comments.
+set -u
+
+linter="$1"
+python="${2:-python3}"
+fixtures="$(cd "$(dirname "$0")/ebr_fixtures" && pwd)"
+fail=0
+
+expect() {
+  local want_code="$1" want_violations="$2"
+  shift 2
+  local out
+  out="$("$python" "$linter" "$@" 2>/dev/null)"
+  local got=$?
+  if [[ "$got" -ne "$want_code" ]]; then
+    echo "FAIL: check_ebr_guards $* -> exit $got (want $want_code)"
+    fail=1
+  fi
+  local nviol
+  nviol="$(printf '%s\n' "$out" | grep -c ': error: ')"
+  if [[ "$nviol" -ne "$want_violations" ]]; then
+    echo "FAIL: check_ebr_guards $* -> $nviol violations" \
+         "(want $want_violations)"
+    printf '%s\n' "$out"
+    fail=1
+  fi
+}
+
+# Clean fixtures.
+expect 0 0 "$fixtures/guarded_ok.cc"
+expect 0 0 "$fixtures/exempt_ok.cc"
+
+# Rule 1: unguarded loads.
+expect 1 1 "$fixtures/unguarded_fail.cc"
+expect 1 1 "$fixtures/out_of_scope_guard_fail.cc"
+
+# Reason-less ebr-exempt is itself a violation.
+expect 1 1 "$fixtures/exempt_no_reason_fail.cc"
+
+# Rule 2: retire under a reader-blocking lock (plain Mutex exempt).
+expect 1 2 "$fixtures/retire_under_shared_lock_fail.cc"
+
+# Directory mode aggregates: 1 + 1 + 1 + 2 = 5 violations.
+expect 1 5 "$fixtures"
+
+# --exclude drops the failing fixtures.
+expect 0 0 "$fixtures" \
+  --exclude unguarded_fail --exclude out_of_scope_guard_fail \
+  --exclude exempt_no_reason --exclude retire_under_shared_lock
+
+# Field discovery: every fixture declares current_ as EBR-published.
+if ! "$python" "$linter" --list-fields "$fixtures" | grep -q '^current_'; then
+  echo "FAIL: --list-fields did not discover current_"
+  fail=1
+fi
+
+# Usage errors.
+expect 2 0 "$fixtures/does_not_exist.cc"
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_ebr_guards_test FAILED"
+  exit 1
+fi
+echo "check_ebr_guards_test OK"

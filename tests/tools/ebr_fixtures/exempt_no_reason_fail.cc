@@ -1,0 +1,16 @@
+// Linter fixture (never compiled): a bare `ebr-exempt` with no reason
+// does not suppress — the reason is the audit trail. Expected: exactly
+// 1 violation (reason-less exempt).
+#include <atomic>
+
+struct Version { int epoch; };
+
+class Bad {
+ public:
+  int Read() {
+    return current_.load(std::memory_order_seq_cst)->epoch;  // ebr-exempt
+  }
+
+ private:
+  HOPE_EBR_PUBLISHED std::atomic<const Version*> current_{nullptr};
+};

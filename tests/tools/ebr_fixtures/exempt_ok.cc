@@ -1,0 +1,29 @@
+// Linter fixture (never compiled): unguarded loads carrying a reasoned
+// `ebr-exempt` suppression in each accepted placement. Expected: 0
+// violations.
+#include <atomic>
+
+struct Version { int epoch; };
+
+class Exempted {
+ public:
+  ~Exempted() {
+    // ebr-exempt: destructor — no concurrent publisher exists.
+    delete current_.load(std::memory_order_seq_cst);
+  }
+
+  int SameLine() {
+    return current_.load()->epoch;  // ebr-exempt: publisher mutex held.
+  }
+
+  int WrappedStatement() {
+    // ebr-exempt: publisher mutex held — the pointee cannot be retired
+    // while publishes are serialized with this reader.
+    int epoch =
+        current_.load(std::memory_order_relaxed)->epoch;
+    return epoch;
+  }
+
+ private:
+  HOPE_EBR_PUBLISHED std::atomic<const Version*> current_{nullptr};
+};

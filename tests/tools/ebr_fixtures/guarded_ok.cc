@@ -1,0 +1,36 @@
+// Linter fixture (never compiled): every load is dominated by a live
+// Guard, and the only Retire runs after the shared lock is dropped.
+// Expected: 0 violations.
+#include <atomic>
+
+struct Version { int epoch; };
+
+class Good {
+ public:
+  int ReadDirect() {
+    ebr::EpochReclaimer::Guard guard(reclaimer_);
+    return current_.load(std::memory_order_seq_cst)->epoch;
+  }
+
+  int ReadFromEnclosingScope() {
+    ebr::EpochReclaimer::Guard guard(reclaimer_);
+    for (int i = 0; i < 2; i++) {
+      if (i == 1) {
+        // Guard lives in an enclosing scope that is still open here.
+        return current_.load(std::memory_order_seq_cst)->epoch;
+      }
+    }
+    return 0;
+  }
+
+  void RetireAfterLockDropped() {
+    {
+      WriterLock lk(mu_);
+      table_.insert();
+    }
+    reclaimer_.Retire([] {});
+  }
+
+ private:
+  HOPE_EBR_PUBLISHED std::atomic<const Version*> current_{nullptr};
+};

@@ -1,0 +1,26 @@
+// Linter fixture (never compiled): the Guard's scope closed before the
+// load, so the epoch is no longer pinned. Expected: exactly 1
+// violation (rule 1).
+#include <atomic>
+
+struct Version { int epoch; };
+
+class Bad {
+ public:
+  int Read() {
+    {
+      ebr::EpochReclaimer::Guard guard(reclaimer_);
+      Touch();
+    }
+    // The guard above is gone: the grace period may elapse mid-read.
+    return current_.load(std::memory_order_seq_cst)->epoch;  // BAD
+  }
+
+  int GuardInPriorFunction() {
+    ebr::EpochReclaimer::Guard guard(reclaimer_);
+    return 0;
+  }
+
+ private:
+  HOPE_EBR_PUBLISHED std::atomic<const Version*> current_{nullptr};
+};

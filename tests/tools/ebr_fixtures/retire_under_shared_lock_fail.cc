@@ -1,0 +1,28 @@
+// Linter fixture (never compiled): retiring while a reader-blocking
+// shared-mutex lock is in scope — once via the repo's WriterLock, once
+// via a raw std::shared_lock. Expected: exactly 2 violations (rule 2).
+#include <atomic>
+
+struct Version { int epoch; };
+
+class Bad {
+ public:
+  void RetireUnderWriterLock() {
+    WriterLock lk(mu_);
+    table_.erase();
+    reclaimer_.Retire([] {});  // BAD: readers block on mu_
+  }
+
+  void RetireUnderStdSharedLock() {
+    std::shared_lock<std::shared_mutex> lk(raw_mu_);
+    reclaimer_.RetireDelete(victim_);  // BAD
+  }
+
+  void RetireUnderPlainMutexIsFine() {
+    MutexLock lk(publish_mu_);
+    reclaimer_.Retire([] {});  // plain Mutex: readers never block here
+  }
+
+ private:
+  HOPE_EBR_PUBLISHED std::atomic<const Version*> current_{nullptr};
+};

@@ -1,0 +1,21 @@
+// Linter fixture (never compiled): a raw load with no Guard anywhere
+// in scope. Expected: exactly 1 violation (rule 1).
+#include <atomic>
+
+struct Version { int epoch; };
+
+class Bad {
+ public:
+  int Read() {
+    return current_.load(std::memory_order_seq_cst)->epoch;  // BAD
+  }
+
+  void Store(const Version* v) {
+    // Writer side is not flagged: stores/exchanges are publisher
+    // operations serialized by the publisher's own mutex.
+    current_.store(v, std::memory_order_seq_cst);
+  }
+
+ private:
+  HOPE_EBR_PUBLISHED std::atomic<const Version*> current_{nullptr};
+};

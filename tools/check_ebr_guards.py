@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""Lexical protocol linter for the repo's epoch-based-reclamation (EBR)
+contract. Clang's thread-safety analysis machine-checks the mutex layer;
+this tool machine-checks the complementary lock-free layer, which TSA
+cannot see:
+
+Rule 1 (guard domination): every raw `.load(` of an EBR-published
+  atomic pointer field must be lexically dominated by a live
+  `ebr::EpochReclaimer::Guard` — i.e. a Guard declared earlier in the
+  same scope or an enclosing scope that is still open at the load. A
+  load outside a guard can observe a pointer whose pointee is freed the
+  instant the publisher's grace period elapses.
+
+  EBR-published fields are discovered, not configured: any field whose
+  declaration is tagged with the no-op `HOPE_EBR_PUBLISHED` macro
+  (common/thread_annotations.h) is tracked by name across the tree.
+
+Rule 2 (no retire under reader-blocking locks): `Retire(` /
+  `RetireDelete(` must not be called while a shared-mutex RAII lock
+  (WriterLock / ReaderLock / std::shared_lock / a std::unique_lock over
+  a std::shared_mutex) is lexically in scope. Retire may run deferred
+  destructors inline once the grace period has elapsed; doing that while
+  holding a lock the reader fast path blocks on turns reclamation
+  hiccups into serving-tail spikes — and a destructor that itself takes
+  a shard lock into a deadlock. (Plain `Mutex` sections are exempt:
+  readers never block on them by design.)
+
+Both rules are lexical (single function body, brace tracking after
+comment/string stripping) — deliberately so: the protocol in this
+codebase is that every load site pins its own guard rather than relying
+on a caller's, which keeps the contract auditable function by function.
+
+Suppression: a site that is safe for a reason the linter cannot see
+carries `// ebr-exempt: <reason>` on the same line or the line(s)
+immediately above. The reason is mandatory; a bare `ebr-exempt` fails.
+
+Usage:
+  check_ebr_guards.py [--exclude SUBSTR ...] [--list-fields] PATH ...
+
+PATH arguments are files or directories (searched recursively for
+.h/.hpp/.cc/.cpp). Exit status: 0 clean, 1 violations, 2 usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+# `HOPE_EBR_PUBLISHED std::atomic<const T*> name_{...};` possibly
+# wrapped across lines; the marker macro expands to nothing in C++.
+FIELD_DECL_RE = re.compile(
+    r"HOPE_EBR_PUBLISHED\s+(?:mutable\s+)?std::atomic<[^;{]*?>\s*"
+    r"(?P<name>\w+)\s*[{;=(]",
+    re.S,
+)
+
+# `ebr::EpochReclaimer::Guard guard(reclaimer);` (any qualification).
+GUARD_DECL_RE = re.compile(r"\b(?:\w+\s*::\s*)*Guard\s+\w+\s*[({]")
+
+# RAII locks readers block on (rule 2). Plain MutexLock/UniqueLock are
+# deliberately absent.
+SHARED_LOCK_DECL_RE = re.compile(
+    r"\b(?:WriterLock|ReaderLock)\s+\w+\s*[({]"
+    r"|std::shared_lock\s*<"
+    r"|std::unique_lock\s*<\s*std::shared_mutex\s*>"
+)
+
+RETIRE_CALL_RE = re.compile(r"\b(?:Retire|RetireDelete)\s*\(")
+
+EXEMPT_RE = re.compile(r"//\s*ebr-exempt:\s*(?P<reason>.*)")
+EXEMPT_BARE_RE = re.compile(r"//\s*ebr-exempt\b")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure so line numbers and brace tracking stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            elif c == "\n":  # unterminated; keep structure
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def collect_ebr_fields(files):
+    """Names of every HOPE_EBR_PUBLISHED-tagged atomic field, with one
+    declaration site each (for --list-fields)."""
+    fields = {}
+    for path in files:
+        raw = read_file(path)
+        code = strip_comments_and_strings(raw)
+        for m in FIELD_DECL_RE.finditer(code):
+            line = code.count("\n", 0, m.start()) + 1
+            fields.setdefault(m.group("name"), (path, line))
+    return fields
+
+
+def read_file(path):
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        return f.read()
+
+
+def exemption_for(raw_lines, lineno):
+    """Exempt reason for 1-based lineno: the site's own line, the other
+    lines of the enclosing statement (a `.load(` may sit on a wrapped
+    continuation line), and the contiguous run of pure-comment lines
+    immediately above that statement. Returns (exempt, reason,
+    bad_site) where bad_site marks a reason-less ebr-exempt."""
+    # Walk up to the statement start: a line is a continuation unless
+    # the one above it ends a statement or opens/closes a scope.
+    start = lineno - 1  # 0-based index of the site line
+    while start > 0:
+        prev = raw_lines[start - 1].strip()
+        if prev == "" or prev.endswith((";", "{", "}", ":")) \
+                or prev.startswith("#"):
+            break
+        start -= 1
+    candidates = raw_lines[start:lineno]
+    j = start - 1
+    while j >= 0 and raw_lines[j].strip().startswith("//"):
+        candidates.append(raw_lines[j])
+        j -= 1
+    for line in candidates:
+        m = EXEMPT_RE.search(line)
+        if m and m.group("reason").strip():
+            return True, m.group("reason").strip(), False
+        if EXEMPT_BARE_RE.search(line):
+            return False, "", True
+    return False, "", False
+
+
+def lint_file(path, field_names, errors):
+    raw = read_file(path)
+    raw_lines = raw.split("\n")
+    code = strip_comments_and_strings(raw)
+
+    load_re = (
+        re.compile(
+            r"\b(?:%s)\s*\.\s*load\s*\(" % "|".join(map(re.escape, field_names))
+        )
+        if field_names
+        else None
+    )
+
+    depth = 0
+    guard_depths = []        # brace depth at each live Guard declaration
+    shared_lock_depths = []  # same, for reader-blocking RAII locks
+
+    for lineno, line in enumerate(code.split("\n"), start=1):
+        # Declarations first: a guard dominates loads later on its own
+        # line (a guard and a load never share a statement in practice,
+        # and the guard textually precedes any same-line load).
+        if GUARD_DECL_RE.search(line):
+            guard_depths.append(depth)
+        if SHARED_LOCK_DECL_RE.search(line):
+            shared_lock_depths.append(depth)
+
+        if load_re is not None and load_re.search(line):
+            if not guard_depths:
+                exempt, _, bad = exemption_for(raw_lines, lineno)
+                if bad:
+                    errors.append(
+                        (path, lineno,
+                         "ebr-exempt requires a reason: "
+                         "`// ebr-exempt: <why this load is safe>`"))
+                elif not exempt:
+                    field = load_re.search(line).group(0).split(".")[0].strip()
+                    errors.append(
+                        (path, lineno,
+                         "raw load of EBR-published pointer '%s' without a "
+                         "live ebr Guard in scope (pointee may be reclaimed "
+                         "mid-use); pin a Guard or annotate "
+                         "`// ebr-exempt: <reason>`" % field))
+
+        if RETIRE_CALL_RE.search(line) and shared_lock_depths:
+            exempt, _, bad = exemption_for(raw_lines, lineno)
+            if bad:
+                errors.append(
+                    (path, lineno,
+                     "ebr-exempt requires a reason: "
+                     "`// ebr-exempt: <why this retire is safe>`"))
+            elif not exempt:
+                errors.append(
+                    (path, lineno,
+                     "Retire while a reader-blocking shared-mutex lock is "
+                     "in scope: reclamation may run deferred destructors "
+                     "inline and stall (or deadlock) the read path; retire "
+                     "after dropping the lock or annotate "
+                     "`// ebr-exempt: <reason>`"))
+
+        # Brace tracking last: a scope closing on this line closes after
+        # the statements on it.
+        for ch in line:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth = max(0, depth - 1)
+                while guard_depths and guard_depths[-1] >= depth:
+                    guard_depths.pop()
+                while shared_lock_depths and shared_lock_depths[-1] >= depth:
+                    shared_lock_depths.pop()
+
+
+def gather_files(paths, excludes):
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, _, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith(CXX_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        else:
+            print("check_ebr_guards: no such path: %s" % p, file=sys.stderr)
+            sys.exit(2)
+    return [f for f in files if not any(x in f for x in excludes)]
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="EBR guard-domination and retire-under-lock linter")
+    ap.add_argument("paths", nargs="+", help="files or directories to lint")
+    ap.add_argument("--exclude", action="append", default=[],
+                    metavar="SUBSTR",
+                    help="skip files whose path contains SUBSTR")
+    ap.add_argument("--list-fields", action="store_true",
+                    help="print discovered EBR-published fields and exit")
+    args = ap.parse_args(argv)
+
+    files = gather_files(args.paths, args.exclude)
+    fields = collect_ebr_fields(files)
+
+    if args.list_fields:
+        for name, (path, line) in sorted(fields.items()):
+            print("%s\t%s:%d" % (name, path, line))
+        return 0
+
+    errors = []
+    for path in files:
+        lint_file(path, sorted(fields), errors)
+
+    for path, lineno, msg in errors:
+        print("%s:%d: error: %s" % (path, lineno, msg))
+    if errors:
+        print("check_ebr_guards: %d violation(s) in %d file(s) scanned"
+              % (len(errors), len(files)), file=sys.stderr)
+        return 1
+    print("check_ebr_guards: OK (%d files, %d EBR-published fields)"
+          % (len(files), len(fields)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# clang-tidy gate with a tracked suppression baseline.
+#
+#   tools/run_clang_tidy.sh <build-dir> [--update-baseline] [clang-tidy]
+#
+# Runs clang-tidy (checks from .clang-tidy) over every first-party .cc
+# under src/ bench/ tools/ examples/, using <build-dir>'s
+# compile_commands.json (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON).
+# Findings are normalized to `file:check` lines — line numbers dropped so
+# edits elsewhere in a file don't churn the comparison — and diffed
+# against tools/clang_tidy_baseline.txt:
+#
+#   * finding not in baseline  -> FAIL (new issue: fix it, or accept it
+#                                 via --update-baseline and justify in
+#                                 the commit message)
+#   * baseline entry unmatched -> WARN (stale entry: shrink the baseline
+#                                 when convenient; kept non-fatal so a
+#                                 clang upgrade that fixes checks doesn't
+#                                 break CI)
+#
+# Exit: 0 clean/baseline-covered, 1 new findings, 2 usage/environment.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+baseline="$repo_root/tools/clang_tidy_baseline.txt"
+
+build_dir=""
+update=0
+tidy_bin="clang-tidy"
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) update=1 ;;
+    -*) echo "run_clang_tidy: unknown flag $arg" >&2; exit 2 ;;
+    *)
+      if [[ -z "$build_dir" ]]; then build_dir="$arg"; else tidy_bin="$arg"; fi
+      ;;
+  esac
+done
+if [[ -z "$build_dir" ]]; then
+  echo "usage: run_clang_tidy.sh <build-dir> [--update-baseline] [clang-tidy]" >&2
+  exit 2
+fi
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json not found" \
+       "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+  exit 2
+fi
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $tidy_bin not found" >&2
+  exit 2
+fi
+
+mapfile -t sources < <(cd "$repo_root" &&
+  find src bench tools examples -name '*.cc' 2>/dev/null | sort)
+if [[ "${#sources[@]}" -eq 0 ]]; then
+  echo "run_clang_tidy: no sources found under $repo_root" >&2
+  exit 2
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+raw="$work/raw.txt"
+
+(cd "$repo_root" &&
+ "$tidy_bin" -p "$build_dir" --quiet "${sources[@]}" 2>"$work/stderr.txt" \
+   > "$raw")
+# clang-tidy exits non-zero on findings; real invocation failures leave
+# an empty report with diagnostics on stderr.
+if [[ ! -s "$raw" ]] && grep -q "error:" "$work/stderr.txt"; then
+  echo "run_clang_tidy: clang-tidy failed to run:" >&2
+  cat "$work/stderr.txt" >&2
+  exit 2
+fi
+
+# `path/file.cc:12:3: warning: ... [check-name]` -> `path/file.cc:check-name`
+findings="$work/findings.txt"
+sed -n \
+  's|^\([^: ]*\):[0-9]*:[0-9]*: \(warning\|error\): .*\[\([a-z0-9.,-]*\)\]$|\1:\3|p' \
+  "$raw" | sed "s|^$repo_root/||" | sort -u > "$findings"
+
+if [[ "$update" -eq 1 ]]; then
+  { sed -n '/^#/p' "$baseline"; cat "$findings"; } > "$baseline.tmp"
+  mv "$baseline.tmp" "$baseline"
+  echo "run_clang_tidy: baseline updated ($(wc -l < "$findings") entries)"
+  exit 0
+fi
+
+grep -v '^#' "$baseline" | sed '/^$/d' | sort -u > "$work/baseline.txt"
+
+new="$(comm -23 "$findings" "$work/baseline.txt")"
+stale="$(comm -13 "$findings" "$work/baseline.txt")"
+
+if [[ -n "$stale" ]]; then
+  echo "run_clang_tidy: stale baseline entries (no longer reported):"
+  printf '  %s\n' $stale
+fi
+if [[ -n "$new" ]]; then
+  echo "run_clang_tidy: NEW findings (not in baseline):"
+  printf '  %s\n' $new
+  echo
+  echo "Full diagnostics:"
+  cat "$raw"
+  exit 1
+fi
+echo "run_clang_tidy: OK ($(wc -l < "$findings") finding(s), all baselined)"
+exit 0
