@@ -41,13 +41,18 @@ void Run() {
         auto enc = hope->EncodeBatch(run, &bits);
         sink += bits;
       }
-      double ns = t.Seconds() * 1e9 / static_cast<double>(chars);
+      double secs = t.Seconds();
+      double ns = secs * 1e9 / static_cast<double>(chars);
       if (sink == size_t(-1)) std::printf("!");
       std::printf(" %12.1f", ns);
       std::fflush(stdout);
-      char field[24];
+      char field[32];
       std::snprintf(field, sizeof(field), "ns_per_char_b%zu", batch);
       row.Num(field, ns);
+      // Throughput twin of the latency series (higher-better family in
+      // tools/bench_diff.py, so SIMD wins land in the gate).
+      std::snprintf(field, sizeof(field), "mchars_per_sec_b%zu", batch);
+      row.Num(field, static_cast<double>(chars) / secs / 1e6);
     }
     // Whole-set batch with the threaded fan-out (num_threads = 0 lets the
     // encoder pick hardware concurrency); one chunk per thread, so the
@@ -56,12 +61,15 @@ void Run() {
       Timer t;
       size_t bits = 0;
       auto enc = hope->EncodeBatch(keys, &bits, /*num_threads=*/0);
-      double ns = t.Seconds() * 1e9 / static_cast<double>(chars);
+      double secs = t.Seconds();
+      double ns = secs * 1e9 / static_cast<double>(chars);
       // Consume the result so the encode can't be dead-code-eliminated.
       size_t sink = bits + (enc.empty() ? 0 : enc.back().size());
       if (sink == size_t(-1)) std::printf("!");
       std::printf(" %12.1f", ns);
       row.Num("ns_per_char_full_parallel", ns);
+      row.Num("mchars_per_sec_full_parallel",
+              static_cast<double>(chars) / secs / 1e6);
     }
     std::printf("%s\n",
                 (scheme == Scheme::kAlm || scheme == Scheme::kAlmImproved)

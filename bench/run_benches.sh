@@ -2,7 +2,7 @@
 # Runs the tracked benchmark set and collects machine-readable results, so
 # the perf trajectory accumulates across PRs.
 #
-#   bench/run_benches.sh [build_dir] [out_dir]     # fig14 + dynamic
+#   bench/run_benches.sh [build_dir] [out_dir]     # fig14 + encode_hot + dynamic + serving
 #   bench/run_benches.sh --all [build_dir] [out_dir]
 #
 # Scale knobs pass through the usual env vars (HOPE_BENCH_KEYS,
@@ -31,6 +31,7 @@ run() {
 }
 
 run bench_fig14_batch_encoding BENCH_fig14.json
+run bench_encode_hot BENCH_encode_hot.json
 run bench_dynamic_rebuild BENCH_dynamic.json
 run bench_serving BENCH_serving.json
 

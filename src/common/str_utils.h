@@ -9,14 +9,13 @@
 #include <string>
 #include <string_view>
 
+#include "common/simd.h"
+
 namespace hope {
 
-/// Longest common prefix length of two byte strings.
+/// Longest common prefix length of two byte strings (word-at-a-time).
 inline size_t LcpLen(std::string_view a, std::string_view b) {
-  size_t n = std::min(a.size(), b.size());
-  size_t i = 0;
-  while (i < n && a[i] == b[i]) i++;
-  return i;
+  return simd::LcpLen(a, b);
 }
 
 /// The common prefix shared by *all* strings in the interval [b, e),

@@ -54,7 +54,46 @@ class ArrayDict : public Dictionary {
     return chars_ == 1 ? "array-1" : "array-2";
   }
 
+  // Devirtualized hot path: the whole key is consumed with direct slot
+  // indexing — no virtual dispatch per symbol.
+  void EncodeSpan(std::string_view src, size_t base, BitWriter* writer,
+                  std::vector<EncodeTrace>* trace) const override {
+    if (trace)
+      EncodeSpanImpl<true>(src, base, writer, trace);
+    else
+      EncodeSpanImpl<false>(src, base, writer, nullptr);
+  }
+
  private:
+  template <bool kTrace>
+  void EncodeSpanImpl(std::string_view src, size_t pos, BitWriter* writer,
+                      std::vector<EncodeTrace>* trace) const {
+    const size_t n = src.size();
+    if (chars_ == 1) {
+      while (pos < n) {
+        if constexpr (kTrace)
+          trace->push_back({static_cast<uint32_t>(pos),
+                            static_cast<uint32_t>(writer->total_bits())});
+        writer->Append(
+            UnpackEntry(slots_[static_cast<uint8_t>(src[pos])]).code);
+        pos++;
+      }
+      return;
+    }
+    while (pos < n) {
+      if constexpr (kTrace)
+        trace->push_back({static_cast<uint32_t>(pos),
+                          static_cast<uint32_t>(writer->total_bits())});
+      size_t c0 = static_cast<uint8_t>(src[pos]);
+      size_t idx = n - pos >= 2
+                       ? c0 * 257 + static_cast<uint8_t>(src[pos + 1]) + 1
+                       : c0 * 257;  // terminator entry
+      LookupResult r = UnpackEntry(slots_[idx]);
+      writer->Append(r.code);
+      pos += r.consumed;
+    }
+  }
+
   uint8_t SlotSymbolLen(size_t idx) const {
     if (chars_ == 1) return 1;
     return idx % 257 == 0 ? 1 : 2;

@@ -7,10 +7,18 @@
 // there is no tuple to verify against), and its leaves carry dictionary
 // entries instead of tuple pointers. Lookup is a predecessor ("<=")
 // search.
+// Node4/16 child scans are SIMD (one compare + movemask, after Leis et
+// al. §5); Node48/256 carry a 256-bit presence bitmap so the predecessor
+// child is one branch-free PrevSetBit instead of a backward slot scan.
+// EncodeSpan devirtualizes the per-key loop and EncodeMulti interleaves a
+// group of independent descents so their cache misses overlap — ART is
+// the deepest dictionary (arbitrary-length boundaries), so it benefits
+// the most.
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
 
+#include "common/simd.h"
 #include "hope/dictionary.h"
 
 namespace hope {
@@ -38,11 +46,19 @@ struct ArtNode16 : ArtNode {
 struct ArtNode48 : ArtNode {
   uint8_t child_index[256];  // 0xFF = none
   ArtNode* children[48];
+  uint64_t bm[4] = {0, 0, 0, 0};  // present keys, MSB-first per word
 };
 
 struct ArtNode256 : ArtNode {
   ArtNode* children[256];
+  uint64_t bm[4] = {0, 0, 0, 0};  // present keys, MSB-first per word
 };
+
+/// Marks key b present in a node's 256-bit bitmap (same MSB-first layout
+/// as the bitmap trie, so simd::PrevSetBit256 serves both).
+inline void SetBit256(uint64_t bm[4], uint8_t b) {
+  bm[b >> 6] |= uint64_t{1} << (63 - (b & 63));
+}
 
 void DeleteNode(ArtNode* node) {
   // Destructors are trivial but delete must see the true type.
@@ -73,10 +89,10 @@ ArtNode* FindChild(const ArtNode* node, uint8_t b) {
       return nullptr;
     }
     case kNode16: {
+      // One vector compare + movemask over all 16 key slots.
       auto* n = static_cast<const ArtNode16*>(node);
-      for (int i = 0; i < n->num_children; i++)
-        if (n->keys[i] == b) return n->children[i];
-      return nullptr;
+      int i = simd::FindByteEq16(n->keys, n->num_children, b);
+      return i >= 0 ? n->children[i] : nullptr;
     }
     case kNode48: {
       auto* n = static_cast<const ArtNode48*>(node);
@@ -103,22 +119,21 @@ ArtNode* PrevChild(const ArtNode* node, int b) {
     }
     case kNode16: {
       auto* n = static_cast<const ArtNode16*>(node);
-      ArtNode* best = nullptr;
-      for (int i = 0; i < n->num_children && n->keys[i] < b; i++)
-        best = n->children[i];
-      return best;
+      int c = simd::CountBytesLt16(n->keys, n->num_children,
+                                   static_cast<unsigned>(b));
+      return c > 0 ? n->children[c - 1] : nullptr;
     }
     case kNode48: {
+      // Presence bitmap: one branch-free PrevSetBit instead of scanning
+      // up to 256 child_index slots backwards.
       auto* n = static_cast<const ArtNode48*>(node);
-      for (int k = b - 1; k >= 0; k--)
-        if (n->child_index[k] != 0xFF) return n->children[n->child_index[k]];
-      return nullptr;
+      int k = simd::PrevSetBit256(n->bm, static_cast<unsigned>(b));
+      return k >= 0 ? n->children[n->child_index[k]] : nullptr;
     }
     case kNode256: {
       auto* n = static_cast<const ArtNode256*>(node);
-      for (int k = b - 1; k >= 0; k--)
-        if (n->children[k]) return n->children[k];
-      return nullptr;
+      int k = simd::PrevSetBit256(n->bm, static_cast<unsigned>(b));
+      return k >= 0 ? n->children[k] : nullptr;
     }
   }
   return nullptr;
@@ -142,6 +157,164 @@ class ArtDict : public Dictionary {
   ArtDict& operator=(const ArtDict&) = delete;
 
   LookupResult Lookup(std::string_view src) const override {
+    return Result(LookupEntry(src));
+  }
+
+  // Devirtualized hot path: all descents for one key run inside this
+  // concrete type — one virtual call per key instead of one per symbol.
+  void EncodeSpan(std::string_view src, size_t base, BitWriter* writer,
+                  std::vector<EncodeTrace>* trace) const override {
+    size_t pos = base;
+    while (pos < src.size()) {
+      if (trace)
+        trace->push_back({static_cast<uint32_t>(pos),
+                          static_cast<uint32_t>(writer->total_bits())});
+      LookupResult r = Result(LookupEntry(src.substr(pos)));
+      writer->Append(r.code);
+      pos += r.consumed;
+    }
+  }
+
+  // Interleaved multi-key descent: advance kGroup independent lookups
+  // round-robin, one node visit each per step, so the group's pointer
+  // chases miss the cache concurrently instead of back-to-back. This is
+  // what gives the ALM family real batch scaling — its descents are the
+  // deepest and the per-node dependency chain cannot be vectorized.
+  void EncodeMulti(const std::string_view* keys, size_t n, std::string* out,
+                   size_t* bits) const override {
+    if (n < 2 || !UseInterleavedDescent(MemoryBytes())) {
+      Dictionary::EncodeMulti(keys, n, out, bits);
+      return;
+    }
+    Cursor cur[kGroup];
+    size_t next = 0;
+    auto load = [&](Cursor& c) {
+      while (next < n) {
+        c.key = keys[next];
+        c.out_idx = next++;
+        if (c.key.empty()) {  // empty key: empty encoding, zero bits
+          out[c.out_idx].clear();
+          bits[c.out_idx] = 0;
+          continue;
+        }
+        c.pos = 0;
+        c.writer.Clear();
+        c.writer.ReserveBits(c.key.size() * 8);
+        StartLookup(c);
+        c.live = true;
+        return true;
+      }
+      c.live = false;
+      return false;
+    };
+    int nlive = 0;
+    for (auto& c : cur)
+      if (load(c)) nlive++;
+    while (nlive > 0) {
+      for (auto& c : cur) {
+        if (!c.live) continue;
+        int32_t entry = Step(c);
+        if (entry < 0) continue;
+        LookupResult r = Result(entry);
+        c.writer.Append(r.code);
+        c.pos += r.consumed;
+        if (c.pos < c.key.size()) {
+          StartLookup(c);
+        } else {
+          out[c.out_idx] = c.writer.TakeBytes();
+          bits[c.out_idx] = c.writer.total_bits();
+          if (!load(c)) nlive--;
+        }
+      }
+    }
+  }
+
+  size_t NumEntries() const override { return num_entries_; }
+
+  size_t MemoryBytes() const override {
+    return memory_ + payload_.capacity() * sizeof(PackedCode);
+  }
+
+  size_t MaxLookahead() const override {
+    return std::numeric_limits<size_t>::max();
+  }
+
+  const char* Name() const override { return "art"; }
+
+ private:
+  static constexpr int kGroup = 8;
+
+  /// One in-flight lookup of the interleaved walk: output state plus the
+  /// micro-state of the descent (mirrors LookupEntry's locals).
+  struct Cursor {
+    std::string_view key;
+    size_t out_idx = 0;
+    size_t pos = 0;  ///< encode position within key
+    BitWriter writer;
+    bool live = false;
+    // descent micro-state
+    bool resolving = false;
+    int32_t cand_entry = -1;
+    const ArtNode* cand_subtree = nullptr;
+    const ArtNode* node = nullptr;
+    size_t d = 0;
+  };
+
+  void StartLookup(Cursor& c) const {
+    c.resolving = false;
+    c.cand_entry = -1;
+    c.cand_subtree = nullptr;
+    c.node = root_;
+    c.d = 0;
+  }
+
+  /// Advances one lookup by one node visit. Returns the resolved entry id,
+  /// or -1 while the descent is still in flight. Step-for-step equivalent
+  /// to LookupEntry (pinned by simd_equivalence_test).
+  int32_t Step(Cursor& c) const {
+    if (c.resolving) {
+      // Max-descent: the largest boundary in the candidate subtree.
+      const ArtNode* mc = PrevChild(c.node, 256);
+      if (!mc) {
+        assert(c.node->term_entry >= 0);
+        return c.node->term_entry;
+      }
+      c.node = mc;
+      simd::PrefetchRead(mc);
+      return -1;
+    }
+    const ArtNode* node = c.node;
+    if (node->term_entry >= 0) {
+      c.cand_entry = node->term_entry;
+      c.cand_subtree = nullptr;
+    }
+    std::string_view rest = c.key.substr(c.pos);
+    if (c.d >= rest.size()) return Finish(c);
+    uint8_t b = static_cast<uint8_t>(rest[c.d]);
+    if (const ArtNode* prev = PrevChild(node, b)) c.cand_subtree = prev;
+    const ArtNode* next = FindChild(node, b);
+    if (!next) return Finish(c);
+    c.node = next;
+    c.d++;
+    simd::PrefetchRead(next);
+    return -1;
+  }
+
+  /// The walk diverged (or the key ran out): either the candidate is an
+  /// already-resolved terminator entry, or switch to max-descent of the
+  /// candidate sibling subtree.
+  int32_t Finish(Cursor& c) const {
+    if (c.cand_subtree) {
+      c.resolving = true;
+      c.node = c.cand_subtree;
+      simd::PrefetchRead(c.node);
+      return -1;
+    }
+    assert(c.cand_entry >= 0 && "complete dictionary: \"\" is a boundary");
+    return c.cand_entry;
+  }
+
+  int32_t LookupEntry(std::string_view src) const {
     int32_t cand_entry = -1;
     const ArtNode* cand_subtree = nullptr;
 
@@ -165,25 +338,12 @@ class ArtDict : public Dictionary {
       const ArtNode* cur = cand_subtree;
       while (const ArtNode* mc = PrevChild(cur, 256)) cur = mc;
       assert(cur->term_entry >= 0);
-      return Result(cur->term_entry);
+      return cur->term_entry;
     }
     assert(cand_entry >= 0 && "complete dictionary: \"\" is a boundary");
-    return Result(cand_entry);
+    return cand_entry;
   }
 
-  size_t NumEntries() const override { return num_entries_; }
-
-  size_t MemoryBytes() const override {
-    return memory_ + payload_.capacity() * sizeof(PackedCode);
-  }
-
-  size_t MaxLookahead() const override {
-    return std::numeric_limits<size_t>::max();
-  }
-
-  const char* Name() const override { return "art"; }
-
- private:
   LookupResult Result(int32_t entry) const {
     return UnpackEntry(payload_[entry]);
   }
@@ -293,12 +453,14 @@ class ArtDict : public Dictionary {
         auto* n = static_cast<ArtNode48*>(node);
         n->child_index[b] = static_cast<uint8_t>(n->num_children);
         n->children[n->num_children] = child;
+        SetBit256(n->bm, b);
         return &n->children[n->num_children++];
       }
       case kNode256: {
         auto* n = static_cast<ArtNode256*>(node);
         n->children[b] = child;
         n->num_children++;
+        SetBit256(n->bm, b);
         return &n->children[b];
       }
     }
@@ -341,6 +503,7 @@ class ArtDict : public Dictionary {
         for (int i = 0; i < 16; i++) {
           n->child_index[o->keys[i]] = static_cast<uint8_t>(i);
           n->children[i] = o->children[i];
+          SetBit256(n->bm, o->keys[i]);
         }
         n->num_children = 16;
         bigger = n;
@@ -352,6 +515,7 @@ class ArtDict : public Dictionary {
         for (int b = 0; b < 256; b++)
           if (o->child_index[b] != 0xFF)
             n->children[b] = o->children[o->child_index[b]];
+        std::memcpy(n->bm, o->bm, sizeof(n->bm));
         n->num_children = o->num_children;
         bigger = n;
         break;

@@ -8,12 +8,24 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "hope/bit_writer.h"
 #include "hope/interval.h"
 
 namespace hope {
+
+/// One lookup step boundary recorded by EncodeSpan: the source position
+/// where a lookup started and the writer's bit position before its code
+/// was appended. The encoder's batch shared-prefix reuse (Appendix B)
+/// consumes these; no trailing sentinel is recorded — the encoder appends
+/// its own (key_len, total_bits) entry.
+struct EncodeTrace {
+  uint32_t src_pos;
+  uint32_t bit_pos;
+};
 
 /// Abstract dictionary. Implementations: array (Single-/Double-Char),
 /// bitmap-trie (3-/4-Grams), ART-based (ALM, ALM-Improved), and a
@@ -37,6 +49,33 @@ class Dictionary {
   virtual size_t MaxLookahead() const = 0;
 
   virtual const char* Name() const = 0;
+
+  /// Encodes src[base..) into `writer` — the devirtualized per-key hot
+  /// path: one virtual call per key instead of one per symbol. If `trace`
+  /// is non-null, appends one EncodeTrace per lookup (absolute positions).
+  /// The default implementation is the Lookup loop; concrete dictionaries
+  /// override it to keep the whole descent inside one type. Output must be
+  /// byte-identical to the Lookup loop for every implementation (pinned by
+  /// simd_equivalence_test).
+  virtual void EncodeSpan(std::string_view src, size_t base, BitWriter* writer,
+                          std::vector<EncodeTrace>* trace) const;
+
+  /// Encodes n independent keys, writing the padded bytes into out[i] and
+  /// exact bit lengths into bits[i]. Default is a per-key EncodeSpan loop;
+  /// the trie-backed dictionaries override it with an interleaved
+  /// group-of-G descent that overlaps cache misses across keys. Per-key
+  /// output must stay byte-identical to EncodeSpan.
+  virtual void EncodeMulti(const std::string_view* keys, size_t n,
+                           std::string* out, size_t* bits) const;
+
+ protected:
+  /// Whether EncodeMulti should interleave independent descents, given the
+  /// dictionary's resident size. Cache-resident dictionaries lose to the
+  /// straight per-key loop (the cursor state machine costs more than the
+  /// misses it hides), so interleaving only pays past a working-set
+  /// threshold. HOPE_INTERLEAVE=always|never overrides for testing and for
+  /// deployments that know their cache budget.
+  static bool UseInterleavedDescent(size_t memory_bytes);
 };
 
 /// Factory functions. `entries` must be sorted by left bound, with the

@@ -4,84 +4,23 @@
 #include <cassert>
 #include <thread>
 
-#include "common/str_utils.h"
+#include "common/simd.h"
 
 namespace hope {
 
-void BitWriter::InitFromPrefix(const std::string& bytes, size_t bits) {
-  Clear();
-  size_t full_bytes = bits / 8;
-  buf_.assign(bytes, 0, full_bytes);
-  total_bits_ = full_bytes * 8;
-  size_t rem = bits - total_bits_;
-  if (rem > 0) {
-    uint8_t last = static_cast<uint8_t>(bytes[full_bytes]);
-    // Keep the top `rem` bits of the partial byte in the accumulator.
-    acc_ = (static_cast<uint64_t>(last) << 56) &
-           ~(~uint64_t{0} >> rem);
-    acc_bits_ = static_cast<int>(rem);
-    total_bits_ += rem;
-  }
-}
-
-void BitWriter::Append(Code code) {
-  uint64_t bits = code.bits;
-  int len = code.len;
-  total_bits_ += len;
-  int room = 64 - acc_bits_;
-  if (len < room) {
-    if (len > 0) acc_ |= bits >> acc_bits_;
-    acc_bits_ += len;
-    return;
-  }
-  // Fill the accumulator and flush a full word.
-  acc_ |= acc_bits_ > 0 ? bits >> acc_bits_ : bits;
-  FlushAcc();
-  int taken = room;
-  acc_ = taken < 64 ? bits << taken : 0;
-  acc_bits_ = len - taken;
-}
-
-void BitWriter::FlushAcc() {
-  char word[8];
-  for (int i = 0; i < 8; i++)
-    word[i] = static_cast<char>((acc_ >> (56 - 8 * i)) & 0xFF);
-  buf_.append(word, 8);
-  acc_ = 0;
-  acc_bits_ = 0;
-}
-
-std::string BitWriter::TakeBytes() {
-  std::string out = buf_;
-  int bytes = (acc_bits_ + 7) / 8;
-  for (int i = 0; i < bytes; i++)
-    out.push_back(static_cast<char>((acc_ >> (56 - 8 * i)) & 0xFF));
-  return out;
-}
-
 std::string Encoder::EncodeWithTrace(std::string_view key, size_t resume_src,
                                      BitWriter* writer,
-                                     std::vector<TracePoint>* trace) const {
-  std::string_view src = key.substr(resume_src);
-  size_t pos = resume_src;
-  while (!src.empty()) {
-    if (trace)
-      trace->push_back({static_cast<uint32_t>(pos),
-                        static_cast<uint32_t>(writer->total_bits())});
-    LookupResult r = dict_->Lookup(src);
-    assert(r.consumed > 0 && r.consumed <= src.size());
-    writer->Append(r.code);
-    src.remove_prefix(r.consumed);
-    pos += r.consumed;
-  }
+                                     std::vector<EncodeTrace>* trace) const {
+  dict_->EncodeSpan(key, resume_src, writer, trace);
   if (trace)
-    trace->push_back({static_cast<uint32_t>(pos),
+    trace->push_back({static_cast<uint32_t>(key.size()),
                       static_cast<uint32_t>(writer->total_bits())});
   return writer->TakeBytes();
 }
 
 std::string Encoder::Encode(std::string_view key, size_t* bit_len) const {
   BitWriter writer;
+  writer.ReserveBits(key.size() * 8);
   std::string out = EncodeWithTrace(key, 0, &writer, nullptr);
   if (bit_len) *bit_len = writer.total_bits();
   if (observer_) observer_->OnEncode(key, writer.total_bits());
@@ -93,46 +32,100 @@ void Encoder::EncodeRange(const std::vector<std::string>& keys, size_t begin,
                           size_t* bits_sum) const {
   size_t bits = 0;
   const size_t lookahead = dict_->MaxLookahead();
-  if (lookahead == std::numeric_limits<size_t>::max()) {
-    // Unbounded lookahead (ALM family): arbitrary-length symbols prevent
-    // determining an aligned shared prefix a priori (Appendix B).
-    for (size_t i = begin; i < end; i++) {
-      size_t key_bits = 0;
-      (*out)[i] = Encode(keys[i], &key_bits);
-      bits += key_bits;
+  const size_t n = end - begin;
+  if (n == 0) {
+    *bits_sum = 0;
+    return;
+  }
+  if (n == 1) {
+    // Single key: no prefix to reuse and no batch to fan out — encode
+    // straight through the devirtualized span with zero setup.
+    const std::string& key = keys[begin];
+    BitWriter writer;
+    writer.ReserveBits(key.size() * 8);
+    (*out)[begin] = EncodeWithTrace(key, 0, &writer, nullptr);
+    *bits_sum = writer.total_bits();
+    if (observer_) observer_->OnEncode(key, writer.total_bits());
+    return;
+  }
+
+  // Shared-prefix reuse (Appendix B) only ever fires when some adjacent
+  // pair shares at least `lookahead` leading bytes. The prescan is a
+  // bounded memcmp per pair (lookahead <= 4 for the gram dictionaries);
+  // unbounded-lookahead dictionaries (ALM family) can never reuse.
+  bool any_reuse = false;
+  if (lookahead != std::numeric_limits<size_t>::max()) {
+    for (size_t i = begin + 1; i < end && !any_reuse; i++)
+      any_reuse =
+          simd::SharedPrefixAtLeast(keys[i - 1], keys[i], lookahead);
+  }
+
+  if (!any_reuse) {
+    // No prefix to reuse: hand the whole run to the dictionary's
+    // multi-key path (interleaved descent in the trie-backed impls when
+    // the working set warrants it). Per-key output is byte-identical to
+    // Encode, so slicing and path choice never change the encoding.
+    // Typical batch widths fit the stack buffers; larger runs (e.g. the
+    // full-parallel chunks) fall back to heap scratch.
+    constexpr size_t kStackBatch = 64;
+    std::string_view views_buf[kStackBatch];
+    size_t bits_buf[kStackBatch];
+    std::vector<std::string_view> views_heap;
+    std::vector<size_t> bits_heap;
+    std::string_view* views = views_buf;
+    size_t* key_bits = bits_buf;
+    if (n > kStackBatch) {
+      views_heap.resize(n);
+      bits_heap.resize(n);
+      views = views_heap.data();
+      key_bits = bits_heap.data();
+    }
+    for (size_t i = 0; i < n; i++) views[i] = keys[begin + i];
+    dict_->EncodeMulti(views, n, out->data() + begin, key_bits);
+    for (size_t i = 0; i < n; i++) {
+      bits += key_bits[i];
+      if (observer_) observer_->OnEncode(views[i], key_bits[i]);
     }
     *bits_sum = bits;
     return;
   }
 
-  std::vector<TracePoint> trace, next_trace;
+  // The writer's state flows from key to key: after encoding key i-1 it
+  // holds exactly that key's bits, so reusing a shared prefix is a rewind
+  // (TruncateToBits) rather than a copy back out of the previous output.
+  std::vector<EncodeTrace> trace;
   BitWriter writer;
+  writer.ReserveBits(keys[begin].size() * 8);
   for (size_t i = begin; i < end; i++) {
     const std::string& key = keys[i];
-    writer.Clear();
-    next_trace.clear();
     size_t resume = 0;
+    size_t resume_bits = 0;
     if (i > begin) {
-      size_t l = LcpLen(keys[i - 1], key);
+      size_t l = simd::LcpLen(keys[i - 1], key);
       // Reuse lookups [0, j): every reused lookup must have inspected
       // only bytes inside the common prefix, i.e.
       // trace[j-1].src_pos + lookahead <= l. trace.back() is a sentinel
       // at (key_len, total_bits), so j == trace.size()-1 reuses the whole
-      // previous key.
+      // previous key. The trace is truncated in place (EncodeTrace is
+      // trivially destructible, so resize-down is a size store) and the
+      // span appends the fresh tail onto the kept prefix.
       size_t j = 0;
       while (j + 1 < trace.size() &&
              trace[j].src_pos + lookahead <= l)
         j++;
       if (j > 0) {
-        writer.InitFromPrefix((*out)[i - 1], trace[j].bit_pos);
-        next_trace.assign(trace.begin(), trace.begin() + static_cast<long>(j));
         resume = trace[j].src_pos;
+        resume_bits = trace[j].bit_pos;
       }
+      trace.resize(j);
     }
-    (*out)[i] = EncodeWithTrace(key, resume, &writer, &next_trace);
+    writer.TruncateToBits(resume_bits);
+    dict_->EncodeSpan(key, resume, &writer, &trace);
+    trace.push_back({static_cast<uint32_t>(key.size()),
+                     static_cast<uint32_t>(writer.total_bits())});
+    writer.CopyBytesTo(&(*out)[i]);
     bits += writer.total_bits();
     if (observer_) observer_->OnEncode(key, writer.total_bits());
-    std::swap(trace, next_trace);
   }
   *bits_sum = bits;
 }

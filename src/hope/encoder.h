@@ -12,39 +12,10 @@
 #include <utility>
 #include <vector>
 
+#include "hope/bit_writer.h"
 #include "hope/dictionary.h"
 
 namespace hope {
-
-/// Append-only bit writer backed by a 64-bit accumulator.
-class BitWriter {
- public:
-  void Clear() {
-    buf_.clear();
-    acc_ = 0;
-    acc_bits_ = 0;
-    total_bits_ = 0;
-  }
-
-  /// Seeds the writer with the first `bits` bits of an existing encoding.
-  void InitFromPrefix(const std::string& bytes, size_t bits);
-
-  void Append(Code code);
-
-  /// Zero-pads to a byte boundary and returns the bytes; the writer keeps
-  /// its state so the caller can read total_bits().
-  std::string TakeBytes();
-
-  size_t total_bits() const { return total_bits_; }
-
- private:
-  std::string buf_;
-  uint64_t acc_ = 0;   // left-aligned pending bits
-  int acc_bits_ = 0;   // number of pending bits (< 64)
-  size_t total_bits_ = 0;
-
-  void FlushAcc();
-};
 
 /// Observes every completed encode. Implementations must be thread-safe:
 /// EncodeBatch may invoke the observer from its worker threads, and
@@ -69,8 +40,10 @@ class Encoder {
 
   /// Encodes a sorted run of keys, skipping re-encoding of shared
   /// prefixes where the dictionary's bounded lookahead proves the lookups
-  /// identical (Appendix B). Falls back to per-key encoding for
-  /// unbounded-lookahead dictionaries (ALM family).
+  /// identical (Appendix B). Runs without reusable prefixes (including
+  /// the unbounded-lookahead ALM family) go through the dictionary's
+  /// multi-key path, which interleaves independent descents to overlap
+  /// cache misses.
   ///
   /// `num_threads` fans the batch out over contiguous chunks (keys are
   /// independent, so the output is byte-identical for any thread count):
@@ -96,16 +69,9 @@ class Encoder {
   static constexpr size_t kParallelBatchMin = 4096;
 
  private:
-  /// One lookup step boundary: the source position where a lookup started
-  /// and the bit position of the output before its code was appended.
-  struct TracePoint {
-    uint32_t src_pos;
-    uint32_t bit_pos;
-  };
-
   std::string EncodeWithTrace(std::string_view key, size_t resume_src,
                               BitWriter* writer,
-                              std::vector<TracePoint>* trace) const;
+                              std::vector<EncodeTrace>* trace) const;
 
   /// Sequential batch core over keys[begin, end), writing into
   /// out[begin, end) (preallocated by the caller). Shared-prefix reuse

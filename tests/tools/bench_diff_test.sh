@@ -214,6 +214,58 @@ sed 's/"mode": "closed"/"mode": "open"/' "$telem" > "$work/telem_mode.json"
 expect 0 "$telem" "$work/telem_mode.json"
 expect 2 "$telem" "$work/telem_same.json" --telemetry-threshold -1
 
+# Encode-hot rows: cycles_per_* rides the latency family, *chars_per_sec*
+# (including batch-suffixed mchars_per_sec_b32) the throughput family,
+# and "mode" is identity (single vs sorted_b32 never compare).
+hot="$work/encode_hot.json"
+cat > "$hot" <<'EOF'
+{
+  "bench": "encode_hot",
+  "keys": 1000,
+  "rows": [
+    {"series": "encode_hot", "scheme": "3-Grams", "mode": "single",
+     "ns_per_char": 20.0, "mchars_per_sec": 50.0, "cycles_per_byte": 60.0},
+    {"series": "encode_hot", "scheme": "3-Grams", "mode": "sorted_b32",
+     "ns_per_char": 5.0, "mchars_per_sec": 200.0, "cycles_per_byte": 15.0},
+    {"series": "fig14", "scheme": "3-Grams", "mchars_per_sec_b32": 210.0}
+  ]
+}
+EOF
+cp "$hot" "$work/hot_same.json"
+expect 0 "$hot" "$work/hot_same.json"
+
+# Throughput down 50% (mchars_per_sec): gated, inf/loose disables.
+sed 's/"mchars_per_sec": 200.0/"mchars_per_sec": 100.0/' "$hot" \
+  > "$work/hot_tput.json"
+expect 1 "$hot" "$work/hot_tput.json"
+expect 0 "$hot" "$work/hot_tput.json" --throughput-threshold inf
+expect 0 "$hot" "$work/hot_tput.json" --throughput-threshold 1.5
+
+# Batch-suffixed throughput twin (mchars_per_sec_b32) gates the same way.
+sed 's/"mchars_per_sec_b32": 210.0/"mchars_per_sec_b32": 100.0/' "$hot" \
+  > "$work/hot_tput_b32.json"
+expect 1 "$hot" "$work/hot_tput_b32.json"
+expect 0 "$hot" "$work/hot_tput_b32.json" --throughput-threshold inf
+
+# cycles_per_byte up 50%: latency family, --latency-threshold governs.
+sed 's/"cycles_per_byte": 15.0/"cycles_per_byte": 22.5/' "$hot" \
+  > "$work/hot_cyc.json"
+expect 1 "$hot" "$work/hot_cyc.json"
+expect 0 "$hot" "$work/hot_cyc.json" --latency-threshold inf
+
+# "mode" is identity: flipping it un-matches the row (noted, not gated),
+# so a would-be regression hiding behind a mode rename never fires.
+sed -e 's/"mode": "sorted_b32"/"mode": "shuffled_b32"/' \
+    -e 's/"mchars_per_sec": 200.0/"mchars_per_sec": 100.0/' "$hot" \
+  > "$work/hot_mode.json"
+expect 0 "$hot" "$work/hot_mode.json"
+
+# A null metric (cycle counter unavailable on one machine) never gates.
+sed 's/"cycles_per_byte": 15.0/"cycles_per_byte": null/' "$hot" \
+  > "$work/hot_null.json"
+expect 0 "$hot" "$work/hot_null.json"
+expect 0 "$work/hot_null.json" "$hot"
+
 # --history: dated run subdirectories; candidate gates against the
 # LATEST run (regression vs latest fails even if older runs were worse).
 hist="$work/history"

@@ -20,9 +20,12 @@ its CPR from the gate. Within matched rows, only recognized metric
 families are compared:
 
   higher is better:  *cpr* (compression rate), *gain*,
-                     *ops_per_sec (throughput)
-  lower is better:   ns_per_* and *_ns (latency), *_spread (load
-                     imbalance), *_failures / *_violations / *_rejects
+                     *ops_per_sec and *chars_per_sec* (throughput — the
+                     latter is the encode hot path's Mchars/s series)
+  lower is better:   ns_per_* and *_ns (latency), cycles_per_* (cycle
+                     cost of the encode hot path; machine-bound, rides
+                     the latency threshold), *_spread (load imbalance),
+                     *_failures / *_violations / *_rejects
                      (correctness — any increase fails, even from a
                      zero baseline), telemetry_* (subsystem health
                      counters from the unified registry)
@@ -78,11 +81,16 @@ ID_FIELDS = {
 
 
 def is_latency(name: str) -> bool:
-    return name.startswith("ns_per_") or name.endswith("_ns")
+    # cycles_per_* (encode hot path cycle cost) is machine-bound the same
+    # way wall-clock latency is, so it rides the latency threshold.
+    return (name.startswith("ns_per_") or name.endswith("_ns")
+            or name.startswith("cycles_per_"))
 
 
 def is_throughput(name: str) -> bool:
-    return name.endswith("ops_per_sec")
+    # *chars_per_sec* covers the encode hot path's mchars_per_sec series
+    # (including batch-suffixed variants like mchars_per_sec_b32).
+    return name.endswith("ops_per_sec") or "chars_per_sec" in name
 
 
 def is_correctness(name: str) -> bool:
