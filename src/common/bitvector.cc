@@ -1,7 +1,8 @@
 #include "common/bitvector.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace hope {
 
@@ -37,7 +38,11 @@ void BitVector::Finalize() {
 }
 
 size_t BitVector::Rank1(size_t pos) const {
-  assert(pos <= num_bits_);
+  // Always-on: past-the-end positions would index words_/rank_samples_
+  // out of bounds, and under NDEBUG the old assert let exactly that
+  // happen. One predictable branch against the dominating cost of the
+  // block scan below.
+  HOPE_CHECK_MSG(pos <= num_bits_, "Rank1 position out of range");
   size_t word = pos >> 6;
   size_t block = word / kWordsPerBlock;
   size_t ones = rank_samples_[block];
@@ -50,7 +55,7 @@ size_t BitVector::Rank1(size_t pos) const {
 }
 
 size_t BitVector::Select1(size_t i) const {
-  assert(i < num_ones_);
+  HOPE_CHECK_MSG(i < num_ones_, "Select1 index out of range");
   // Start from the sampled word if available.
   size_t w = 0;
   size_t sample_idx = i / kSelectSampleRate;
@@ -78,11 +83,13 @@ size_t BitVector::Select1(size_t i) const {
     }
     seen += pc;
   }
-  assert(false && "Select1 out of range");
-  return num_bits_;
+  // Unreachable when the index precondition above holds and the select
+  // samples are consistent; trapping beats returning a garbage position.
+  HOPE_CHECK_MSG(false, "Select1 scan ran past the last word");
 }
 
 size_t BitVector::Select0(size_t i) const {
+  HOPE_CHECK_MSG(i < num_bits_ - num_ones_, "Select0 index out of range");
   // Zeros are not sampled; binary search on Rank0 over blocks, then scan.
   size_t lo = 0, hi = words_.size();
   // Rank0 before word w = w*64 - rank1(w*64).
@@ -105,8 +112,7 @@ size_t BitVector::Select0(size_t i) const {
       seen++;
     }
   }
-  assert(false && "Select0 out of range");
-  return num_bits_;
+  HOPE_CHECK_MSG(false, "Select0 scan ran past the last word");
 }
 
 size_t BitVector::NextOne(size_t pos) const {

@@ -1,0 +1,26 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hope::internal {
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const char* msg) {
+  // One unbuffered write so the message survives the abort even when
+  // stderr is block-buffered (piped ctest output, fuzzer artifacts).
+  char buf[512];
+  int n = std::snprintf(buf, sizeof(buf), "HOPE_CHECK failed: %s%s%s @ %s:%d\n",
+                        expr, msg != nullptr ? " — " : "",
+                        msg != nullptr ? msg : "", file, line);
+  if (n > 0) {
+    std::fwrite(buf, 1, static_cast<size_t>(n) < sizeof(buf)
+                            ? static_cast<size_t>(n)
+                            : sizeof(buf) - 1,
+                stderr);
+    std::fflush(stderr);
+  }
+  std::abort();
+}
+
+}  // namespace hope::internal

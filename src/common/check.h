@@ -1,0 +1,72 @@
+// Release-safe runtime contracts.
+//
+// `assert` compiles out under NDEBUG, which is exactly the build that
+// serves untrusted input: a violated precondition then reads garbage (or
+// out-of-bounds memory) instead of stopping. This header gives the
+// codebase two graded contract macros:
+//
+//   HOPE_CHECK(cond)            always on, every build type. A failure
+//   HOPE_CHECK_MSG(cond, msg)   prints `expr @ file:line` (+ msg) to
+//                               stderr and aborts — fail-fast, so the
+//                               fuzzers and sanitizers register it as a
+//                               crash at the violation site instead of a
+//                               corruption arbitrarily later.
+//
+//   HOPE_DCHECK(cond)           on in debug and sanitizer/fuzzer builds
+//   HOPE_DCHECK_MSG(cond, msg)  (see HOPE_DCHECK_ENABLED below), free in
+//                               plain release. For internal invariants on
+//                               hot paths where the always-on check would
+//                               cost real cycles.
+//
+// Choosing between them: a condition an *input* can violate (serialized
+// blob fields, decode bitstreams, index arguments on public entry
+// points) is HOPE_CHECK — or, on a path that must reject rather than
+// trap (Hope::Deserialize returns nullptr), an explicit `return`/throw.
+// A condition only a bug in this codebase can violate is HOPE_DCHECK,
+// promoted to HOPE_CHECK when it guards memory safety and sits off the
+// per-symbol hot path (the bitvector rank/select preconditions, say).
+//
+// The failure hook lives out-of-line (check.cc) so a check site costs
+// one predictable branch + one call-site constant, nothing more.
+#pragma once
+
+namespace hope::internal {
+
+/// Prints "CHECK failed: expr (msg) @ file:line" to stderr and aborts.
+/// Out-of-line and noreturn: the compiler keeps the failing arm cold.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const char* msg);
+
+}  // namespace hope::internal
+
+#define HOPE_CHECK_MSG(cond, msg)                                        \
+  (__builtin_expect(static_cast<bool>(cond), 1)                          \
+       ? static_cast<void>(0)                                            \
+       : ::hope::internal::CheckFailed(#cond, __FILE__, __LINE__, (msg)))
+
+#define HOPE_CHECK(cond) HOPE_CHECK_MSG(cond, nullptr)
+
+// HOPE_DCHECK is live whenever the build is already paying for checking:
+// debug (!NDEBUG), any sanitizer instrumentation, or an explicit
+// -DHOPE_DCHECK_ALWAYS (the HOPE_FUZZ build sets it so fuzzers exercise
+// the internal contracts too, not just the always-on ones).
+#if !defined(NDEBUG) || defined(HOPE_DCHECK_ALWAYS) ||      \
+    defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define HOPE_DCHECK_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(undefined_behavior_sanitizer)
+#define HOPE_DCHECK_ENABLED 1
+#endif
+#endif
+
+#ifdef HOPE_DCHECK_ENABLED
+#define HOPE_DCHECK_MSG(cond, msg) HOPE_CHECK_MSG(cond, msg)
+#define HOPE_DCHECK(cond) HOPE_CHECK(cond)
+#else
+// Void-cast, not `if (false)`: operands must stay syntactically checked
+// (and unused-variable warnings suppressed) without being evaluated.
+#define HOPE_DCHECK_MSG(cond, msg) \
+  static_cast<void>(sizeof((cond) ? 1 : 0))
+#define HOPE_DCHECK(cond) HOPE_DCHECK_MSG(cond, nullptr)
+#endif

@@ -5,7 +5,6 @@
 // lone one-byte string "c0") followed by 256 slots for c0c1. Symbols and
 // boundaries are implied by the slot index, so an entry stores only the
 // code and the symbol length; a lookup is a single array access.
-#include <cassert>
 #include <stdexcept>
 
 #include "hope/dictionary.h"
@@ -24,9 +23,14 @@ class ArrayDict : public Dictionary {
     slots_.resize(expected);
     for (size_t i = 0; i < entries.size(); i++) {
       // The interval layout is fixed, so the sorted entry order *is* the
-      // slot order.
+      // slot order — and the slot dictates the symbol length. A
+      // deserialized blob that disagrees must be rejected here: a
+      // terminator slot claiming 2 consumed bytes would overshoot a
+      // 1-byte tail in the encode loop (this was an assert, compiled out
+      // exactly in the release builds that load untrusted blobs).
+      if (entries[i].symbol_len != SlotSymbolLen(i))
+        throw std::invalid_argument("ArrayDict: symbol_len mismatch");
       slots_[i] = PackEntry(entries[i]);
-      assert(entries[i].symbol_len == SlotSymbolLen(i));
     }
   }
 

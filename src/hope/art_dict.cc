@@ -14,10 +14,10 @@
 // group of independent descents so their cache misses overlap — ART is
 // the deepest dictionary (arbitrary-length boundaries), so it benefits
 // the most.
-#include <cassert>
 #include <cstring>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/simd.h"
 #include "hope/dictionary.h"
 
@@ -276,7 +276,7 @@ class ArtDict : public Dictionary {
       // Max-descent: the largest boundary in the candidate subtree.
       const ArtNode* mc = PrevChild(c.node, 256);
       if (!mc) {
-        assert(c.node->term_entry >= 0);
+        HOPE_DCHECK(c.node->term_entry >= 0);
         return c.node->term_entry;
       }
       c.node = mc;
@@ -310,7 +310,8 @@ class ArtDict : public Dictionary {
       simd::PrefetchRead(c.node);
       return -1;
     }
-    assert(c.cand_entry >= 0 && "complete dictionary: \"\" is a boundary");
+    HOPE_DCHECK_MSG(c.cand_entry >= 0,
+                    "complete dictionary: \"\" is a boundary");
     return c.cand_entry;
   }
 
@@ -337,10 +338,11 @@ class ArtDict : public Dictionary {
       // Max-descent: the largest boundary in the subtree.
       const ArtNode* cur = cand_subtree;
       while (const ArtNode* mc = PrevChild(cur, 256)) cur = mc;
-      assert(cur->term_entry >= 0);
+      HOPE_DCHECK(cur->term_entry >= 0);
       return cur->term_entry;
     }
-    assert(cand_entry >= 0 && "complete dictionary: \"\" is a boundary");
+    HOPE_DCHECK_MSG(cand_entry >= 0,
+                    "complete dictionary: \"\" is a boundary");
     return cand_entry;
   }
 
@@ -521,7 +523,7 @@ class ArtDict : public Dictionary {
         break;
       }
       case kNode256:
-        assert(false && "Node256 never grows");
+        HOPE_CHECK_MSG(false, "Node256 never grows");
         return old;
     }
     bigger->term_entry = old->term_entry;

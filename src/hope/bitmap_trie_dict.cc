@@ -19,11 +19,11 @@
 // of independent descents (EncodeMulti) so their cache misses overlap;
 // that only pays once the trie outgrows the cache (see
 // Dictionary::UseInterleavedDescent).
-#include <cassert>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
+#include "common/check.h"
 #include "common/simd.h"
 #include "hope/dictionary.h"
 
@@ -243,7 +243,7 @@ class BitmapTrieDict : public Dictionary {
       const TrieNode& nd = levels_[c.d][c.node];
       unsigned total = nd.Total();
       if (total == 0) {
-        assert(nd.term_entry >= 0);
+        HOPE_DCHECK(nd.term_entry >= 0);
         return nd.term_entry;
       }
       if (c.d == n_ - 1) return nd.entry_base + total - 1;
@@ -284,7 +284,8 @@ class BitmapTrieDict : public Dictionary {
   /// candidate sibling subtree.
   int64_t FinishOrResolve(Cursor& c) const {
     if (c.cand_level < 0) {
-      assert(c.cand_entry >= 0 && "complete dictionary: root has a boundary");
+      HOPE_DCHECK_MSG(c.cand_entry >= 0,
+                      "complete dictionary: root has a boundary");
       return c.cand_entry;
     }
     const TrieNode& nd = levels_[c.cand_level][c.cand_node];
@@ -339,7 +340,8 @@ class BitmapTrieDict : public Dictionary {
     }
 
     if (cand_level < 0) {
-      assert(cand_entry >= 0 && "complete dictionary: root has a boundary");
+      HOPE_DCHECK_MSG(cand_entry >= 0,
+                      "complete dictionary: root has a boundary");
       return cand_entry;
     }
     return ResolveMaxDescent(cand_level, cand_node, cand_rank);
@@ -358,7 +360,7 @@ class BitmapTrieDict : public Dictionary {
       const TrieNode& cur = levels_[e][child];
       unsigned total = cur.TotalT<Hw>();
       if (total == 0) {
-        assert(cur.term_entry >= 0);
+        HOPE_DCHECK(cur.term_entry >= 0);
         return cur.term_entry;
       }
       if (e == n_ - 1) return cur.entry_base + total - 1;
@@ -606,7 +608,7 @@ class BitmapTrieDict : public Dictionary {
     if (d == n_ - 1) {
       levels_[d][idx].entry_base = static_cast<uint32_t>(lo);
       for (size_t i = lo; i < hi; i++) {
-        assert(entries[i].left_bound.size() == static_cast<size_t>(n_));
+        HOPE_DCHECK(entries[i].left_bound.size() == static_cast<size_t>(n_));
         levels_[d][idx].SetBit(
             static_cast<uint8_t>(entries[i].left_bound[d]));
       }

@@ -1,7 +1,8 @@
 #include "hope/decoder.h"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace hope {
 
@@ -45,7 +46,11 @@ std::string Decoder::Decode(std::string_view bytes, size_t bit_len) const {
     node = nodes_[node].child[bit];
     if (node < 0)
       throw std::invalid_argument("Decoder: invalid code sequence");
+    // Child indices are produced by the constructor and always in range;
+    // live under sanitizers so a trie-construction bug traps at the read.
+    HOPE_DCHECK(static_cast<size_t>(node) < nodes_.size());
     if (nodes_[node].entry >= 0) {
+      HOPE_DCHECK(static_cast<size_t>(nodes_[node].entry) < symbols_.size());
       out += symbols_[nodes_[node].entry];
       node = 0;
     }

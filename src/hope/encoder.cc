@@ -1,7 +1,6 @@
 #include "hope/encoder.h"
 
 #include <algorithm>
-#include <cassert>
 #include <thread>
 
 #include "common/simd.h"

@@ -1,10 +1,11 @@
 #include "hope/hu_tucker.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace hope {
 
@@ -69,7 +70,7 @@ std::vector<int> GarsiaWachsDepthsFloored(const std::vector<double>& weights,
     scan = j > 1 ? j - 1 : 1;
   }
 
-  assert(list.size() == 3);  // two sentinels + root
+  HOPE_DCHECK(list.size() == 3);  // two sentinels + root
   int32_t root = list[1].node;
 
   // Compute leaf depths by iterative DFS over the merge tree.

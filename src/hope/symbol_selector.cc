@@ -1,8 +1,8 @@
 #include "hope/symbol_selector.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "common/str_utils.h"
 
 namespace hope {
@@ -52,7 +52,7 @@ void TestEncodeWeights(const std::vector<std::string>& samples,
       size_t idx = lookup(src);
       iv[idx].weight += 1;
       size_t consumed = iv[idx].symbol.size();
-      assert(consumed > 0 && consumed <= src.size());
+      HOPE_DCHECK(consumed > 0 && consumed <= src.size());
       src.remove_prefix(consumed);
     }
   }

@@ -128,5 +128,36 @@ TEST(BitVectorTest, EmptyVector) {
   EXPECT_EQ(bv.Rank1(0), 0u);
 }
 
+#if GTEST_HAS_DEATH_TEST
+// Out-of-range queries must fail fast in every build mode. These used to be
+// plain asserts, which compile out under NDEBUG — exactly the builds that
+// serve untrusted input — leaving Select1 to scan past the last word and
+// return garbage. The HOPE_CHECK contracts are always on; pin that here.
+TEST(BitVectorDeathTest, Rank1PastEndAborts) {
+  BitVector bv;
+  bv.PushBack(true);
+  bv.PushBack(false);
+  bv.Finalize();
+  EXPECT_DEATH(bv.Rank1(bv.size() + 1), "Rank1 position out of range");
+}
+
+TEST(BitVectorDeathTest, Select1PastLastOneAborts) {
+  BitVector bv;
+  bv.AppendZeros(100);
+  bv.Set(7);
+  bv.Finalize();
+  EXPECT_DEATH(bv.Select1(1), "Select1 index out of range");
+}
+
+TEST(BitVectorDeathTest, Select0PastLastZeroAborts) {
+  BitVector bv;
+  bv.PushBack(true);
+  bv.PushBack(false);
+  bv.PushBack(true);
+  bv.Finalize();
+  EXPECT_DEATH(bv.Select0(1), "Select0 index out of range");
+}
+#endif  // GTEST_HAS_DEATH_TEST
+
 }  // namespace
 }  // namespace hope

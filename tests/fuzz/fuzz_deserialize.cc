@@ -1,0 +1,246 @@
+// Fuzz target: Hope::Deserialize over raw attacker-controlled blobs —
+// the primary untrusted-input surface (dictionaries are loaded from
+// disk/network by hope_cli and the serving layer).
+//
+// Rejection must be graceful (nullptr, no throw escaping, no UB), and
+// acceptance implies the full dictionary contract. For accepted blobs:
+//   - Serialize() reproduces the input byte-for-byte (a canonical blob
+//     accepted twice must not drift);
+//   - the entry codes are prefix-free (checked independently here with
+//     a sort — a revert of the Decoder's structural checks must not
+//     survive behind Deserialize's acceptance);
+//   - every probe lookup consumes 1..remaining bytes and emits >= 1 bit
+//     (the code.len=0 / symbol_len=0 bug classes from the malformed-blob
+//     hardening spin forever or overshoot the key otherwise);
+//   - Decode(Encode(probe)) never throws: the encoder only emits codes
+//     the decoder's trie was built from, and zero-padding beyond
+//     code.len is a validated invariant (a padding-check revert smears
+//     bits into the next code and trips this).
+//
+// Under HOPE_FUZZ the target also ships a structure-aware mutator that
+// parses the blob layout (magic, scheme, count, per-entry fields) and
+// mutates one field at a time, so coverage reaches past the header
+// checks instead of dying on magic-byte mismatches.
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "hope/hope.h"
+
+namespace {
+
+using hope::Hope;
+using namespace std::string_view_literals;
+
+struct ParsedEntry {
+  uint32_t bound_off = 0;  // offset of the length-prefixed bound
+  uint32_t bound_len = 0;
+  uint64_t code_bits = 0;
+  uint8_t code_len = 0;
+};
+
+constexpr char kMagic[] = "HOPEDICT1";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; i++) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; i++) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Independent re-parse of the serialized layout (mirrors the format,
+/// not the validation — deliberately lax so it can walk blobs the real
+/// Deserialize rejects). Returns false when the byte stream itself runs
+/// out mid-entry.
+bool ParseLayout(const uint8_t* data, size_t size,
+                 std::vector<ParsedEntry>* entries) {
+  if (size < kMagicLen + 5 ||
+      std::memcmp(data, kMagic, kMagicLen) != 0)
+    return false;
+  size_t pos = kMagicLen + 1;  // skip scheme byte
+  uint32_t count = ReadU32(data + pos);
+  pos += 4;
+  for (uint32_t i = 0; i < count; i++) {
+    if (size - pos < 4) return false;
+    ParsedEntry e;
+    e.bound_off = static_cast<uint32_t>(pos);
+    e.bound_len = ReadU32(data + pos);
+    pos += 4;
+    if (size - pos < e.bound_len) return false;
+    pos += e.bound_len;
+    if (size - pos < 4 + 8 + 1) return false;
+    pos += 4;  // symbol_len
+    e.code_bits = ReadU64(data + pos);
+    pos += 8;
+    e.code_len = data[pos];
+    pos += 1;
+    entries->push_back(e);
+  }
+  return pos == size;
+}
+
+/// True when `a` is a (proper or equal) prefix of `b` as left-aligned
+/// bit strings.
+bool IsCodePrefix(uint64_t a_bits, int a_len, uint64_t b_bits, int b_len) {
+  if (a_len > b_len) return false;
+  if (a_len == 0) return true;
+  uint64_t mask = ~uint64_t{0} << (64 - a_len);
+  return (a_bits & mask) == (b_bits & mask);
+}
+
+void CheckPrefixFree(const std::vector<ParsedEntry>& entries) {
+  // Sorting by (bits, len) makes any prefix pair adjacent: a prefix of x
+  // sorts immediately before the smallest extension of itself.
+  std::vector<std::pair<uint64_t, int>> codes;
+  codes.reserve(entries.size());
+  for (const ParsedEntry& e : entries)
+    codes.emplace_back(e.code_bits, e.code_len);
+  std::sort(codes.begin(), codes.end());
+  for (size_t i = 1; i < codes.size(); i++)
+    HOPE_CHECK_MSG(!IsCodePrefix(codes[i - 1].first, codes[i - 1].second,
+                                 codes[i].first, codes[i].second),
+                   "accepted dictionary has a non-prefix-free code pair");
+}
+
+void CheckProbe(const Hope& hope, std::string_view probe) {
+  // Manual per-symbol walk with the completeness contract pinned at
+  // every step: consumed in [1, remaining], at least one output bit.
+  const hope::Dictionary& dict = hope.dict();
+  std::string_view rest = probe;
+  while (!rest.empty()) {
+    hope::LookupResult r = dict.Lookup(rest);
+    HOPE_CHECK_MSG(r.consumed >= 1 && r.consumed <= rest.size(),
+                   "lookup consumed bytes outside [1, remaining]");
+    HOPE_CHECK_MSG(r.code.len >= 1,
+                   "a consumed symbol must emit at least one bit");
+    rest.remove_prefix(r.consumed);
+  }
+  size_t bits = 0;
+  std::string enc = hope.Encode(probe, &bits);
+  try {
+    (void)hope.Decode(enc, bits);
+  } catch (const std::exception&) {
+    HOPE_CHECK_MSG(false, "decoder rejected this dictionary's own output");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view blob(reinterpret_cast<const char*>(data), size);
+  std::unique_ptr<Hope> hope = Hope::Deserialize(blob);
+  if (hope == nullptr) return 0;
+
+  // Canonical round trip: an accepted blob is already in serialized form.
+  std::string reser = hope->Serialize();
+  HOPE_CHECK_MSG(reser == blob,
+                 "re-serializing an accepted blob changed its bytes");
+  HOPE_CHECK_MSG(Hope::Deserialize(reser) != nullptr,
+                 "re-serialized blob no longer deserializes");
+
+  std::vector<ParsedEntry> entries;
+  HOPE_CHECK_MSG(ParseLayout(data, size, &entries),
+                 "accepted blob does not re-parse as the documented layout");
+  for (const ParsedEntry& e : entries) {
+    // The Code invariants every consumer leans on: 1..64 bits,
+    // left-aligned, zero past len (BitWriter's branch-free OR smears
+    // padding bits into the next code otherwise).
+    HOPE_CHECK_MSG(e.code_len >= 1 && e.code_len <= 64,
+                   "accepted entry has a code length outside [1, 64]");
+    if (e.code_len < 64)
+      HOPE_CHECK_MSG((e.code_bits & (~uint64_t{0} >> e.code_len)) == 0,
+                     "accepted entry has nonzero padding past code length");
+  }
+  CheckPrefixFree(entries);
+
+  // The sv suffix keeps embedded NULs (a plain literal would strlen to 0).
+  static constexpr std::string_view kProbes[] = {
+      ""sv,         "\x00"sv, "a"sv,     "bzz"sv, "hello world"sv,
+      "\xff\xff"sv, "\x01z"sv, "zzzzzzzzzzzzzzzz"sv,
+  };
+  for (std::string_view probe : kProbes) CheckProbe(*hope, probe);
+  // Blob-derived probes: boundary bytes tend to sit on interval edges.
+  for (size_t off = 0; off + 4 <= size && off < 64; off += 13)
+    CheckProbe(*hope, blob.substr(off, 4));
+  return 0;
+}
+
+#if defined(HOPE_FUZZ)
+// Structure-aware mutation: parse the layout, pick one field, perturb it.
+// Raw byte mutation (LLVMFuzzerMutate) remains in the mix so header and
+// framing bytes still get explored.
+extern "C" size_t LLVMFuzzerMutate(uint8_t* data, size_t size,
+                                   size_t max_size);
+
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,
+                                          size_t max_size, unsigned seed) {
+  // Cheap xorshift PRNG — no global state, deterministic per seed.
+  uint64_t s = seed * 0x9E3779B97F4A7C15ull + 1;
+  auto next = [&s]() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+
+  std::vector<ParsedEntry> entries;
+  bool parsed = ParseLayout(data, size, &entries) && !entries.empty();
+  if (!parsed || next() % 4 == 0)
+    return LLVMFuzzerMutate(data, size, max_size);
+
+  const ParsedEntry& e = entries[next() % entries.size()];
+  const size_t fields_off = e.bound_off + 4 + e.bound_len;
+  switch (next() % 6) {
+    case 0:  // scheme byte
+      data[kMagicLen] = static_cast<uint8_t>(next() % 8);
+      break;
+    case 1:  // code.len: sweep the boundary values 0, 1, 63, 64, 65, 255
+      if (fields_off + 12 < size) {
+        static constexpr uint8_t kLens[] = {0, 1, 63, 64, 65, 255};
+        data[fields_off + 12] = kLens[next() % 6];
+      }
+      break;
+    case 2:  // flip one bit of code.bits (padding violations included)
+      if (fields_off + 12 < size)
+        data[fields_off + 4 + next() % 8] ^=
+            static_cast<uint8_t>(1u << (next() % 8));
+      break;
+    case 3:  // symbol_len: 0, huge, or off-by-one vs the bound length
+      if (fields_off + 4 <= size) {
+        uint32_t v;
+        switch (next() % 3) {
+          case 0: v = 0; break;
+          case 1: v = e.bound_len + 1 + static_cast<uint32_t>(next() % 3); break;
+          default: v = static_cast<uint32_t>(next()); break;
+        }
+        for (int i = 0; i < 4; i++)
+          data[fields_off + i] = static_cast<uint8_t>(v >> (8 * i));
+      }
+      break;
+    case 4: {  // count field: off-by-one or huge
+      uint32_t count = ReadU32(data + kMagicLen + 1);
+      uint32_t v = next() % 2 ? count + 1 : 0xFFFFFFFFu;
+      for (int i = 0; i < 4; i++)
+        data[kMagicLen + 1 + i] = static_cast<uint8_t>(v >> (8 * i));
+      break;
+    }
+    default:  // perturb one byte of a bound (ordering violations)
+      if (e.bound_len > 0 && e.bound_off + 4 < size)
+        data[e.bound_off + 4 + next() % e.bound_len] ^=
+            static_cast<uint8_t>(next());
+      break;
+  }
+  return size;
+}
+#endif  // HOPE_FUZZ

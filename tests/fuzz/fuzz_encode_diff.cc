@@ -1,0 +1,164 @@
+// Differential fuzz target for the encode hot path: for fuzz-derived
+// keys, every devirtualized/SIMD leg — EncodeSpan (traced and untraced),
+// EncodeMulti's interleaved descent, and the Encode facade — must be
+// byte-identical to the naive per-symbol virtual Lookup loop, across
+// every compatible scheme × dictionary implementation. This is the
+// fuzzing twin of simd_equivalence_test: the unit test pins curated
+// keys, the fuzzer feeds adversarial ones (NULs, 0xFF runs, boundary
+// straddles) into exactly the same oracle.
+//
+// The CMake registration replays the corpus under HOPE_FUSED=never,
+// HOPE_INTERLEAVE=never, and HOPE_POPCNT=never (plus the HOPE_NO_SIMD
+// CI build), so each escape hatch's path diffs against the same scalar
+// reference. Env vars are read at dictionary construction / descent
+// time, before any fuzz input arrives.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "datasets/datasets.h"
+#include "hope/bit_writer.h"
+#include "hope/hope.h"
+#include "tests/fuzz/fuzz_input.h"
+
+namespace {
+
+using hope::BitWriter;
+using hope::Dictionary;
+using hope::DictImpl;
+using hope::EncodeTrace;
+using hope::Hope;
+using hope::Scheme;
+
+bool Compatible(Scheme scheme, DictImpl impl) {
+  switch (impl) {
+    case DictImpl::kArray:
+      return scheme == Scheme::kSingleChar || scheme == Scheme::kDoubleChar;
+    case DictImpl::kBitmapTrie:
+      return scheme == Scheme::kSingleChar || scheme == Scheme::kDoubleChar ||
+             scheme == Scheme::kThreeGrams || scheme == Scheme::kFourGrams;
+    default:
+      return true;
+  }
+}
+
+const std::vector<std::unique_ptr<Hope>>& AllDicts() {
+  // Built once per process: same fixed samples as the equivalence test's
+  // spirit, small dictionary limit to keep replay startup short.
+  static const auto* dicts = [] {
+    auto keys = hope::GenerateDataset(hope::DatasetId::kEmail, 120,
+                                      /*seed=*/31);
+    auto urls = hope::GenerateDataset(hope::DatasetId::kUrl, 80, /*seed=*/32);
+    keys.insert(keys.end(), urls.begin(), urls.end());
+    auto* v = new std::vector<std::unique_ptr<Hope>>();
+    constexpr Scheme kSchemes[] = {
+        Scheme::kSingleChar, Scheme::kDoubleChar, Scheme::kAlm,
+        Scheme::kThreeGrams, Scheme::kFourGrams,  Scheme::kAlmImproved,
+    };
+    constexpr DictImpl kImpls[] = {
+        DictImpl::kBinarySearch,
+        DictImpl::kArray,
+        DictImpl::kBitmapTrie,
+        DictImpl::kArt,
+    };
+    for (Scheme s : kSchemes)
+      for (DictImpl i : kImpls) {
+        if (!Compatible(s, i)) continue;
+        v->push_back(Hope::Build(s, keys, /*dict_size_limit=*/1 << 10,
+                                 /*stats=*/nullptr, i));
+      }
+    return v;
+  }();
+  return *dicts;
+}
+
+/// The scalar reference: the per-symbol virtual Lookup loop, with the
+/// completeness contract checked at every step.
+std::string RefEncode(const Dictionary& dict, std::string_view key,
+                      size_t* bit_len, std::vector<EncodeTrace>* trace) {
+  BitWriter writer;
+  std::string_view src = key;
+  size_t pos = 0;
+  while (!src.empty()) {
+    if (trace != nullptr)
+      trace->push_back({static_cast<uint32_t>(pos),
+                        static_cast<uint32_t>(writer.total_bits())});
+    hope::LookupResult r = dict.Lookup(src);
+    HOPE_CHECK_MSG(r.consumed >= 1 && r.consumed <= src.size(),
+                   "lookup consumed bytes outside [1, remaining]");
+    writer.Append(r.code);
+    src.remove_prefix(r.consumed);
+    pos += r.consumed;
+  }
+  *bit_len = writer.total_bits();
+  return writer.TakeBytes();
+}
+
+void DiffOneDict(const Hope& hope, const std::vector<std::string>& keys) {
+  const Dictionary& dict = hope.dict();
+  for (const std::string& key : keys) {
+    size_t ref_bits = 0;
+    std::vector<EncodeTrace> ref_trace;
+    std::string ref = RefEncode(dict, key, &ref_bits, &ref_trace);
+
+    // Untraced EncodeSpan — the Encode hot path.
+    BitWriter w;
+    dict.EncodeSpan(key, 0, &w, nullptr);
+    HOPE_CHECK_MSG(w.total_bits() == ref_bits,
+                   "EncodeSpan bit length diverged from the Lookup loop");
+    HOPE_CHECK_MSG(w.TakeBytes() == ref,
+                   "EncodeSpan bytes diverged from the Lookup loop");
+
+    // Traced EncodeSpan — the batch prefix-reuse path must record the
+    // exact same lookup boundaries.
+    BitWriter wt;
+    std::vector<EncodeTrace> trace;
+    dict.EncodeSpan(key, 0, &wt, &trace);
+    HOPE_CHECK_MSG(wt.TakeBytes() == ref,
+                   "traced EncodeSpan bytes diverged");
+    HOPE_CHECK_MSG(trace.size() == ref_trace.size(),
+                   "traced EncodeSpan recorded a different lookup count");
+    for (size_t i = 0; i < trace.size(); i++) {
+      HOPE_CHECK_MSG(trace[i].src_pos == ref_trace[i].src_pos &&
+                         trace[i].bit_pos == ref_trace[i].bit_pos,
+                     "traced EncodeSpan recorded different boundaries");
+    }
+
+    // Facade + losslessness: decode must reproduce the key exactly.
+    size_t bits = 0;
+    std::string enc = hope.Encode(key, &bits);
+    HOPE_CHECK_MSG(enc == ref && bits == ref_bits,
+                   "Encode facade diverged from the Lookup loop");
+    HOPE_CHECK_MSG(hope.Decode(enc, bits) == key,
+                   "decode(encode(key)) is not the key");
+  }
+
+  // EncodeMulti over the whole batch — the interleaved descent.
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  std::vector<std::string> out(keys.size());
+  std::vector<size_t> bits(keys.size());
+  dict.EncodeMulti(views.data(), views.size(), out.data(), bits.data());
+  for (size_t i = 0; i < keys.size(); i++) {
+    size_t ref_bits = 0;
+    std::string ref = RefEncode(dict, keys[i], &ref_bits, nullptr);
+    HOPE_CHECK_MSG(out[i] == ref && bits[i] == ref_bits,
+                   "EncodeMulti diverged from the Lookup loop");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  hope::fuzz::FuzzInput in(data, size);
+  // Up to 8 length-prefixed keys of up to 64 bytes; always include the
+  // empty key (batch edge) so every input exercises it.
+  std::vector<std::string> keys;
+  keys.emplace_back();
+  while (in.remaining() > 0 && keys.size() < 8)
+    keys.push_back(in.TakeString(64));
+  for (const auto& hope : AllDicts()) DiffOneDict(*hope, keys);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Tiny deterministic consumer over a fuzz input: the structure-aware
+// targets slice one flat byte buffer into ints, strings, and choices.
+// Exhaustion is not an error — every Take* degrades to zeros/empties so
+// a truncated input still drives a deterministic (just shorter) test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hope::fuzz {
+
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t TakeByte() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  bool TakeBool() { return (TakeByte() & 1) != 0; }
+
+  /// Little-endian u64 assembled from up to 8 remaining bytes.
+  uint64_t TakeU64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; i++)
+      v |= static_cast<uint64_t>(TakeByte()) << (8 * i);
+    return v;
+  }
+
+  /// Uniform-ish pick in [0, bound) — bound must be nonzero.
+  uint64_t TakeBelow(uint64_t bound) { return TakeU64() % bound; }
+
+  /// Length-prefixed string: one byte picks the length (capped at
+  /// max_len and at what's left), then that many raw bytes.
+  std::string TakeString(size_t max_len) {
+    size_t len = TakeByte();
+    if (len > max_len) len = max_len;
+    if (len > remaining()) len = remaining();
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return out;
+  }
+
+  /// Everything not yet consumed, without consuming it.
+  std::string_view Rest() const {
+    return {reinterpret_cast<const char*>(data_ + pos_), size_ - pos_};
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hope::fuzz

@@ -1,0 +1,113 @@
+// Fuzz target: the CLI/env argument-parsing surface (common/parse.h and
+// tools/cli_args.h) — every token here arrives from argv or stdin.
+// Each parser is differentially checked against a simple reference:
+//   - ParsePositiveUint accepts exactly the digits-only strings whose
+//     value (checked with 128-bit accumulation, no wrap) is in [1, max];
+//   - ParseScheme accepts exactly the six documented names;
+//   - FromHex accepts exactly ToHex images, and round-trips them;
+//   - ParseServeArgs never crashes, and on acceptance every field is
+//     inside its documented bound (workers <= 64, shards in 2..256,
+//     stats interval <= 1h).
+//
+// The input is NUL-split into tokens, mirroring an argv.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parse.h"
+#include "tests/fuzz/fuzz_input.h"
+#include "tools/cli_args.h"
+
+namespace {
+
+/// Reference for ParsePositiveUint: digits-only, no wrap, in [1, max].
+bool RefAccepts(const std::string& s, unsigned long long max,
+                unsigned long long* value) {
+  if (s.empty()) return false;
+  unsigned __int128 v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<unsigned>(c - '0');
+    if (v > max) return false;  // also rejects anything that would wrap
+  }
+  if (v == 0) return false;
+  *value = static_cast<unsigned long long>(v);
+  return true;
+}
+
+void CheckUintToken(const std::string& tok, unsigned long long max) {
+  unsigned long long got = 0, want = 0;
+  bool accepted = hope::ParsePositiveUint(tok.c_str(), max, &got);
+  bool expected = RefAccepts(tok, max, &want);
+  HOPE_CHECK_MSG(accepted == expected,
+                 "ParsePositiveUint accept/reject diverged from reference");
+  if (accepted)
+    HOPE_CHECK_MSG(got == want, "ParsePositiveUint value diverged");
+}
+
+void CheckSchemeToken(const std::string& tok) {
+  hope::Scheme scheme;
+  if (!hope::cli::ParseScheme(tok, &scheme)) return;
+  static constexpr const char* kNames[] = {
+      "single-char", "double-char", "alm",
+      "3-grams",     "4-grams",     "alm-improved",
+  };
+  bool known = false;
+  for (const char* n : kNames) known = known || tok == n;
+  HOPE_CHECK_MSG(known, "ParseScheme accepted an undocumented name");
+}
+
+void CheckHexToken(const std::string& tok) {
+  std::string bytes;
+  if (hope::cli::FromHex(tok, &bytes)) {
+    HOPE_CHECK_MSG(hope::cli::ToHex(bytes) == tok,
+                   "FromHex accepted a non-canonical hex string");
+  }
+  // Forward direction always round-trips, for any byte content.
+  std::string back;
+  HOPE_CHECK_MSG(hope::cli::FromHex(hope::cli::ToHex(tok), &back) &&
+                     back == tok,
+                 "ToHex output did not round-trip through FromHex");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // NUL-split into an argv-like token list (cap length and count so a
+  // single giant input cannot stall the run).
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (size_t i = 0; i < size && tokens.size() < 16; i++) {
+    if (data[i] == 0) {
+      tokens.push_back(cur);
+      cur.clear();
+    } else if (cur.size() < 256) {
+      cur.push_back(static_cast<char>(data[i]));
+    }
+  }
+  if (!cur.empty()) tokens.push_back(cur);
+
+  hope::fuzz::FuzzInput in(data, size);
+  const unsigned long long maxes[] = {1, 64, 256, 3600 * 1000,
+                                      1ull << 32, ~0ull};
+  for (const std::string& tok : tokens) {
+    CheckUintToken(tok, maxes[in.TakeByte() % 6]);
+    CheckSchemeToken(tok);
+    CheckHexToken(tok);
+  }
+
+  hope::cli::ServeArgs args;
+  if (hope::cli::ParseServeArgs(tokens, &args)) {
+    HOPE_CHECK_MSG(args.num_keys >= 1 && args.num_keys <= (size_t{1} << 32),
+                   "serve keys out of documented range");
+    HOPE_CHECK_MSG(args.workers >= 1 && args.workers <= 64,
+                   "serve workers out of documented range");
+    HOPE_CHECK_MSG(args.shards >= 2 && args.shards <= 256,
+                   "serve shards out of documented range");
+    HOPE_CHECK_MSG(args.stats_interval_ms >= 1 &&
+                       args.stats_interval_ms <= 3600 * 1000,
+                   "serve stats interval out of documented range");
+  }
+  return 0;
+}

@@ -1,0 +1,259 @@
+// Fuzz target: telemetry snapshot export escaping. Label values flow in
+// from user-named datasets/shards and end up inside JSONL stats files
+// (hope_cli serve --stats-file) and Prometheus scrapes — a missed escape
+// turns one hostile label into unparseable telemetry for the whole
+// process. Metric names and label keys are program-controlled
+// identifiers, so the fuzzer draws them from a fixed set (driving the
+// grouping/TYPE-line logic) while label values, metric kinds, and all
+// numeric fields (including NaN/Inf via raw bit patterns) are
+// adversarial.
+//
+// Oracles:
+//   - ToJson() output parses under a strict JSON grammar checker and
+//     stays on one line (the JSONL contract);
+//   - ToPrometheus() output: quoted label values contain no raw quote,
+//     backslash, or newline — every backslash starts one of the three
+//     documented escapes — and each non-comment line is
+//     `series value` with balanced braces.
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "telemetry/registry.h"
+#include "tests/fuzz/fuzz_input.h"
+
+namespace {
+
+using hope::telemetry::MetricKind;
+using hope::telemetry::RegistrySnapshot;
+
+// ---------------------------------------------------------------------
+// Minimal strict JSON validator (objects, arrays, strings, numbers,
+// true/false/null). Returns false instead of throwing; the fuzz oracle
+// only needs accept/reject.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    pos_++;  // '{'
+    SkipWs();
+    if (Peek() == '}') { pos_++; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      pos_++;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { pos_++; continue; }
+      if (Peek() == '}') { pos_++; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    pos_++;  // '['
+    SkipWs();
+    if (Peek() == ']') { pos_++; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { pos_++; continue; }
+      if (Peek() == ']') { pos_++; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    pos_++;
+    while (pos_ < s_.size()) {
+      unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') { pos_++; return true; }
+      if (c < 0x20) return false;  // raw control char — the bug class here
+      if (c == '\\') {
+        pos_++;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        if (e == 'u') {
+          if (pos_ + 4 >= s_.size()) return false;
+          for (int i = 1; i <= 4; i++)
+            if (!IsHex(s_[pos_ + i])) return false;
+          pos_ += 4;
+        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          return false;
+        }
+      }
+      pos_++;
+    }
+    return false;  // unterminated
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') pos_++;
+    if (!DigitRun()) return false;
+    if (Peek() == '.') {
+      pos_++;
+      if (!DigitRun()) return false;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      pos_++;
+      if (Peek() == '+' || Peek() == '-') pos_++;
+      if (!DigitRun()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool DigitRun() {
+    size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') pos_++;
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (s_.substr(pos_, n) != lit) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool IsHex(char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+           (c >= 'A' && c <= 'F');
+  }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      pos_++;
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Prometheus exposition line checks: quoted regions must contain only
+// the three documented escapes and no raw quote/newline.
+void CheckPromLine(std::string_view line) {
+  if (line.empty() || line.substr(0, 2) == "# ") return;
+  int braces = 0;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); i++) {
+    char c = line[i];
+    if (in_quotes) {
+      HOPE_CHECK_MSG(c != '\n', "raw newline inside a label value");
+      if (c == '\\') {
+        HOPE_CHECK_MSG(i + 1 < line.size() &&
+                           (line[i + 1] == '\\' || line[i + 1] == '"' ||
+                            line[i + 1] == 'n'),
+                       "undocumented escape in a label value");
+        i++;  // consume the escaped char
+      } else if (c == '"') {
+        in_quotes = false;
+      }
+      continue;
+    }
+    if (c == '"') in_quotes = true;
+    else if (c == '{') braces++;
+    else if (c == '}') braces--;
+  }
+  HOPE_CHECK_MSG(!in_quotes, "unterminated label value quote");
+  HOPE_CHECK_MSG(braces == 0, "unbalanced braces in a series line");
+  // `series value`: the value after the last space must be numeric-ish
+  // (AppendDouble/AppendU64 output, or "null" for non-finite).
+  size_t sp = line.rfind(' ');
+  HOPE_CHECK_MSG(sp != std::string_view::npos && sp + 1 < line.size(),
+                 "series line has no value field");
+}
+
+double TakeDouble(hope::fuzz::FuzzInput* in) {
+  uint64_t bits = in->TakeU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));  // NaN / Inf / denormals included
+  return v;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  hope::fuzz::FuzzInput in(data, size);
+
+  // Identifier-charset names and keys (program-controlled in production);
+  // repeats across metrics drive the TYPE-line grouping.
+  static constexpr const char* kNames[] = {
+      "hope_ops_total", "hope_encode_ns", "a", "x_9",
+  };
+  static constexpr const char* kKeys[] = {"shard", "op", "k"};
+
+  RegistrySnapshot snap;
+  snap.ts_ns = static_cast<int64_t>(in.TakeU64());
+  const size_t num_metrics = in.TakeByte() % 9;
+  for (size_t m = 0; m < num_metrics; m++) {
+    RegistrySnapshot::Metric metric;
+    metric.name = kNames[in.TakeByte() % 4];
+    const size_t num_labels = in.TakeByte() % 4;
+    for (size_t l = 0; l < num_labels; l++)
+      metric.labels.emplace_back(kKeys[in.TakeByte() % 3],
+                                 in.TakeString(48));  // adversarial value
+    switch (in.TakeByte() % 3) {
+      case 0: metric.kind = MetricKind::kCounter; break;
+      case 1: metric.kind = MetricKind::kGauge; break;
+      default: metric.kind = MetricKind::kHistogram; break;
+    }
+    metric.value = TakeDouble(&in);
+    metric.hist.count = in.TakeU64();
+    metric.hist.p50 = in.TakeU64();
+    metric.hist.p99 = in.TakeU64();
+    metric.hist.p999 = in.TakeU64();
+    metric.hist.max = in.TakeU64();
+    metric.hist.mean = TakeDouble(&in);
+    snap.metrics.push_back(std::move(metric));
+  }
+
+  const std::string json = snap.ToJson();
+  HOPE_CHECK_MSG(json.find('\n') == std::string::npos,
+                 "JSONL snapshot spans more than one line");
+  HOPE_CHECK_MSG(JsonChecker(json).Valid(),
+                 "snapshot JSON does not parse");
+
+  const std::string prom = snap.ToPrometheus();
+  size_t start = 0;
+  while (start < prom.size()) {
+    size_t end = prom.find('\n', start);
+    if (end == std::string::npos) end = prom.size();
+    CheckPromLine(std::string_view(prom).substr(start, end - start));
+    start = end + 1;
+  }
+  return 0;
+}

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Regenerates the committed fuzz corpus under tests/fuzz/corpus/.
+
+The corpus is deterministic and checked in: the replay ctests run it on
+every build row, so each file doubles as a crash-regression test. The
+fuzz_deserialize entries encode one malformed-blob bug class apiece from
+the serialization-hardening PR (code.len 0/>64, bad symbol_len, huge
+counts, non-prefix-free codes, ...): Deserialize must reject each one,
+and if its validation is reverted the target's contract checks trap on
+the replayed file.
+
+Usage: python3 make_seeds.py [corpus-dir]   (default: ./corpus)
+"""
+import os
+import struct
+import sys
+
+MAGIC = b"HOPEDICT1"
+
+SINGLE_CHAR, DOUBLE_CHAR, ALM, THREE_GRAMS, FOUR_GRAMS, ALM_IMPROVED = range(6)
+
+
+def entry(bound: bytes, symlen: int, code_bits: int, code_len: int) -> bytes:
+    return (struct.pack("<I", len(bound)) + bound + struct.pack("<I", symlen)
+            + struct.pack("<Q", code_bits) + bytes([code_len & 0xFF]))
+
+
+def blob(scheme: int, entries: list, count: int = None) -> bytes:
+    body = b"".join(entries)
+    n = len(entries) if count is None else count
+    return MAGIC + bytes([scheme]) + struct.pack("<I", n) + body
+
+
+def single_char_entries():
+    # 256 one-byte intervals, fixed 8-bit codes: the canonical accepted
+    # blob (first bound is the empty string, standing for byte 0).
+    out = []
+    for i in range(256):
+        bound = b"" if i == 0 else bytes([i])
+        out.append(entry(bound, 1, i << 56, 8))
+    return out
+
+
+def alm_entries():
+    # Four intervals, 2-bit codes — the smallest interesting VIFC dict.
+    bounds = [b"", b"a", b"b", b"m"]
+    return [entry(b, 1, i << 62, 2) for i, b in enumerate(bounds)]
+
+
+def write(path: str, name: str, data: bytes):
+    with open(os.path.join(path, name), "wb") as f:
+        f.write(data)
+
+
+def gen_deserialize(d: str):
+    valid_sc = blob(SINGLE_CHAR, single_char_entries())
+    valid_alm = blob(ALM, alm_entries())
+    write(d, "valid_single_char", valid_sc)
+    write(d, "valid_alm", valid_alm)
+    # 3-grams default dictionary is the bitmap trie; short bounds only.
+    write(d, "valid_3grams", blob(THREE_GRAMS, [
+        entry(b"", 1, 0b00 << 62, 2),
+        entry(b"a", 1, 0b01 << 62, 2),
+        entry(b"ab", 2, 0b10 << 62, 2),
+        entry(b"b", 1, 0b11 << 62, 2),
+    ]))
+    # Minimal accepted dictionary: one interval, one 1-bit code.
+    write(d, "valid_minimal", blob(ALM, [entry(b"", 1, 0, 1)]))
+
+    # --- malformed-blob bug classes (one file per class) --------------
+    # A zero-length code would encode symbols to nothing: with the
+    # validation reverted this dictionary is accepted and the probe walk
+    # trips "at least one bit".
+    write(d, "codelen_zero", blob(ALM, [entry(b"", 1, 0, 0)]))
+    # Codes wider than the 64-bit accumulator: reverting the range check
+    # sends len=65 into BitWriter/CodeBit shifts (UBSan traps).
+    write(d, "codelen_65", blob(ALM, [
+        entry(b"", 1, 0, 1), entry(b"a", 1, 1 << 63, 65)]))
+    write(d, "codelen_255", blob(ALM, [entry(b"", 1, 0, 255)]))
+    # symbol_len 0 spins the encode loop (consumed == 0); symbol_len
+    # past the bound length overshoots remove_prefix.
+    write(d, "symlen_zero", blob(ALM, [
+        entry(b"", 1, 0b0 << 63, 1), entry(b"b", 0, 0b1 << 63, 1)]))
+    write(d, "symlen_too_big", blob(ALM, [
+        entry(b"", 1, 0b0 << 63, 1), entry(b"b", 3, 0b1 << 63, 1)]))
+    # A corrupted count must not drive a huge reserve() before the
+    # per-entry reads start failing.
+    write(d, "count_huge", blob(ALM, [], count=0xFFFFFFFF))
+    write(d, "count_one_past", blob(ALM, alm_entries(), count=5))
+    # Prefix/duplicate codes break unique decodability.
+    write(d, "nonprefix_codes", blob(ALM, [
+        entry(b"", 1, 0b0 << 63, 1), entry(b"a", 1, 0b00 << 62, 2)]))
+    write(d, "dup_codes", blob(ALM, [
+        entry(b"", 1, 0b1 << 63, 1), entry(b"a", 1, 0b1 << 63, 1)]))
+    # Boundary ordering and the implicit first interval.
+    write(d, "unsorted_bounds", blob(ALM, [
+        entry(b"", 1, 0b00 << 62, 2), entry(b"b", 1, 0b01 << 62, 2),
+        entry(b"a", 1, 0b10 << 62, 2)]))
+    write(d, "dup_bounds", blob(ALM, [
+        entry(b"", 1, 0b00 << 62, 2), entry(b"a", 1, 0b01 << 62, 2),
+        entry(b"a", 1, 0b10 << 62, 2)]))
+    write(d, "first_bound_nonempty", blob(ALM, [
+        entry(b"a", 1, 0b0 << 63, 1), entry(b"b", 1, 0b1 << 63, 1)]))
+    # Nonzero bits beyond code.len smear into the next code in the
+    # BitWriter's branch-free OR.
+    write(d, "padding_bits", blob(ALM, [
+        entry(b"", 1, (0b00 << 62) | 1, 2), entry(b"a", 1, 0b01 << 62, 2),
+        entry(b"b", 1, 0b10 << 62, 2), entry(b"m", 1, 0b11 << 62, 2)]))
+    # Array-dictionary structural mismatch: a Single-Char slot claiming
+    # a 2-byte symbol (the release-mode overshoot fixed alongside the
+    # HOPE_CHECK adoption).
+    sc = single_char_entries()
+    sc[65] = entry(bytes([65]), 2, 65 << 56, 8)
+    write(d, "array_symlen_mismatch", blob(SINGLE_CHAR, sc))
+    # Framing: truncation, trailing garbage, busted magic, huge bound.
+    write(d, "truncated", valid_alm[:len(valid_alm) - 7])
+    write(d, "trailing_garbage", valid_alm + b"\x00")
+    write(d, "bad_magic", b"HOPEDICT2" + valid_alm[len(MAGIC):])
+    write(d, "bad_scheme", MAGIC + bytes([6]) + valid_alm[len(MAGIC) + 1:])
+    write(d, "boundlen_huge", MAGIC + bytes([ALM]) + struct.pack("<I", 1)
+          + struct.pack("<I", 0xFFFFFFFF) + b"a" * 32)
+    write(d, "empty", b"")
+    write(d, "magic_only", MAGIC)
+
+
+def gen_decode(d: str):
+    # [dict selector][claimed bits lo][claimed bits hi][bitstream...]
+    write(d, "single_char_ascii", bytes([0, 24, 0]) + b"abc")
+    write(d, "single_char_exact", bytes([0, 8, 0]) + b"\x41")
+    write(d, "three_grams_salad", bytes([1, 200, 0]) + bytes(range(32)))
+    write(d, "alm_salad", bytes([2, 64, 0]) + b"\xff" * 16)
+    write(d, "overclaim", bytes([0, 255, 255]) + b"xy")
+    write(d, "empty_stream", bytes([1, 0, 0]))
+    write(d, "partial_code", bytes([0, 3, 0]) + b"\x80")
+
+
+def gen_encode_diff(d: str):
+    # Repeated [len byte][bytes] keys (fuzz_input TakeString framing).
+    def pack(keys):
+        return b"".join(bytes([len(k)]) + k for k in keys)
+
+    write(d, "emails", pack([b"alice@example.com", b"bob@test.org"]))
+    write(d, "binary", pack([b"\x00\x01\x02", b"\xff\xfe\xfd", b"\x00" * 8]))
+    write(d, "boundary_straddle", pack(
+        [b"a", b"ab", b"abc", b"abcd", b"abcde"]))
+    write(d, "high_bytes", pack([b"\xff" * 33, b"\x80\x7f" * 10]))
+    write(d, "empty_and_one", pack([b"", b"z"]))
+    write(d, "long_run", pack([b"m" * 64, b"mm" * 20]))
+
+
+def gen_parse(d: str):
+    def argv(*toks):
+        return b"\x00".join(toks)
+
+    write(d, "serve_full", argv(b"double-char", b"1000", b"4", b"8",
+                                b"--stats-file", b"/tmp/s.jsonl",
+                                b"--stats-interval", b"250"))
+    write(d, "serve_bad_flag", argv(b"-x", b"100"))
+    write(d, "serve_missing_value", argv(b"--stats-file"))
+    write(d, "serve_too_many", argv(b"alm", b"1", b"2", b"3", b"4"))
+    write(d, "numbers", argv(b"0", b"1", b"007", b"4294967296",
+                             b"18446744073709551615",
+                             b"18446744073709551616", b"12x", b"+7", b" 7"))
+    write(d, "schemes", argv(b"single-char", b"3-grams", b"alm-improved",
+                             b"Single-Char", b"alm "))
+    write(d, "hex", argv(b"deadbeef", b"DEADBEEF", b"abc", b"0g",
+                         b"00ff10"))
+
+
+def gen_telemetry(d: str):
+    # Raw driver bytes for the snapshot builder; the interesting content
+    # is label values with quotes/backslashes/newlines/control bytes.
+    write(d, "quote_label", bytes([0, 0, 0, 0, 0, 0, 0, 0,  # ts
+                                   2,                       # metrics
+                                   0, 1, 0]) + bytes([12]) + b'he said "hi"'
+          + bytes([0]) + b"\x00" * 40)
+    write(d, "backslash_newline", bytes([1] * 9) + bytes([1, 1, 1])
+          + bytes([10]) + b'a\\b\nc\rd\te' + b"\x02" * 48)
+    write(d, "control_bytes", bytes([7] * 12) + bytes([8])
+          + bytes(range(1, 9)) + b"\xff" * 40)
+    write(d, "nan_inf", bytes([3] * 10) + b"\x00\x00\x00\x00\x00\x00\xf0\x7f"
+          + b"\x01\x00\x00\x00\x00\x00\xf0\xff" + b"\x55" * 30)
+    write(d, "many_metrics", bytes([200]) * 120)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else \
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "corpus")
+    gens = {
+        "fuzz_deserialize": gen_deserialize,
+        "fuzz_decode": gen_decode,
+        "fuzz_encode_diff": gen_encode_diff,
+        "fuzz_parse": gen_parse,
+        "fuzz_telemetry_export": gen_telemetry,
+    }
+    for target, gen in gens.items():
+        d = os.path.join(root, target)
+        os.makedirs(d, exist_ok=True)
+        gen(d)
+        print(f"{target}: {len(os.listdir(d))} seeds")
+
+
+if __name__ == "__main__":
+    main()

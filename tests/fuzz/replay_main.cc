@@ -1,0 +1,70 @@
+// Corpus-replay driver: links any LLVMFuzzerTestOneInput target into a
+// plain binary that runs every file under the given corpus paths once.
+// This is the half of the dual-mode harness that needs no libFuzzer —
+// it runs on every CI row (gcc included) and under ASan/UBSan/TSan, so
+// the committed crash-regression corpus is replayed on each build
+// configuration even where -fsanitize=fuzzer is unavailable.
+//
+// Exit codes: 0 all inputs replayed, 2 a corpus path is missing or
+// unreadable (a misconfigured test must not pass silently). A finding
+// aborts the process (HOPE_CHECK / sanitizer report), which ctest
+// reports as a failure pointing at the offending file via stderr.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReadFile(const std::filesystem::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; i++) {
+    const fs::path p = argv[i];
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec))
+        if (entry.is_regular_file()) files.push_back(entry.path());
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "replay: missing corpus path %s\n", argv[i]);
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic replay order
+
+  // The empty input is always part of the contract.
+  static const uint8_t kEmpty[1] = {0};
+  LLVMFuzzerTestOneInput(kEmpty, 0);
+
+  size_t replayed = 0;
+  for (const auto& f : files) {
+    std::string bytes;
+    if (!ReadFile(f, &bytes)) {
+      std::fprintf(stderr, "replay: cannot read %s\n", f.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "replay: %s (%zu bytes)\n", f.c_str(), bytes.size());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    replayed++;
+  }
+  std::printf("replayed %zu corpus inputs\n", replayed);
+  return 0;
+}

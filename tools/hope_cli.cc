@@ -55,8 +55,8 @@
 #include <thread>
 #include <vector>
 
-#include "common/parse.h"
 #include "common/version.h"
+#include "tools/cli_args.h"
 #include "datasets/datasets.h"
 #include "dynamic/background_rebuilder.h"
 #include "dynamic/dictionary_manager.h"
@@ -109,22 +109,12 @@ int Usage() {
   return 2;
 }
 
-bool ParseScheme(const std::string& name, Scheme* out) {
-  static const std::pair<const char*, Scheme> kMap[] = {
-      {"single-char", Scheme::kSingleChar},
-      {"double-char", Scheme::kDoubleChar},
-      {"alm", Scheme::kAlm},
-      {"3-grams", Scheme::kThreeGrams},
-      {"4-grams", Scheme::kFourGrams},
-      {"alm-improved", Scheme::kAlmImproved},
-  };
-  for (auto& [n, s] : kMap)
-    if (name == n) {
-      *out = s;
-      return true;
-    }
-  return false;
-}
+// Shared with the fuzz harness (tests/fuzz/fuzz_parse.cc drives these
+// with adversarial tokens): tools/cli_args.h.
+using hope::cli::FromHex;
+using hope::cli::ParseCount;
+using hope::cli::ParseScheme;
+using hope::cli::ToHex;
 
 std::vector<std::string> ReadLines(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -153,44 +143,6 @@ std::unique_ptr<Hope> LoadDict(const std::string& path) {
     std::exit(1);
   }
   return hope;
-}
-
-std::string ToHex(const std::string& bytes) {
-  static const char* kHex = "0123456789abcdef";
-  std::string out;
-  out.reserve(bytes.size() * 2);
-  for (unsigned char c : bytes) {
-    out.push_back(kHex[c >> 4]);
-    out.push_back(kHex[c & 0xF]);
-  }
-  return out;
-}
-
-bool FromHex(const std::string& hex, std::string* bytes) {
-  if (hex.size() % 2) return false;
-  bytes->clear();
-  auto nib = [](char c) -> int {
-    if (c >= '0' && c <= '9') return c - '0';
-    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-    return -1;
-  };
-  for (size_t i = 0; i < hex.size(); i += 2) {
-    int hi = nib(hex[i]), lo = nib(hex[i + 1]);
-    if (hi < 0 || lo < 0) return false;
-    bytes->push_back(static_cast<char>(hi * 16 + lo));
-  }
-  return true;
-}
-
-// Digits-only count parsing, same contract as HOPE_BENCH_KEYS
-// (common/parse.h): raw strtoull would additionally accept " 7" and
-// "+7", wrap negatives, and saturate on overflow — all usage errors
-// here (documented exit-code contract: usage = 2).
-bool ParseCount(const char* arg, size_t max, size_t* out) {
-  unsigned long long v = 0;
-  if (!hope::ParsePositiveUint(arg, max, &v)) return false;
-  *out = static_cast<size_t>(v);
-  return true;
 }
 
 int CmdBuild(int argc, char** argv) {
@@ -523,40 +475,19 @@ int CmdDrift(int argc, char** argv) {
 // correctness counters (which must stay zero for exit code 0).
 int CmdServe(int argc, char** argv) {
   // Flags may mix with the positionals: serve [scheme] [keys] [workers]
-  // [shards] [--stats-file <path>] [--stats-interval <ms>].
-  std::string stats_file;
-  size_t stats_interval_ms = 200;
-  std::vector<std::string> pos;
-  for (int i = 2; i < argc; i++) {
-    const std::string arg = argv[i];
-    if (arg == "--stats-file") {
-      if (i + 1 >= argc) return Usage();
-      stats_file = argv[++i];
-    } else if (arg == "--stats-interval") {
-      if (i + 1 >= argc ||
-          !ParseCount(argv[i + 1], 3600 * 1000, &stats_interval_ms))
-        return Usage();
-      i++;
-    } else if (!arg.empty() && arg[0] == '-') {
-      return Usage();
-    } else {
-      pos.push_back(arg);
-    }
-  }
-  if (pos.size() > 4) return Usage();
-  Scheme scheme = Scheme::kDoubleChar;
-  if (pos.size() > 0 && !ParseScheme(pos[0], &scheme)) return Usage();
-  size_t num_keys = 20000;
-  if (pos.size() > 1 && !ParseCount(pos[1].c_str(), size_t{1} << 32, &num_keys))
+  // [shards] [--stats-file <path>] [--stats-interval <ms>]. The grammar
+  // lives in tools/cli_args.h so the fuzz harness exercises exactly the
+  // code that runs here.
+  hope::cli::ServeArgs serve_args;
+  if (!hope::cli::ParseServeArgs(std::vector<std::string>(argv + 2, argv + argc),
+                                 &serve_args))
     return Usage();
-  size_t workers = 4;
-  if (pos.size() > 2 && !ParseCount(pos[2].c_str(), 64, &workers))
-    return Usage();
-  size_t shards = 4;
-  // Same bounds contract as drift: 2..256 shards, digits only.
-  if (pos.size() > 3 && !ParseCount(pos[3].c_str(), 256, &shards))
-    return Usage();
-  if (shards < 2) return Usage();
+  const Scheme scheme = serve_args.scheme;
+  const size_t num_keys = serve_args.num_keys;
+  const size_t workers = serve_args.workers;
+  const size_t shards = serve_args.shards;
+  const std::string stats_file = serve_args.stats_file;
+  const size_t stats_interval_ms = serve_args.stats_interval_ms;
 
   using hope::serve::ConcurrentShardedIndex;
   using hope::serve::KeyFingerprint;

@@ -4,7 +4,7 @@
 #   tools/run_clang_tidy.sh <build-dir> [--update-baseline] [clang-tidy]
 #
 # Runs clang-tidy (checks from .clang-tidy) over every first-party .cc
-# under src/ bench/ tools/ examples/, using <build-dir>'s
+# under src/ bench/ tools/ examples/ tests/fuzz/, using <build-dir>'s
 # compile_commands.json (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON).
 # Findings are normalized to `file:check` lines — line numbers dropped so
 # edits elsewhere in a file don't churn the comparison — and diffed
@@ -50,8 +50,10 @@ if ! command -v "$tidy_bin" >/dev/null 2>&1; then
   exit 2
 fi
 
+# tests/fuzz is in scope: the fuzz targets parse untrusted layouts
+# themselves, so the bugprone-* checks apply to them as much as to src/.
 mapfile -t sources < <(cd "$repo_root" &&
-  find src bench tools examples -name '*.cc' 2>/dev/null | sort)
+  find src bench tools examples tests/fuzz -name '*.cc' 2>/dev/null | sort)
 if [[ "${#sources[@]}" -eq 0 ]]; then
   echo "run_clang_tidy: no sources found under $repo_root" >&2
   exit 2

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Time-boxed libFuzzer session over every fuzz target, with corpus
+# minimization back into the committed seeds.
+#
+#   tools/run_fuzz.sh <build-dir> [seconds-per-target]
+#
+# <build-dir> must be configured with -DHOPE_FUZZ=ON (Clang; pair with
+# -DHOPE_SANITIZE=ON so findings carry ASan/UBSan reports). Each target
+# runs for the time box (default 60s) seeded from the committed corpus
+# plus any accumulated work corpus under <build-dir>/fuzz-work/, then a
+# -merge=1 pass minimizes the union into the work corpus. Promote
+# interesting work-corpus files into tests/fuzz/corpus/<target>/ by
+# copying them and committing (they become replay regression tests).
+#
+# Exit: 0 all targets completed their box with no crash, 1 a target
+# found a crash (artifacts under <build-dir>/fuzz-work/<target>/), 2
+# usage/environment.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-}"
+time_box="${2:-60}"
+if [[ -z "$build_dir" || ! -d "$build_dir" ]]; then
+  echo "usage: run_fuzz.sh <build-dir> [seconds-per-target]" >&2
+  exit 2
+fi
+
+targets=()
+for t in "$build_dir"/tests/fuzz/fuzz_*; do
+  [[ -x "$t" && ! "$t" == *_replay ]] && targets+=("$t")
+done
+if [[ "${#targets[@]}" -eq 0 ]]; then
+  echo "run_fuzz: no libFuzzer binaries under $build_dir/tests/fuzz" \
+       "(configure with -DHOPE_FUZZ=ON, Clang only)" >&2
+  exit 2
+fi
+
+status=0
+for bin in "${targets[@]}"; do
+  name="$(basename "$bin")"
+  seeds="$repo_root/tests/fuzz/corpus/$name"
+  work="$build_dir/fuzz-work/$name"
+  mkdir -p "$work/corpus"
+
+  echo "=== $name: ${time_box}s (seeds: $seeds) ==="
+  # Crash artifacts land in the work dir, not the repo.
+  if ! "$bin" -max_total_time="$time_box" -rss_limit_mb=2048 \
+       -print_final_stats=1 -artifact_prefix="$work/" \
+       "$work/corpus" "$seeds"; then
+    echo "run_fuzz: $name FOUND A CRASH — artifacts in $work/" >&2
+    status=1
+    continue
+  fi
+  # Minimize the accumulated corpus in place (union of work + seeds).
+  merged="$work/corpus.min"
+  rm -rf "$merged" && mkdir -p "$merged"
+  "$bin" -merge=1 "$merged" "$work/corpus" "$seeds" >/dev/null 2>&1 || true
+  rm -rf "$work/corpus" && mv "$merged" "$work/corpus"
+  echo "$name: minimized work corpus: $(ls "$work/corpus" | wc -l) files"
+done
+exit "$status"
